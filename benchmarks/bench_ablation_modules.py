@@ -1,0 +1,86 @@
+"""Ablation: what each speculation module contributes to SCAF.
+
+Not a paper artifact, but the experiment DESIGN.md calls for: rebuild
+SCAF with one speculation module removed at a time and measure the
+%NoDep drop across all workloads.  This quantifies each design
+choice's weight and cross-checks Table 2's attribution from a second
+direction (a module whose removal costs nothing should also show no
+collaboration coverage).
+"""
+
+import pytest
+
+from common import analyze_all, emit, format_table
+from repro.clients import PDGClient, hot_loops, weighted_no_dep
+from repro.core import Orchestrator, OrchestratorConfig
+from repro.core.framework import DependenceAnalysis
+from repro.modules.memory import default_memory_modules
+from repro.modules.speculation import default_speculation_modules
+
+ABLATABLE = (
+    "control-spec",
+    "value-prediction",
+    "pointer-residue",
+    "read-only",
+    "short-lived",
+    "points-to",
+)
+
+
+def _scaf_without(prepared, removed):
+    """SCAF minus one speculation module."""
+    context = prepared.context
+    profiles = prepared.profiles
+    modules = (default_memory_modules(context, profiles)
+               + [m for m in default_speculation_modules(context, profiles)
+                  if m.name != removed])
+    return DependenceAnalysis(f"scaf-minus-{removed}", prepared.module,
+                              context, profiles,
+                              Orchestrator(modules, OrchestratorConfig()))
+
+
+def _coverage(system, hot):
+    client = PDGClient(system)
+    return weighted_no_dep(hot, [client.analyze_loop(h.loop) for h in hot])
+
+
+def _run(results):
+    rows = []
+    drops = {name: 0.0 for name in ABLATABLE}
+    for wr in results:
+        hot = wr.hot
+        full = wr.coverage("scaf")
+        row = [wr.name, f"{full:6.2f}"]
+        for removed in ABLATABLE:
+            ablated = _coverage(_scaf_without(wr.prepared, removed), hot)
+            drop = full - ablated
+            drops[removed] += drop
+            row.append(f"{drop:6.2f}" if drop > 1e-9 else "  -   ")
+        rows.append(row)
+
+    total_row = ["TOTAL DROP", ""]
+    for removed in ABLATABLE:
+        total_row.append(f"{drops[removed]:6.2f}")
+    rows.append(total_row)
+
+    table = format_table(
+        ["benchmark", "SCAF"] + [f"-{m}" for m in ABLATABLE],
+        rows,
+        title="Ablation: %NoDep lost when one speculation module "
+              "is removed from SCAF")
+    return table, drops
+
+
+def test_ablation_speculation_modules(benchmark, all_results):
+    table, drops = benchmark.pedantic(lambda: _run(all_results),
+                                      rounds=1, iterations=1)
+    emit("ablation_modules.txt", table)
+
+    # The load-bearing modules of Table 2 must show real drops...
+    assert drops["control-spec"] > 0
+    assert drops["points-to"] > 0
+    assert drops["read-only"] > 0
+    assert drops["short-lived"] > 0
+    # ...and removing a module can never *increase* coverage.
+    for name, drop in drops.items():
+        assert drop >= -1e-9, name

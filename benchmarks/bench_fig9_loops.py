@@ -1,0 +1,46 @@
+"""Figure 9: per-hot-loop %NoDep, SCAF vs composition by confluence.
+
+Regenerates the scatter of Figure 9: one point per hot loop across
+the 16 workloads; SCAF must never fall below the diagonal and should
+lie strictly above it on a substantial share of loops (the paper
+reports 37 of 56).
+"""
+
+import pytest
+
+from common import analyze_all, emit, format_table
+
+
+def _scatter(results):
+    points = []
+    for wr in results:
+        conf = wr.loop_coverage("confluence")
+        scaf = wr.loop_coverage("scaf")
+        for loop_name in conf:
+            points.append((wr.name, loop_name, conf[loop_name],
+                           scaf[loop_name]))
+    rows = [[bench, loop, f"{c:6.2f}", f"{s:6.2f}",
+             "above" if s > c + 1e-9 else "on"]
+            for bench, loop, c, s in points]
+    above = sum(1 for _, _, c, s in points if s > c + 1e-9)
+    table = format_table(
+        ["benchmark", "hot loop", "Confluence", "SCAF", "diagonal"],
+        rows,
+        title="Figure 9: per-hot-loop %NoDep, collaboration vs confluence")
+    summary = (f"\nSCAF outperforms confluence on {above} of "
+               f"{len(points)} hot loops; equal on the rest "
+               f"(paper: 37 of 56).")
+    return table + summary, points
+
+
+def test_fig9_per_loop_scatter(benchmark, all_results):
+    report, points = benchmark.pedantic(
+        lambda: _scatter(all_results), rounds=1, iterations=1)
+    emit("fig9_loops.txt", report)
+
+    # Collaboration never hurts: every point is on or above the diagonal.
+    for bench, loop, conf, scaf in points:
+        assert scaf >= conf - 1e-9, (bench, loop)
+    # And it strictly helps on a majority of hot loops.
+    above = sum(1 for _, _, c, s in points if s > c + 1e-9)
+    assert above >= len(points) // 2

@@ -1,0 +1,16 @@
+"""Benchmark fixtures: all-workload analysis shared across benches."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from common import analyze_all
+
+
+@pytest.fixture(scope="session")
+def all_results():
+    """Every workload analyzed by every system (computed once)."""
+    return analyze_all()

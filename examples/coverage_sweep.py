@@ -1,0 +1,70 @@
+"""Coverage sweep: Figure 8 in miniature, plus an Orchestrator-policy
+ablation.
+
+Sweeps every workload through CAF / confluence / SCAF / memory
+speculation and prints the coverage ladder, then re-runs one workload
+under different Orchestrator configurations (§3.3) to show the policy
+knobs clients can turn: join policy (CHEAPEST vs ALL) and bailout
+policy (BASE vs DEFINITE vs EXHAUSTIVE).
+
+Run:  python examples/coverage_sweep.py
+"""
+
+from repro import (
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from repro.clients import PDGClient, hot_loops, weighted_no_dep
+from repro.core import BailoutPolicy, OrchestratorConfig
+from repro.query import JoinPolicy
+from repro.workloads import ALL_WORKLOADS, get_workload, prepare
+
+
+def sweep():
+    print(f"{'benchmark':16s} {'CAF':>7s} {'Confl':>7s} {'SCAF':>7s} "
+          f"{'MemSpec':>8s}")
+    for wl in ALL_WORKLOADS:
+        p = prepare(wl)
+        hot = hot_loops(p.profiles)
+        row = []
+        for system in (
+            build_caf(p.module, p.context, p.profiles),
+            build_confluence(p.module, p.profiles, p.context),
+            build_scaf(p.module, p.profiles, p.context),
+            build_memory_speculation(p.module, p.profiles, p.context),
+        ):
+            client = PDGClient(system)
+            pdgs = [client.analyze_loop(h.loop) for h in hot]
+            row.append(weighted_no_dep(hot, pdgs))
+        print(f"{wl.name:16s} {row[0]:7.2f} {row[1]:7.2f} {row[2]:7.2f} "
+              f"{row[3]:8.2f}")
+
+
+def policy_ablation(name="544.nab"):
+    print(f"\nOrchestrator policies on {name} (same modules, "
+          "different client configuration):")
+    p = prepare(get_workload(name))
+    hot = hot_loops(p.profiles)
+    configs = {
+        "greedy+cheapest (paper default)": OrchestratorConfig(),
+        "definite bailout": OrchestratorConfig(
+            bailout_policy=BailoutPolicy.DEFINITE),
+        "exhaustive+all-options": OrchestratorConfig(
+            bailout_policy=BailoutPolicy.EXHAUSTIVE,
+            join_policy=JoinPolicy.ALL),
+    }
+    for label, config in configs.items():
+        system = build_scaf(p.module, p.profiles, p.context, config)
+        client = PDGClient(system)
+        pdgs = [client.analyze_loop(h.loop) for h in hot]
+        stats = system.coordinator.stats
+        print(f"  {label:32s} %NoDep={weighted_no_dep(hot, pdgs):6.2f}  "
+              f"module-evals={sum(stats.module_evals.values()):6d}  "
+              f"premises={stats.premise_queries:5d}")
+
+
+if __name__ == "__main__":
+    sweep()
+    policy_ablation()

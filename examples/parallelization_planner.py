@@ -1,0 +1,159 @@
+"""Parallelization planner: a realistic SCAF client (§3.4).
+
+A DOALL parallelizer must remove every cross-iteration dependence of
+a loop.  This client queries SCAF for the full loop PDG, then *plans*:
+it gathers the speculative assertions its chosen responses rely on,
+de-duplicates them (one control-speculation assertion often discharges
+many dependences), checks for conflicts, totals the validation cost,
+and decides whether the loop is speculatively DOALL-able — all before
+transforming anything, exactly the planning workflow §3.4 motivates.
+
+Run:  python examples/parallelization_planner.py
+"""
+
+from collections import Counter
+
+from repro import build_scaf
+from repro.clients import PDGClient, hot_loops
+from repro.query import option_cost
+from repro.workloads import get_workload, prepare
+
+
+def plan_loop(system, hot):
+    """Attempt a speculative DOALL plan for one hot loop."""
+    client = PDGClient(system)
+    pdg = client.analyze_loop(hot.loop)
+
+    cross = [r for r in pdg.records if r.cross_iteration]
+    blockers = [r for r in cross if not r.removed]
+    removed = [r for r in cross if r.removed]
+
+    # Gather the distinct assertions behind the speculative removals
+    # (the same assertion frequently backs many dependences).
+    assertions = set()
+    for record in removed:
+        if record.speculative:
+            assertions.update(record.usable_options.cheapest())
+
+    conflicts = [
+        (a, b)
+        for i, a in enumerate(sorted(assertions, key=repr))
+        for b in sorted(assertions, key=repr)[i + 1:]
+        if a.conflicts_with(b)
+    ]
+
+    print(f"== {hot.name} ({hot.time_fraction:.0%} of execution time, "
+          f"{hot.stats.average_trip_count:.0f} iters/invocation)")
+    print(f"   cross-iteration queries : {len(cross)}")
+    print(f"   removed                 : {len(removed)} "
+          f"({sum(1 for r in removed if r.speculative)} speculatively)")
+    print(f"   blocking dependences    : {len(blockers)}")
+
+    if blockers:
+        kinds = Counter(
+            f"{r.src.opcode}->{r.dst.opcode}" for r in blockers)
+        worst = ", ".join(f"{k} x{n}" for k, n in kinds.most_common(3))
+        print(f"   NOT DOALL-able: residual loop-carried deps ({worst})")
+    else:
+        total = sum(a.cost for a in assertions)
+        by_module = Counter(a.module_id for a in assertions)
+        print("   DOALL-able under speculation!")
+        print(f"   distinct assertions to validate: {len(assertions)} "
+              f"({dict(by_module)})")
+        print(f"   total validation cost estimate : {total:g}")
+        if conflicts:
+            print(f"   WARNING: {len(conflicts)} conflicting assertion "
+                  "pairs; the planner must drop one side")
+    print()
+    return blockers
+
+
+#: A stencil kernel whose only cross-iteration obstacles are
+#: speculative: the input row is read-only heap data behind a pointer
+#: global, and the rare clamp path is profile-dead.  Under SCAF's
+#: assertions the loop is fully DOALL-able.
+DOALL_KERNEL = """
+global @in_ptr : f64* = zeroinit
+global @out_ptr : f64* = zeroinit
+global @clamp_flag : i32 = 0
+global @clamps : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %in.raw = call @malloc(i64 1040)
+  %in.f = bitcast i8* %in.raw to f64*
+  %in.base = gep f64* %in.f, i64 2
+  store f64* %in.base, f64** @in_ptr
+  %out.raw = call @malloc(i64 1040)
+  %out.f = bitcast i8* %out.raw to f64*
+  %out.base = gep f64* %out.f, i64 2
+  store f64* %out.base, f64** @out_ptr
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi2, %fill]
+  %f.slot = gep f64* %in.base, i64 %fi
+  %fv = sitofp i64 %fi to f64
+  store f64 %fv, f64* %f.slot
+  %fi2 = add i64 %fi, 1
+  %fc = icmp slt i64 %fi2, 128
+  condbr i1 %fc, %fill, %head
+head:
+  br %map
+map:
+  %i = phi i64 [0, %head], [%i2, %map.latch]
+  %cf = load i32* @clamp_flag
+  %rare = icmp ne i32 %cf, 0
+  condbr i1 %rare, %clamp, %map.body
+clamp:
+  %cl = load i32* @clamps
+  %cl2 = add i32 %cl, 1
+  store i32 %cl2, i32* @clamps
+  br %map.body
+map.body:
+  %in = load f64** @in_ptr
+  %out = load f64** @out_ptr
+  %src = gep f64* %in, i64 %i
+  %x = load f64* %src
+  %y = fmul f64 %x, 2.0
+  %dst = gep f64* %out, i64 %i
+  store f64 %y, f64* %dst
+  br %map.latch
+map.latch:
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 128
+  condbr i1 %c, %map, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+def main():
+    for name in ("175.vpr", "183.equake", "544.nab", "164.gzip"):
+        prepared = prepare(get_workload(name))
+        system = build_scaf(prepared.module, prepared.profiles,
+                            prepared.context)
+        print(f"### {name}\n")
+        for hot in hot_loops(prepared.profiles):
+            plan_loop(system, hot)
+
+    # A loop that IS speculatively DOALL-able.
+    from repro.analysis import AnalysisContext
+    from repro.ir import parse_module
+    from repro.profiling import run_profilers
+
+    print("### doall-kernel (synthetic)\n")
+    module = parse_module(DOALL_KERNEL)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context)
+    system = build_scaf(module, profiles, context)
+    for hot in hot_loops(profiles):
+        if hot.loop.header.name == "map":
+            blockers = plan_loop(system, hot)
+            assert not blockers
+
+
+if __name__ == "__main__":
+    main()

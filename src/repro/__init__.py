@@ -1,0 +1,46 @@
+"""SCAF: a Speculation-Aware Collaborative dependence Analysis Framework.
+
+A from-scratch Python reproduction of Apostolakis et al., PLDI 2020.
+The package builds everything the paper's system needs: a typed IR
+with parser/printer, CFG/dominator/loop/SCEV analyses, an interpreter
+with profiling hooks, the profilers, the query language with
+speculative assertions, the Orchestrator, thirteen memory-analysis
+modules, six speculation modules, the memory-speculation baseline,
+and the PDG client with the %NoDep metric.
+
+Quickstart::
+
+    from repro import ir, build_scaf, run_profilers
+    from repro.clients import PDGClient, hot_loops
+
+    module = ir.parse_module(source_text)
+    profiles = run_profilers(module)
+    scaf = build_scaf(module, profiles)
+    client = PDGClient(scaf)
+    for hot in hot_loops(profiles):
+        pdg = client.analyze_loop(hot.loop)
+        print(hot.name, f"{pdg.no_dep_percent:.1f}% NoDep")
+"""
+
+from . import analysis, clients, core, interp, ir, modules, profiling, query
+from .core import (
+    DependenceAnalysis,
+    Orchestrator,
+    OrchestratorConfig,
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from .profiling import ProfileBundle, run_profilers
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "clients", "core", "interp", "ir", "modules",
+    "profiling", "query",
+    "DependenceAnalysis", "Orchestrator", "OrchestratorConfig",
+    "build_caf", "build_confluence", "build_memory_speculation",
+    "build_scaf", "ProfileBundle", "run_profilers",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Static analyses over the repro IR: CFG, dominators, loops, call graph, SCEV."""
+
+from .cfg import (
+    back_edges,
+    is_reachable,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from .callgraph import CallGraph
+from .context import AnalysisContext
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo
+from .scev import (
+    SCEV,
+    SCEVAdd,
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVMul,
+    SCEVUnknown,
+    ScalarEvolution,
+    affine_parts,
+    scev_add,
+    scev_mul,
+    scev_neg,
+)
+
+__all__ = [
+    "back_edges", "is_reachable", "predecessors", "reachable_blocks",
+    "reverse_postorder", "successors",
+    "CallGraph", "AnalysisContext", "DominatorTree", "Loop", "LoopInfo",
+    "SCEV", "SCEVAdd", "SCEVAddRec", "SCEVConstant", "SCEVMul", "SCEVUnknown",
+    "ScalarEvolution", "affine_parts", "scev_add", "scev_mul", "scev_neg",
+]

@@ -1,0 +1,89 @@
+"""Call graph construction and bottom-up traversal order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import CallInst, Function, Module
+
+
+class CallGraph:
+    """Direct-call graph of a module.
+
+    The IR has no indirect calls, so the graph is exact.  Declarations
+    (external functions) appear as leaves.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[Function, Set[Function]] = {}
+        self.callers: Dict[Function, Set[Function]] = {}
+        self.callsites: Dict[Function, List[CallInst]] = {}
+        for fn in module.functions.values():
+            self.callees[fn] = set()
+            self.callers.setdefault(fn, set())
+            self.callsites[fn] = []
+        for fn in module.defined_functions:
+            for inst in fn.instructions():
+                if isinstance(inst, CallInst):
+                    callee = inst.callee
+                    self.callees[fn].add(callee)
+                    self.callers.setdefault(callee, set()).add(fn)
+                    self.callsites.setdefault(callee, []).append(inst)
+
+    def callees_of(self, fn: Function) -> Set[Function]:
+        return self.callees.get(fn, set())
+
+    def callers_of(self, fn: Function) -> Set[Function]:
+        return self.callers.get(fn, set())
+
+    def callsites_of(self, fn: Function) -> List[CallInst]:
+        return self.callsites.get(fn, [])
+
+    def is_recursive(self, fn: Function) -> bool:
+        """True if ``fn`` can (transitively) call itself."""
+        seen: Set[Function] = set()
+        work = list(self.callees_of(fn))
+        while work:
+            g = work.pop()
+            if g is fn:
+                return True
+            if g in seen:
+                continue
+            seen.add(g)
+            work.extend(self.callees_of(g))
+        return False
+
+    def bottom_up(self) -> List[Function]:
+        """Functions ordered callees-first (cycles broken arbitrarily)."""
+        order: List[Function] = []
+        state: Dict[Function, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(fn: Function) -> None:
+            stack = [(fn, iter(sorted(self.callees_of(fn),
+                                      key=lambda f: f.name)))]
+            state[fn] = 0
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for callee in it:
+                    if callee not in state:
+                        state[callee] = 0
+                        stack.append(
+                            (callee, iter(sorted(self.callees_of(callee),
+                                                 key=lambda f: f.name))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    state[cur] = 1
+                    order.append(cur)
+
+        for fn in self.module.functions.values():
+            if fn not in state:
+                visit(fn)
+        return order
+
+    def __repr__(self) -> str:
+        edges = sum(len(c) for c in self.callees.values())
+        return f"<CallGraph {len(self.callees)} functions, {edges} edges>"

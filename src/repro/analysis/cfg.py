@@ -1,0 +1,110 @@
+"""CFG utilities: orderings, reachability, and edge classification.
+
+All functions operate on :class:`repro.ir.BasicBlock` graphs; several
+accept an ``ignore`` set of blocks, which is how speculative control
+flow (blocks asserted dead by the control-speculation module) is
+threaded through without the algorithms knowing about speculation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir import BasicBlock, Function
+
+
+def successors(block: BasicBlock,
+               ignore: FrozenSet[BasicBlock] = frozenset()) -> List[BasicBlock]:
+    """CFG successors of ``block``, skipping ignored blocks."""
+    return [s for s in block.successors if s not in ignore]
+
+
+def predecessors(block: BasicBlock,
+                 ignore: FrozenSet[BasicBlock] = frozenset()) -> List[BasicBlock]:
+    """CFG predecessors of ``block``, skipping ignored blocks."""
+    return [p for p in block.predecessors if p not in ignore]
+
+
+def reverse_postorder(fn: Function,
+                      ignore: FrozenSet[BasicBlock] = frozenset()
+                      ) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (ignored blocks omitted)."""
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(bb: BasicBlock) -> None:
+        # Iterative DFS to avoid recursion limits on long CFG chains.
+        stack: List[Tuple[BasicBlock, int]] = [(bb, 0)]
+        visited.add(bb)
+        while stack:
+            block, idx = stack.pop()
+            succs = successors(block, ignore)
+            if idx < len(succs):
+                stack.append((block, idx + 1))
+                succ = succs[idx]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                postorder.append(block)
+
+    if fn.blocks and fn.entry not in ignore:
+        visit(fn.entry)
+    return list(reversed(postorder))
+
+
+def reachable_blocks(fn: Function,
+                     ignore: FrozenSet[BasicBlock] = frozenset()
+                     ) -> Set[BasicBlock]:
+    """Blocks reachable from the entry, not passing through ignored blocks."""
+    if not fn.blocks or fn.entry in ignore:
+        return set()
+    seen: Set[BasicBlock] = {fn.entry}
+    work = [fn.entry]
+    while work:
+        bb = work.pop()
+        for succ in successors(bb, ignore):
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return seen
+
+
+def is_reachable(src: BasicBlock, dst: BasicBlock,
+                 ignore: FrozenSet[BasicBlock] = frozenset(),
+                 exclude_start: bool = False) -> bool:
+    """True if there is a CFG path from ``src`` to ``dst``.
+
+    With ``exclude_start``, the path must have at least one edge
+    (so ``is_reachable(b, b, exclude_start=True)`` asks whether ``b``
+    lies on a cycle).
+    """
+    if src in ignore or dst in ignore:
+        return False
+    if src is dst and not exclude_start:
+        return True
+    seen: Set[BasicBlock] = set()
+    work = list(successors(src, ignore))
+    while work:
+        bb = work.pop()
+        if bb is dst:
+            return True
+        if bb in seen:
+            continue
+        seen.add(bb)
+        work.extend(successors(bb, ignore))
+    return False
+
+
+def back_edges(fn: Function,
+               ignore: FrozenSet[BasicBlock] = frozenset()
+               ) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """Edges (tail, head) where head dominates tail — natural-loop back edges."""
+    from .dominators import DominatorTree
+    domtree = DominatorTree.compute(fn, ignore=ignore)
+    edges: List[Tuple[BasicBlock, BasicBlock]] = []
+    for bb in reachable_blocks(fn, ignore):
+        for succ in successors(bb, ignore):
+            if domtree.dominates(succ, bb):
+                edges.append((bb, succ))
+    return edges

@@ -1,0 +1,217 @@
+"""Dominator and post-dominator trees.
+
+Implemented with the iterative algorithm of Cooper, Harvey & Kennedy
+("A Simple, Fast Dominance Algorithm").  Both trees accept an
+``ignore`` set of blocks, allowing the control-speculation module to
+build *speculative* trees over the CFG minus profiler-dead blocks —
+the paper's mechanism (§3.2.2) for communicating speculative control
+flow to other analysis modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..ir import BasicBlock, Function, Instruction
+from .cfg import predecessors, reverse_postorder, successors
+
+
+class DominatorTree:
+    """Immediate-dominator tree over a function's CFG.
+
+    ``is_post`` selects post-domination: the tree is computed over the
+    reversed CFG with a virtual exit joining all return blocks.
+    """
+
+    def __init__(self, fn: Function, idom: Dict[BasicBlock, Optional[BasicBlock]],
+                 is_post: bool, ignore: FrozenSet[BasicBlock]):
+        self.function = fn
+        self.idom = idom
+        self.is_post = is_post
+        self.ignore = ignore
+        self._depth: Dict[BasicBlock, int] = {}
+        for bb in idom:
+            self._depth[bb] = self._compute_depth(bb)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def compute(cls, fn: Function,
+                ignore: FrozenSet[BasicBlock] = frozenset(),
+                post: bool = False) -> "DominatorTree":
+        if post:
+            return cls._compute_post(fn, ignore)
+        return cls._compute_forward(fn, ignore)
+
+    @classmethod
+    def _compute_forward(cls, fn: Function,
+                         ignore: FrozenSet[BasicBlock]) -> "DominatorTree":
+        order = reverse_postorder(fn, ignore)
+        index = {bb: i for i, bb in enumerate(order)}
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        if not order:
+            return cls(fn, idom, False, ignore)
+        entry = order[0]
+        idom[entry] = None
+
+        changed = True
+        while changed:
+            changed = False
+            for bb in order[1:]:
+                preds = [p for p in predecessors(bb, ignore) if p in index]
+                new_idom: Optional[BasicBlock] = None
+                for p in preds:
+                    if p is entry or p in idom:
+                        if new_idom is None:
+                            new_idom = p
+                        else:
+                            new_idom = _intersect(p, new_idom, idom, index)
+                if new_idom is not None and idom.get(bb, "∅") != new_idom:
+                    idom[bb] = new_idom
+                    changed = True
+        return cls(fn, idom, False, ignore)
+
+    @classmethod
+    def _compute_post(cls, fn: Function,
+                      ignore: FrozenSet[BasicBlock]) -> "DominatorTree":
+        """Post-dominators via the same algorithm on the reversed CFG."""
+        from .cfg import reachable_blocks
+        blocks = [b for b in reachable_blocks(fn, ignore)]
+        exits = [b for b in blocks if not successors(b, ignore)]
+
+        # Postorder of the reversed CFG, starting from a virtual exit.
+        rsuccs: Dict[BasicBlock, List[BasicBlock]] = {
+            b: predecessors(b, ignore) for b in blocks}
+        visited: Set[BasicBlock] = set()
+        postorder: List[BasicBlock] = []
+
+        def visit(start: BasicBlock) -> None:
+            stack = [(start, 0)]
+            visited.add(start)
+            while stack:
+                block, idx = stack.pop()
+                nexts = rsuccs.get(block, [])
+                if idx < len(nexts):
+                    stack.append((block, idx + 1))
+                    nxt = nexts[idx]
+                    if nxt not in visited and nxt in rsuccs:
+                        visited.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    postorder.append(block)
+
+        for e in exits:
+            if e not in visited:
+                visit(e)
+        order = list(reversed(postorder))
+
+        VIRTUAL = None  # virtual exit is represented by None
+        index = {bb: i for i, bb in enumerate(order)}
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        for e in exits:
+            idom[e] = VIRTUAL
+
+        changed = True
+        while changed:
+            changed = False
+            for bb in order:
+                if bb in exits:
+                    continue
+                preds = [s for s in successors(bb, ignore) if s in index]
+                new_idom: Optional[BasicBlock] = None
+                seeded = False
+                for p in preds:
+                    if p in idom:
+                        if not seeded:
+                            new_idom = p
+                            seeded = True
+                        else:
+                            new_idom = _intersect_post(
+                                p, new_idom, idom, index)
+                if seeded and idom.get(bb, "∅") != new_idom:
+                    idom[bb] = new_idom
+                    changed = True
+        return cls(fn, idom, True, ignore)
+
+    # -- queries --------------------------------------------------------------
+
+    def _compute_depth(self, bb: BasicBlock) -> int:
+        if bb in self._depth:
+            return self._depth[bb]
+        depth = 0
+        cur: Optional[BasicBlock] = bb
+        chain = []
+        while cur is not None and cur not in self._depth:
+            chain.append(cur)
+            cur = self.idom.get(cur)
+        base = self._depth.get(cur, 0) if cur is not None else 0
+        for i, b in enumerate(reversed(chain)):
+            self._depth[b] = base + i + 1
+        return self._depth[bb]
+
+    def contains(self, bb: BasicBlock) -> bool:
+        """True if ``bb`` participates in the (possibly pruned) CFG."""
+        return bb in self.idom
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` (post-)dominates ``b`` (reflexively)."""
+        if a is b:
+            return self.contains(a)
+        if not self.contains(a) or not self.contains(b):
+            return False
+        cur: Optional[BasicBlock] = self.idom.get(b)
+        while cur is not None:
+            if cur is a:
+                return True
+            cur = self.idom.get(cur)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominates_instruction(self, a: Instruction, b: Instruction) -> bool:
+        """Instruction-level (post-)domination.
+
+        Within a block, the earlier instruction dominates the later one
+        (reversed for post-domination).
+        """
+        if a.parent is b.parent:
+            block = a.parent
+            ia = block.instructions.index(a)
+            ib = block.instructions.index(b)
+            return ia >= ib if self.is_post else ia <= ib
+        return self.dominates(a.parent, b.parent)
+
+    def children(self, bb: BasicBlock) -> List[BasicBlock]:
+        return [b for b, p in self.idom.items() if p is bb]
+
+    def __repr__(self) -> str:
+        kind = "PostDominatorTree" if self.is_post else "DominatorTree"
+        return f"<{kind} @{self.function.name} ({len(self.idom)} blocks)>"
+
+
+def _intersect(b1: BasicBlock, b2: BasicBlock,
+               idom: Dict[BasicBlock, Optional[BasicBlock]],
+               index: Dict[BasicBlock, int]) -> BasicBlock:
+    while b1 is not b2:
+        while index[b1] > index[b2]:
+            b1 = idom[b1]
+        while index[b2] > index[b1]:
+            b2 = idom[b2]
+    return b1
+
+
+def _intersect_post(b1: Optional[BasicBlock], b2: Optional[BasicBlock],
+                    idom: Dict[BasicBlock, Optional[BasicBlock]],
+                    index: Dict[BasicBlock, int]) -> Optional[BasicBlock]:
+    # None is the virtual exit, the root of the post-dominator tree.
+    while b1 is not b2:
+        if b1 is None or b2 is None:
+            return None
+        while b1 is not None and b2 is not None and index[b1] > index[b2]:
+            b1 = idom[b1]
+        if b1 is b2:
+            break
+        while b2 is not None and b1 is not None and index[b2] > index[b1]:
+            b2 = idom[b2]
+    return b1

@@ -1,0 +1,166 @@
+"""Natural-loop detection (LoopInfo).
+
+Loops are discovered from back edges of the dominator tree; back edges
+sharing a header are merged into one loop, and loops are nested by
+block containment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir import BasicBlock, Function, Instruction, PhiInst
+from .cfg import predecessors, reachable_blocks, successors
+from .dominators import DominatorTree
+
+
+class Loop:
+    """A natural loop: header plus the body blocks of its back edges."""
+
+    def __init__(self, header: BasicBlock, blocks: Set[BasicBlock]):
+        self.header = header
+        self.blocks = blocks
+        self.parent: Optional[Loop] = None
+        self.children: List[Loop] = []
+
+    @property
+    def function(self) -> Function:
+        return self.header.parent
+
+    @property
+    def name(self) -> str:
+        return f"@{self.function.name}:%{self.header.name}"
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        cur = self.parent
+        while cur is not None:
+            depth += 1
+            cur = cur.parent
+        return depth
+
+    def contains_block(self, bb: BasicBlock) -> bool:
+        return bb in self.blocks
+
+    def contains(self, inst: Instruction) -> bool:
+        return inst.parent in self.blocks
+
+    @property
+    def latches(self) -> List[BasicBlock]:
+        """Blocks with a back edge to the header."""
+        return [p for p in self.header.predecessors if p in self.blocks]
+
+    @property
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if any."""
+        outside = [p for p in self.header.predecessors if p not in self.blocks]
+        if len(outside) == 1 and len(outside[0].successors) == 1:
+            return outside[0]
+        return None
+
+    @property
+    def entering_blocks(self) -> List[BasicBlock]:
+        return [p for p in self.header.predecessors if p not in self.blocks]
+
+    @property
+    def exit_edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        edges = []
+        for bb in self.blocks:
+            for succ in bb.successors:
+                if succ not in self.blocks:
+                    edges.append((bb, succ))
+        return edges
+
+    @property
+    def exit_blocks(self) -> List[BasicBlock]:
+        seen: List[BasicBlock] = []
+        for _, dst in self.exit_edges:
+            if dst not in seen:
+                seen.append(dst)
+        return seen
+
+    def instructions(self):
+        for bb in self.function.blocks:
+            if bb in self.blocks:
+                yield from bb.instructions
+
+    def memory_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions() if i.accesses_memory]
+
+    def induction_phis(self) -> List[PhiInst]:
+        """Phi nodes in the header (candidates for induction variables)."""
+        return self.header.phis
+
+    def __repr__(self) -> str:
+        return f"<Loop {self.name} ({len(self.blocks)} blocks, depth {self.depth})>"
+
+
+class LoopInfo:
+    """All natural loops of a function, with nesting."""
+
+    def __init__(self, fn: Function, loops: List[Loop]):
+        self.function = fn
+        self.loops = loops
+        self._innermost: Dict[BasicBlock, Loop] = {}
+        for loop in sorted(loops, key=lambda l: len(l.blocks), reverse=True):
+            for bb in loop.blocks:
+                self._innermost[bb] = loop
+
+    @classmethod
+    def compute(cls, fn: Function,
+                ignore: FrozenSet[BasicBlock] = frozenset()) -> "LoopInfo":
+        domtree = DominatorTree.compute(fn, ignore=ignore)
+        reachable = reachable_blocks(fn, ignore)
+
+        # Group back edges by header.
+        latches_by_header: Dict[BasicBlock, List[BasicBlock]] = {}
+        for bb in reachable:
+            for succ in successors(bb, ignore):
+                if domtree.dominates(succ, bb):
+                    latches_by_header.setdefault(succ, []).append(bb)
+
+        loops: List[Loop] = []
+        for header, latches in latches_by_header.items():
+            blocks: Set[BasicBlock] = {header}
+            work = [l for l in latches]
+            while work:
+                bb = work.pop()
+                if bb in blocks:
+                    continue
+                blocks.add(bb)
+                work.extend(p for p in predecessors(bb, ignore)
+                            if p in reachable)
+            loops.append(Loop(header, blocks))
+
+        # Establish nesting: the parent is the smallest strictly-containing loop.
+        by_size = sorted(loops, key=lambda l: len(l.blocks))
+        for i, inner in enumerate(by_size):
+            for outer in by_size[i + 1:]:
+                if inner is not outer and inner.header in outer.blocks \
+                        and inner.blocks <= outer.blocks:
+                    inner.parent = outer
+                    outer.children.append(inner)
+                    break
+        return cls(fn, loops)
+
+    def innermost_loop_of(self, item) -> Optional[Loop]:
+        """Innermost loop containing a block or instruction."""
+        bb = item if isinstance(item, BasicBlock) else item.parent
+        return self._innermost.get(bb)
+
+    def loop_with_header(self, header: BasicBlock) -> Optional[Loop]:
+        for loop in self.loops:
+            if loop.header is header:
+                return loop
+        return None
+
+    @property
+    def top_level(self) -> List[Loop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def __repr__(self) -> str:
+        return f"<LoopInfo @{self.function.name}: {len(self.loops)} loops>"

@@ -1,0 +1,291 @@
+"""Scalar evolution: add-recurrence analysis for induction variables.
+
+A pared-down SCEV in the style of LLVM's: values used inside a loop
+are classified as constants, loop invariants, or affine add-recurrences
+``{base, +, step}`` over a loop.  Pointer operands of loads and stores
+are further decomposed as ``base pointer + byte-offset expression`` so
+alias analyses can reason about strided array walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..ir import (
+    Argument,
+    BinaryInst,
+    CastInst,
+    Constant,
+    GEPInst,
+    GlobalVariable,
+    Instruction,
+    PhiInst,
+    PointerType,
+    ArrayType,
+    StructType,
+    Value,
+)
+from .loops import Loop, LoopInfo
+
+
+class SCEV:
+    """Base class of scalar-evolution expressions."""
+
+    def constant_value(self) -> Optional[int]:
+        return None
+
+
+@dataclass(frozen=True)
+class SCEVConstant(SCEV):
+    value: int
+
+    def constant_value(self) -> Optional[int]:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SCEVUnknown(SCEV):
+    """An opaque, loop-invariant value."""
+
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"inv({self.value.ref})"
+
+
+@dataclass(frozen=True)
+class SCEVAddRec(SCEV):
+    """The affine recurrence ``{base, +, step}`` over ``loop``."""
+
+    base: SCEV
+    step: SCEV
+    loop: Loop
+
+    def __repr__(self) -> str:
+        return f"{{{self.base!r},+,{self.step!r}}}"
+
+
+@dataclass(frozen=True)
+class SCEVAdd(SCEV):
+    lhs: SCEV
+    rhs: SCEV
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} + {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class SCEVMul(SCEV):
+    lhs: SCEV
+    rhs: SCEV
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} * {self.rhs!r})"
+
+
+def scev_add(a: SCEV, b: SCEV) -> SCEV:
+    ca, cb = a.constant_value(), b.constant_value()
+    if ca is not None and cb is not None:
+        return SCEVConstant(ca + cb)
+    if ca == 0:
+        return b
+    if cb == 0:
+        return a
+    if isinstance(a, SCEVAddRec) and isinstance(b, SCEVAddRec):
+        if a.loop is b.loop:
+            return SCEVAddRec(scev_add(a.base, b.base),
+                              scev_add(a.step, b.step), a.loop)
+        return SCEVAdd(a, b)
+    if isinstance(a, SCEVAddRec):
+        return SCEVAddRec(scev_add(a.base, b), a.step, a.loop)
+    if isinstance(b, SCEVAddRec):
+        return SCEVAddRec(scev_add(b.base, a), b.step, b.loop)
+    return SCEVAdd(a, b)
+
+
+def scev_mul(a: SCEV, b: SCEV) -> SCEV:
+    ca, cb = a.constant_value(), b.constant_value()
+    if ca is not None and cb is not None:
+        return SCEVConstant(ca * cb)
+    if ca == 0 or cb == 0:
+        return SCEVConstant(0)
+    if ca == 1:
+        return b
+    if cb == 1:
+        return a
+    # Distribute a constant over an add-recurrence: c*{b,+,s} = {c*b,+,c*s}.
+    if isinstance(a, SCEVAddRec) and cb is not None:
+        return SCEVAddRec(scev_mul(a.base, b), scev_mul(a.step, b), a.loop)
+    if isinstance(b, SCEVAddRec) and ca is not None:
+        return SCEVAddRec(scev_mul(b.base, a), scev_mul(b.step, a), b.loop)
+    return SCEVMul(a, b)
+
+
+def scev_neg(a: SCEV) -> SCEV:
+    return scev_mul(SCEVConstant(-1), a)
+
+
+class ScalarEvolution:
+    """Per-function SCEV computation, memoized per (value, loop)."""
+
+    def __init__(self, loop_info: LoopInfo):
+        self.loop_info = loop_info
+        self._cache: Dict[Tuple[int, Optional[int]], SCEV] = {}
+
+    def analyze(self, value: Value, loop: Optional[Loop]) -> SCEV:
+        """SCEV of ``value`` with respect to ``loop`` (None = whole function)."""
+        key = (id(value), id(loop) if loop else None)
+        if key in self._cache:
+            return self._cache[key]
+        # Seed with unknown to cut cycles through phis.
+        self._cache[key] = SCEVUnknown(value)
+        result = self._analyze(value, loop)
+        self._cache[key] = result
+        return result
+
+    def _analyze(self, value: Value, loop: Optional[Loop]) -> SCEV:
+        if isinstance(value, Constant):
+            if isinstance(value.value, int):
+                return SCEVConstant(value.value)
+            return SCEVUnknown(value)
+        if isinstance(value, (Argument, GlobalVariable)):
+            return SCEVUnknown(value)
+        if not isinstance(value, Instruction):
+            return SCEVUnknown(value)
+
+        # Values defined outside the loop are invariant in it.
+        if loop is not None and not loop.contains(value):
+            return SCEVUnknown(value)
+
+        if isinstance(value, PhiInst):
+            return self._analyze_phi(value, loop)
+        if isinstance(value, BinaryInst):
+            lhs = self.analyze(value.lhs, loop)
+            rhs = self.analyze(value.rhs, loop)
+            if value.op == "add":
+                return scev_add(lhs, rhs)
+            if value.op == "sub":
+                return scev_add(lhs, scev_neg(rhs))
+            if value.op == "mul":
+                return scev_mul(lhs, rhs)
+            if value.op == "shl":
+                c = rhs.constant_value()
+                if c is not None:
+                    return scev_mul(lhs, SCEVConstant(1 << c))
+            return SCEVUnknown(value)
+        if isinstance(value, CastInst) and value.op in ("sext", "zext",
+                                                        "trunc", "bitcast"):
+            # Width changes are ignored: the simulated machine is 64-bit
+            # and the workloads do not overflow.
+            return self.analyze(value.value, loop)
+        return SCEVUnknown(value)
+
+    def _analyze_phi(self, phi: PhiInst, loop: Optional[Loop]) -> SCEV:
+        phi_loop = self.loop_info.innermost_loop_of(phi)
+        if phi_loop is None or phi.parent is not phi_loop.header:
+            return SCEVUnknown(phi)
+        if len(phi.incoming) != 2:
+            return SCEVUnknown(phi)
+
+        init = None
+        update = None
+        for v, bb in phi.incoming:
+            if bb in phi_loop.blocks:
+                update = v
+            else:
+                init = v
+        if init is None or update is None:
+            return SCEVUnknown(phi)
+
+        # Look for update = phi + step with a loop-invariant step.
+        if isinstance(update, BinaryInst) and update.op in ("add", "sub"):
+            other = None
+            if update.lhs is phi:
+                other = update.rhs
+            elif update.rhs is phi and update.op == "add":
+                other = update.lhs
+            if other is not None:
+                step = self.analyze(other, phi_loop)
+                if self._is_invariant(step, phi_loop):
+                    if update.op == "sub":
+                        step = scev_neg(step)
+                    base = self.analyze(init, phi_loop.parent)
+                    return SCEVAddRec(base, step, phi_loop)
+        return SCEVUnknown(phi)
+
+    def _is_invariant(self, scev: SCEV, loop: Loop) -> bool:
+        if isinstance(scev, SCEVConstant):
+            return True
+        if isinstance(scev, SCEVUnknown):
+            v = scev.value
+            return not (isinstance(v, Instruction) and loop.contains(v))
+        if isinstance(scev, (SCEVAdd, SCEVMul)):
+            return (self._is_invariant(scev.lhs, loop)
+                    and self._is_invariant(scev.rhs, loop))
+        return False
+
+    # -- pointer decomposition ------------------------------------------------
+
+    def pointer_offset(self, pointer: Value, loop: Optional[Loop]
+                       ) -> Tuple[Value, SCEV]:
+        """Decompose ``pointer`` into (underlying base, byte-offset SCEV).
+
+        Walks GEP and bitcast chains; the returned base is the deepest
+        non-GEP pointer value.
+        """
+        offset: SCEV = SCEVConstant(0)
+        cur = pointer
+        while True:
+            if isinstance(cur, GEPInst):
+                offset = scev_add(offset, self._gep_offset(cur, loop))
+                cur = cur.pointer
+            elif isinstance(cur, CastInst) and cur.op == "bitcast":
+                cur = cur.value
+            else:
+                return cur, offset
+
+    def _gep_offset(self, gep: GEPInst, loop: Optional[Loop]) -> SCEV:
+        offset: SCEV = SCEVConstant(0)
+        ty = gep.pointer.type
+        for i, idx in enumerate(gep.indices):
+            idx_scev = self.analyze(idx, loop)
+            if i == 0:
+                assert isinstance(ty, PointerType)
+                scale = ty.pointee.size
+                offset = scev_add(offset, scev_mul(idx_scev,
+                                                   SCEVConstant(scale)))
+                ty = ty.pointee
+            elif isinstance(ty, ArrayType):
+                offset = scev_add(
+                    offset, scev_mul(idx_scev, SCEVConstant(ty.element.size)))
+                ty = ty.element
+            elif isinstance(ty, StructType):
+                c = idx_scev.constant_value()
+                if c is None:
+                    return SCEVUnknown(gep)
+                offset = scev_add(offset, SCEVConstant(ty.field_offset(c)))
+                ty = ty.fields[c]
+            else:
+                return SCEVUnknown(gep)
+        return offset
+
+
+def affine_parts(scev: SCEV, loop: Loop) -> Optional[Tuple[int, int]]:
+    """Extract (constant base, constant step) of an affine SCEV over ``loop``.
+
+    Returns None unless the expression is a constant (step 0) or an
+    add-recurrence over exactly ``loop`` with constant base and step.
+    """
+    c = scev.constant_value()
+    if c is not None:
+        return c, 0
+    if isinstance(scev, SCEVAddRec) and scev.loop is loop:
+        base = scev.base.constant_value()
+        step = scev.step.constant_value()
+        if base is not None and step is not None:
+            return base, step
+    return None

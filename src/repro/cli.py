@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command> <file.ir>``.
+
+Commands
+--------
+
+``run``      execute a textual-IR program and print its result
+``fmt``      parse, verify, and pretty-print a program
+``profile``  run the profilers and summarize what they found
+``analyze``  profile, build an analysis system, and report hot-loop
+             dependence coverage (optionally per-dependence detail)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import AnalysisContext
+from .clients import PDGClient, hot_loops
+from .core.framework import (
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from .interp import Interpreter
+from .ir import format_module, parse_module, verify_module
+from .profiling import run_profilers
+
+SYSTEM_BUILDERS = {
+    "caf": lambda m, c, p: build_caf(m, c, p),
+    "confluence": lambda m, c, p: build_confluence(m, p, c),
+    "scaf": lambda m, c, p: build_scaf(m, p, c),
+    "memory-speculation": lambda m, c, p: build_memory_speculation(m, p, c),
+}
+
+
+def _load(path: str):
+    with open(path) as f:
+        text = f.read()
+    module = parse_module(text, name=path)
+    verify_module(module)
+    return module
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    interp = Interpreter(module)
+    result = interp.run(args.entry)
+    print(f"result: {result}")
+    print(f"instructions executed: {interp.total_instructions()}")
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    module = _load(args.file)
+    sys.stdout.write(format_module(module))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    module = _load(args.file)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=args.entry)
+    print(f"dynamic instructions: {profiles.total_instructions}")
+    print(f"exit value          : {profiles.exit_value}")
+
+    hot = hot_loops(profiles)
+    print(f"\nhot loops ({len(hot)}):")
+    for h in hot:
+        print(f"  {h.name}: {h.time_fraction:.1%} of time, "
+              f"{h.stats.average_trip_count:.0f} iters/invocation")
+
+    for fn in module.defined_functions:
+        dead = profiles.edge.dead_blocks(fn)
+        if dead:
+            names = ", ".join(f"%{b.name}" for b in dead)
+            print(f"\nprofile-dead blocks in @{fn.name}: {names}")
+
+    predictable = [i for i, n in profiles.value.counts.items()
+                   if profiles.value.is_predictable(i)]
+    if predictable:
+        print(f"\npredictable loads ({len(predictable)}):")
+        for load in predictable[:10]:
+            print(f"  %{load.name} -> "
+                  f"{profiles.value.predicted_value(load)}")
+
+    for h in hot:
+        ro = profiles.points_to.read_only_sites(h.loop)
+        sl = profiles.lifetime.short_lived_sites(h.loop)
+        if ro or sl:
+            print(f"\nseparation candidates in {h.name}: "
+                  f"{len(ro)} read-only, {len(sl)} short-lived sites")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    module = _load(args.file)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=args.entry)
+    system = SYSTEM_BUILDERS[args.system](module, context, profiles)
+    client = PDGClient(system)
+
+    hot = hot_loops(profiles)
+    if not hot:
+        print("no hot loops found (>=10% time, >=50 iters/invocation)")
+        return 1
+
+    for h in hot:
+        pdg = client.analyze_loop(h.loop)
+        speculative = sum(1 for r in pdg.records if r.speculative)
+        print(f"{h.name} [{args.system}]: "
+              f"%NoDep = {pdg.no_dep_percent:.2f} "
+              f"({pdg.no_dep_count}/{pdg.total_queries} removed, "
+              f"{speculative} speculatively)")
+        if args.deps:
+            for record in pdg.records:
+                if record.removed and not args.all:
+                    continue
+                kind = "cross" if record.cross_iteration else "intra"
+                status = "removed" if record.removed else "DEP"
+                mods = ""
+                if record.speculative:
+                    option = record.usable_options.cheapest()
+                    mods = " via " + ",".join(
+                        sorted({a.module_id for a in option}))
+                print(f"  [{status:7s}] ({kind}) "
+                      f"{record.src} -> {record.dst}{mods}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCAF: speculation-aware collaborative dependence "
+                    "analysis (PLDI 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a textual-IR program")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main")
+    p_run.set_defaults(func=cmd_run)
+
+    p_fmt = sub.add_parser("fmt", help="parse, verify, pretty-print")
+    p_fmt.add_argument("file")
+    p_fmt.set_defaults(func=cmd_fmt)
+
+    p_prof = sub.add_parser("profile", help="run the profilers")
+    p_prof.add_argument("file")
+    p_prof.add_argument("--entry", default="main")
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_an = sub.add_parser("analyze", help="hot-loop dependence coverage")
+    p_an.add_argument("file")
+    p_an.add_argument("--entry", default="main")
+    p_an.add_argument("--system", choices=sorted(SYSTEM_BUILDERS),
+                      default="scaf")
+    p_an.add_argument("--deps", action="store_true",
+                      help="list residual dependences")
+    p_an.add_argument("--all", action="store_true",
+                      help="with --deps, also list removed dependences")
+    p_an.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Clients of the analysis framework: PDG construction, %NoDep, hot loops."""
+
+from .hotloops import (
+    HotLoop,
+    MIN_AVERAGE_TRIP_COUNT,
+    MIN_TIME_FRACTION,
+    hot_loops,
+)
+from .metrics import BenchmarkCoverage, coverage, geometric_mean, weighted_no_dep
+from .pdg import DependenceRecord, LoopPDG, PDGClient
+from .planner import DoallPlan, DoallPlanner, plan_hot_loops
+
+__all__ = [
+    "HotLoop", "MIN_AVERAGE_TRIP_COUNT", "MIN_TIME_FRACTION", "hot_loops",
+    "BenchmarkCoverage", "coverage", "geometric_mean", "weighted_no_dep",
+    "DependenceRecord", "LoopPDG", "PDGClient",
+    "DoallPlan", "DoallPlanner", "plan_hot_loops",
+]

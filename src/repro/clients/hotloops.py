@@ -1,0 +1,54 @@
+"""Hot-loop selection (§5).
+
+The paper evaluates on loops comprising ≥10% of program execution
+time that iterate ≥50 times per invocation on average.  Execution
+time here is the profiled dynamic instruction count attributed to the
+loop (including callees executing under it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import Loop
+from ..interp import LoopStats
+from ..profiling import ProfileBundle
+
+MIN_TIME_FRACTION = 0.10
+MIN_AVERAGE_TRIP_COUNT = 50.0
+
+
+@dataclass
+class HotLoop:
+    """One selected loop with its dynamic weight."""
+
+    loop: Loop
+    time_fraction: float
+    stats: LoopStats
+
+    @property
+    def name(self) -> str:
+        return self.loop.name
+
+    def __repr__(self) -> str:
+        return (f"<HotLoop {self.name} {self.time_fraction:.1%} of time, "
+                f"{self.stats.average_trip_count:.0f} iters/invocation>")
+
+
+def hot_loops(profiles: ProfileBundle,
+              min_time_fraction: float = MIN_TIME_FRACTION,
+              min_average_trip_count: float = MIN_AVERAGE_TRIP_COUNT
+              ) -> List[HotLoop]:
+    """Loops meeting the paper's hotness thresholds, hottest first."""
+    total = max(1, profiles.total_instructions)
+    selected = []
+    for loop, stats in profiles.loop_stats.items():
+        fraction = stats.dynamic_insts / total
+        if fraction < min_time_fraction:
+            continue
+        if stats.average_trip_count < min_average_trip_count:
+            continue
+        selected.append(HotLoop(loop, fraction, stats))
+    selected.sort(key=lambda h: h.time_fraction, reverse=True)
+    return selected

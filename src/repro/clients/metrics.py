@@ -1,0 +1,62 @@
+"""Aggregate metrics over hot-loop PDG results (§5).
+
+%NoDep is recorded per loop and weighted by the loop's share of
+execution time, exactly as Figure 8's per-benchmark bars are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .hotloops import HotLoop
+from .pdg import LoopPDG
+
+
+@dataclass
+class BenchmarkCoverage:
+    """Per-benchmark %NoDep for one analysis system."""
+
+    system: str
+    per_loop: Dict[str, float]         # loop name -> %NoDep
+    weighted_no_dep: float             # time-weighted benchmark %NoDep
+
+    def __repr__(self) -> str:
+        return f"<{self.system}: %NoDep={self.weighted_no_dep:.1f}>"
+
+
+def weighted_no_dep(hot: Sequence[HotLoop],
+                    pdgs: Sequence[LoopPDG]) -> float:
+    """Time-weighted %NoDep across a benchmark's hot loops."""
+    by_loop = {pdg.loop: pdg for pdg in pdgs}
+    total_weight = 0.0
+    acc = 0.0
+    for h in hot:
+        pdg = by_loop.get(h.loop)
+        if pdg is None:
+            continue
+        total_weight += h.time_fraction
+        acc += h.time_fraction * pdg.no_dep_percent
+    if total_weight == 0.0:
+        return 0.0
+    return acc / total_weight
+
+
+def coverage(system_name: str, hot: Sequence[HotLoop],
+             pdgs: Sequence[LoopPDG]) -> BenchmarkCoverage:
+    per_loop = {pdg.loop.name: pdg.no_dep_percent for pdg in pdgs}
+    return BenchmarkCoverage(system_name, per_loop,
+                             weighted_no_dep(hot, pdgs))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geomean that tolerates zeros by flooring at a small epsilon.
+
+    Computed in log space so long sequences of small values cannot
+    underflow to zero.
+    """
+    import math
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values)
+                    / len(values))

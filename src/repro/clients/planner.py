@@ -1,0 +1,125 @@
+"""Speculative DOALL planner: the global-reasoning client of §3.4.
+
+SCAF reports *per-query* assertion options; a rational client reasons
+globally: one cheap assertion often discharges many dependences, and
+conflicting assertions must not be co-selected.  This planner decides
+whether a loop's iterations can run in parallel (DOALL) under a
+conflict-free set of assertions, and prices the plan:
+
+1. query every cross-iteration dependence of the loop,
+2. greedily select, per removable dependence, the cheapest assertion
+   option *consistent with what is already selected* (shared
+   assertions are free the second time),
+3. report blockers, the selected assertion set, and its total
+   validation cost — all before any transformation, as §3.4 demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..analysis import Loop
+from ..core.framework import DependenceAnalysis
+from ..query import SpeculativeAssertion, option_consistent, option_cost
+from .pdg import DependenceRecord, LoopPDG, PDGClient
+
+
+@dataclass
+class DoallPlan:
+    """The outcome of planning one loop."""
+
+    loop: Loop
+    doall: bool
+    #: loop-carried dependences no module could discharge
+    blockers: List[DependenceRecord]
+    #: conflict-free assertions the plan relies on
+    assertions: List[SpeculativeAssertion]
+    #: dependences whose only options conflicted with the selection
+    unplannable: List[DependenceRecord]
+
+    @property
+    def validation_cost(self) -> float:
+        return sum(a.cost for a in self.assertions)
+
+    @property
+    def modules_used(self) -> Set[str]:
+        return {a.module_id for a in self.assertions}
+
+    def summary(self) -> str:
+        if not self.doall:
+            reasons = len(self.blockers) + len(self.unplannable)
+            return (f"{self.loop.name}: NOT DOALL-able "
+                    f"({reasons} residual loop-carried dependences)")
+        return (f"{self.loop.name}: DOALL-able under "
+                f"{len(self.assertions)} assertions "
+                f"(cost {self.validation_cost:g}, "
+                f"modules {sorted(self.modules_used)})")
+
+
+class DoallPlanner:
+    """Plans speculative DOALL parallelization of hot loops."""
+
+    def __init__(self, system: DependenceAnalysis,
+                 cost_budget: Optional[float] = None):
+        self.system = system
+        self.client = PDGClient(system)
+        self.cost_budget = cost_budget
+
+    def plan(self, loop: Loop, pdg: Optional[LoopPDG] = None) -> DoallPlan:
+        """Plan one loop; an existing PDG may be reused."""
+        if pdg is None:
+            pdg = self.client.analyze_loop(loop)
+
+        cross = [r for r in pdg.records if r.cross_iteration]
+        blockers = [r for r in cross if not r.removed]
+
+        selected: Set[SpeculativeAssertion] = set()
+        unplannable: List[DependenceRecord] = []
+        # Plan expensive dependences first so shared (already-selected)
+        # assertions get maximal reuse on the cheap tail.
+        speculative = sorted(
+            (r for r in cross if r.removed and r.speculative),
+            key=lambda r: -r.validation_cost)
+        for record in speculative:
+            option = self._select_option(record, selected)
+            if option is None:
+                unplannable.append(record)
+            else:
+                selected.update(option)
+
+        assertions = sorted(selected, key=lambda a: (a.module_id,
+                                                     a.description))
+        plan = DoallPlan(
+            loop=loop,
+            doall=not blockers and not unplannable,
+            blockers=blockers,
+            assertions=assertions,
+            unplannable=unplannable,
+        )
+        if self.cost_budget is not None and \
+                plan.validation_cost > self.cost_budget:
+            plan.doall = False
+        return plan
+
+    def _select_option(self, record: DependenceRecord,
+                       selected: Set[SpeculativeAssertion]):
+        """The cheapest option consistent with the current selection,
+        pricing already-selected assertions at zero."""
+        best = None
+        best_marginal = None
+        for option in record.usable_options.options:
+            if not option_consistent(frozenset(option) | selected):
+                continue
+            marginal = sum(a.cost for a in option if a not in selected)
+            if best_marginal is None or marginal < best_marginal:
+                best = option
+                best_marginal = marginal
+        return best
+
+
+def plan_hot_loops(system: DependenceAnalysis, hot_loops,
+                   cost_budget: Optional[float] = None) -> List[DoallPlan]:
+    """Convenience: plan every hot loop of a workload."""
+    planner = DoallPlanner(system, cost_budget)
+    return [planner.plan(h.loop) for h in hot_loops]

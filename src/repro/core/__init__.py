@@ -1,0 +1,26 @@
+"""SCAF's core: module interface, Orchestrator, baselines, facades."""
+
+from .confluence import ConfluenceComposition
+from .framework import (
+    DependenceAnalysis,
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from .module import AnalysisModule, NullResolver, Resolver
+from .orchestrator import (
+    BailoutPolicy,
+    Orchestrator,
+    OrchestratorConfig,
+    OrchestratorStats,
+)
+
+__all__ = [
+    "ConfluenceComposition",
+    "DependenceAnalysis", "build_caf", "build_confluence",
+    "build_memory_speculation", "build_scaf",
+    "AnalysisModule", "NullResolver", "Resolver",
+    "BailoutPolicy", "Orchestrator", "OrchestratorConfig",
+    "OrchestratorStats",
+]

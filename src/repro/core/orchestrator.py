@@ -1,0 +1,225 @@
+"""The Orchestrator (§3.3, Algorithms 1–2).
+
+Coordinates all module interactions: it forwards each query to the
+configured modules in order, joins their responses under the selected
+join policy, stops according to the bailout policy, and routes
+*premise queries* from factored modules back through itself so any
+module can contribute to any other module's reasoning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..query import (
+    AliasQuery,
+    JoinPolicy,
+    ModRefQuery,
+    Query,
+    QueryResponse,
+    join,
+    precision,
+)
+from .module import AnalysisModule, Resolver
+
+
+class BailoutPolicy:
+    """When the Orchestrator stops consulting further modules."""
+
+    #: Stop at a most-precise result with a cost-free option (the
+    #: paper's default: "a definite answer ... with no attached
+    #: assertions").
+    BASE = "base"
+    #: Stop at a most-precise result regardless of assertion cost.
+    DEFINITE = "definite"
+    #: Consult every module (exposes all options; enables ALL joins).
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass
+class OrchestratorConfig:
+    """Client-selected policies (§3.3)."""
+
+    join_policy: str = JoinPolicy.CHEAPEST
+    bailout_policy: str = BailoutPolicy.BASE
+    max_premise_depth: int = 6
+    use_cache: bool = True
+    track_contributors: bool = True
+    #: Figure 10 ablation: when False, the Desired Result parameter is
+    #: stripped from premise queries, so responders cannot bail out
+    #: early and must compute full answers.
+    use_desired_result: bool = True
+
+
+@dataclass
+class OrchestratorStats:
+    """Counters for evaluation and debugging."""
+
+    queries: int = 0
+    premise_queries: int = 0
+    cache_hits: int = 0
+    cycles_cut: int = 0
+    module_evals: Dict[str, int] = field(default_factory=dict)
+    desired_result_bails: int = 0
+
+
+class Orchestrator:
+    """Coordinates modules; see Algorithm 1."""
+
+    def __init__(self, modules: Sequence[AnalysisModule],
+                 config: Optional[OrchestratorConfig] = None):
+        self.config = config or OrchestratorConfig()
+        # Memory analysis first (caveat-free answers), then speculation
+        # modules by average assertion cost (§3.3).
+        self.modules: List[AnalysisModule] = sorted(
+            modules,
+            key=lambda m: (m.is_speculative, m.average_assertion_cost))
+        self.stats = OrchestratorStats()
+        self._cache: Dict[tuple, Tuple[QueryResponse, FrozenSet[str]]] = {}
+        self._inflight: Set[tuple] = set()
+        #: Contributor module names of the most recent top-level query.
+        self.last_contributors: FrozenSet[str] = frozenset()
+
+    # -- public API --------------------------------------------------------
+
+    def handle(self, query: Query) -> QueryResponse:
+        """Resolve a client query (Algorithm 1)."""
+        self.stats.queries += 1
+        response, contributors = self._handle(query, depth=0)
+        self.last_contributors = contributors
+        return response
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _handle(self, query: Query, depth: int
+                ) -> Tuple[QueryResponse, FrozenSet[str]]:
+        key = query.key()
+        if self.config.use_cache and key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        # A fully-evaluated (desired-free) cached answer serves any
+        # desired-result variant of the same query.
+        if self.config.use_cache and isinstance(query, AliasQuery) \
+                and query.desired is not None:
+            stripped_key = query.with_desired(None).key()
+            if stripped_key in self._cache:
+                self.stats.cache_hits += 1
+                return self._cache[stripped_key]
+        if key in self._inflight:
+            # A module is asking (transitively) about its own query;
+            # answer conservatively to cut the cycle.
+            self.stats.cycles_cut += 1
+            return QueryResponse.conservative(query.result_type), frozenset()
+
+        self._inflight.add(key)
+        try:
+            result = self._evaluate_modules(query, depth)
+        finally:
+            self._inflight.discard(key)
+
+        if self.config.use_cache:
+            self._cache[key] = result
+        return result
+
+    def _evaluate_modules(self, query: Query, depth: int
+                          ) -> Tuple[QueryResponse, FrozenSet[str]]:
+        final = QueryResponse.conservative(query.result_type)
+        contributors: Set[str] = set()
+
+        for module in self.modules:
+            self.stats.module_evals[module.name] = \
+                self.stats.module_evals.get(module.name, 0) + 1
+            resolver = _PremiseResolver(self, module, depth)
+            response = self._eval(module, query, resolver)
+
+            if response.is_realizable and not response.is_conservative:
+                joined = join(self.config.join_policy, final, response)
+                if self.config.track_contributors and \
+                        self._improved(final, joined):
+                    contributors.add(module.name)
+                    contributors.update(resolver.contributors)
+                final = joined
+            if self._bailout(final):
+                break
+
+        return final, frozenset(contributors)
+
+    @staticmethod
+    def _eval(module: AnalysisModule, query: Query,
+              resolver: Resolver) -> QueryResponse:
+        if isinstance(query, AliasQuery):
+            return module.alias(query, resolver)
+        return module.modref(query, resolver)
+
+    @staticmethod
+    def _improved(before: QueryResponse, after: QueryResponse) -> bool:
+        """Did the join reach a result worth attributing?
+
+        Modref contributions count only when the dependence is fully
+        disproven (NoModRef) — the Mod/Ref intermediate levels are
+        capability trivia every module reports.  Alias contributions
+        count for any sharpening (MustAlias and SubAlias answers are
+        exactly what factored modules consume as premises).
+        """
+        from ..query import ModRefResult
+        if precision(after.result) <= precision(before.result):
+            return False
+        if isinstance(after.result, ModRefResult):
+            return after.result is ModRefResult.NO_MOD_REF
+        return True
+
+    def _bailout(self, response: QueryResponse) -> bool:
+        policy = self.config.bailout_policy
+        if policy == BailoutPolicy.EXHAUSTIVE:
+            return False
+        from ..query import most_precise
+        definite = (precision(response.result)
+                    == most_precise(type(response.result)))
+        if not definite:
+            return False
+        if policy == BailoutPolicy.DEFINITE:
+            return True
+        return response.options.is_free  # BASE
+
+
+class _PremiseResolver(Resolver):
+    """Routes a module's premise queries back through the Orchestrator."""
+
+    def __init__(self, orchestrator: Orchestrator, module: AnalysisModule,
+                 depth: int):
+        self.orchestrator = orchestrator
+        self.module = module
+        self.depth = depth
+        self.contributors: Set[str] = set()
+
+    def premise(self, query: Query) -> QueryResponse:
+        orch = self.orchestrator
+        orch.stats.premise_queries += 1
+        if self.depth >= orch.config.max_premise_depth:
+            return QueryResponse.conservative(query.result_type)
+        if not orch.config.use_desired_result and \
+                isinstance(query, AliasQuery) and query.desired is not None:
+            stripped, contributors = orch._handle(
+                query.with_desired(None), self.depth + 1)
+            if stripped.result == query.desired and \
+                    not stripped.is_conservative:
+                self.contributors.update(contributors)
+                return stripped
+            return QueryResponse.conservative(query.result_type)
+        response, contributors = orch._handle(query, self.depth + 1)
+        # Honour the Desired Result parameter (§3.2.2): when the asker
+        # needs one specific answer and did not get it, the response is
+        # useless to it; normalizing to conservative keeps modules'
+        # bail-out logic trivial.
+        if isinstance(query, AliasQuery) and query.desired is not None:
+            if response.result != query.desired:
+                orch.stats.desired_result_bails += 1
+                return QueryResponse.conservative(query.result_type)
+        if not response.is_conservative:
+            self.contributors.update(contributors)
+        return response

@@ -1,0 +1,19 @@
+"""IR interpreter with simulated memory and instrumentation hooks."""
+
+from .hooks import ExecutionListener, HookBus, LoopRecord
+from .interpreter import Interpreter, InterpreterError, LoopStats
+from .memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    MemoryFault,
+    MemoryObject,
+    STACK_BASE,
+    SimulatedMemory,
+)
+
+__all__ = [
+    "ExecutionListener", "HookBus", "LoopRecord",
+    "Interpreter", "InterpreterError", "LoopStats",
+    "GLOBAL_BASE", "HEAP_BASE", "MemoryFault", "MemoryObject",
+    "STACK_BASE", "SimulatedMemory",
+]

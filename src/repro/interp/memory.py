@@ -1,0 +1,190 @@
+"""Byte-addressed simulated memory for the IR interpreter.
+
+Memory is organized as discrete objects (globals, stack slots, heap
+blocks) in disjoint address ranges.  Each object remembers its
+allocation site, which is what the points-to and lifetime profilers
+report back to the speculation modules.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Union
+
+from ..ir import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+)
+from ..ir.values import _wrap_int
+
+GLOBAL_BASE = 0x1000_0000
+STACK_BASE = 0x2000_0000
+HEAP_BASE = 0x4000_0000
+_ALIGN = 16
+
+
+class MemoryFault(Exception):
+    """Raised on out-of-bounds or use-after-free accesses."""
+
+
+class MemoryObject:
+    """One allocated region: a global, a stack slot, or a heap block."""
+
+    __slots__ = ("base", "size", "kind", "site", "context", "live", "data",
+                 "serial")
+
+    def __init__(self, base: int, size: int, kind: str, site, context,
+                 serial: int):
+        self.base = base
+        self.size = size
+        self.kind = kind          # "global" | "stack" | "heap"
+        self.site = site          # GlobalVariable | AllocaInst | CallInst
+        self.context = context    # tuple of CallInst (calling context)
+        self.live = True
+        self.data = bytearray(size)
+        self.serial = serial
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.base <= address and address + size <= self.end
+
+    def __repr__(self) -> str:
+        site = getattr(self.site, "name", self.site)
+        return (f"<MemoryObject #{self.serial} {self.kind} @0x{self.base:x}"
+                f" size={self.size} site={site}>")
+
+
+class SimulatedMemory:
+    """The interpreter's address space."""
+
+    def __init__(self):
+        self._objects: Dict[int, MemoryObject] = {}   # base -> object
+        self._bases: List[int] = []                   # sorted bases
+        self._next: Dict[str, int] = {
+            "global": GLOBAL_BASE,
+            "stack": STACK_BASE,
+            "heap": HEAP_BASE,
+        }
+        self._serial = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, size: int, kind: str, site=None,
+                 context=()) -> MemoryObject:
+        if size < 0:
+            raise MemoryFault(f"negative allocation size {size}")
+        size = max(size, 1)
+        base = self._next[kind]
+        self._next[kind] = _align(base + size, _ALIGN)
+        self._serial += 1
+        obj = MemoryObject(base, size, kind, site, tuple(context), self._serial)
+        self._objects[base] = obj
+        insort(self._bases, base)
+        return obj
+
+    def free(self, address: int) -> MemoryObject:
+        obj = self._objects.get(address)
+        if obj is None or obj.kind != "heap":
+            raise MemoryFault(f"free of non-heap address 0x{address:x}")
+        if not obj.live:
+            raise MemoryFault(f"double free of 0x{address:x}")
+        obj.live = False
+        return obj
+
+    def release(self, obj: MemoryObject) -> None:
+        """Mark a stack object dead (on function return)."""
+        obj.live = False
+
+    # -- lookup -----------------------------------------------------------
+
+    def object_at(self, address: int) -> Optional[MemoryObject]:
+        """The live object containing ``address``, if any."""
+        idx = bisect_right(self._bases, address) - 1
+        if idx < 0:
+            return None
+        obj = self._objects[self._bases[idx]]
+        if obj.live and obj.contains(address):
+            return obj
+        return None
+
+    def check(self, address: int, size: int) -> MemoryObject:
+        obj = self.object_at(address)
+        if obj is None or not obj.contains(address, size):
+            raise MemoryFault(
+                f"invalid access of {size} bytes at 0x{address:x}")
+        return obj
+
+    # -- raw access ------------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        obj = self.check(address, size)
+        off = address - obj.base
+        return bytes(obj.data[off:off + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        obj = self.check(address, len(data))
+        off = address - obj.base
+        obj.data[off:off + len(data)] = data
+
+    # -- typed access --------------------------------------------------------------
+
+    def read_value(self, address: int, ty: Type) -> Union[int, float]:
+        raw = self.read_bytes(address, ty.size)
+        if isinstance(ty, IntType):
+            return _wrap_int(int.from_bytes(raw, "little"), ty.bits)
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.unpack(fmt, raw)[0]
+        if isinstance(ty, PointerType):
+            return int.from_bytes(raw, "little")
+        raise MemoryFault(f"cannot load aggregate type {ty!r}")
+
+    def write_value(self, address: int, ty: Type,
+                    value: Union[int, float]) -> None:
+        if isinstance(ty, IntType):
+            raw = (value & ((1 << ty.bits) - 1)).to_bytes(
+                max(1, ty.bits // 8), "little")
+        elif isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            raw = struct.pack(fmt, float(value))
+        elif isinstance(ty, PointerType):
+            raw = int(value).to_bytes(8, "little")
+        else:
+            raise MemoryFault(f"cannot store aggregate type {ty!r}")
+        self.write_bytes(address, raw)
+
+    # -- initialization helpers -------------------------------------------------------
+
+    def initialize(self, obj: MemoryObject, ty: Type, init) -> None:
+        """Write a global initializer (int, float, list, str, or None)."""
+        if init is None:
+            return  # zero-initialized by construction
+        self._init_at(obj.base, ty, init)
+
+    def _init_at(self, address: int, ty: Type, init) -> None:
+        if isinstance(ty, (IntType, FloatType, PointerType)):
+            self.write_value(address, ty, init)
+        elif isinstance(ty, ArrayType):
+            if isinstance(init, str):
+                data = init.encode() + b"\x00"
+                self.write_bytes(address, data[:ty.size])
+                return
+            for i, item in enumerate(init):
+                self._init_at(address + i * ty.element.size, ty.element, item)
+        elif isinstance(ty, StructType):
+            for i, item in enumerate(init):
+                self._init_at(address + ty.field_offset(i), ty.fields[i], item)
+        else:
+            raise MemoryFault(f"cannot initialize type {ty!r}")
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)

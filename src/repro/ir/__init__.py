@@ -1,0 +1,90 @@
+"""The repro IR: a small typed SSA-style intermediate representation.
+
+Public surface:
+
+- types: :data:`I1` ... :data:`I64`, :data:`F32`, :data:`F64`,
+  :func:`pointer_to`, :class:`ArrayType`, :class:`StructType`, ...
+- values: :func:`const_int`, :func:`const_float`, :func:`null`,
+  :class:`GlobalVariable`
+- structure: :class:`Module`, :class:`Function`, :class:`BasicBlock`,
+  the instruction classes, and :class:`IRBuilder`
+- text: :func:`parse_module`, :func:`format_module`
+- checking: :func:`verify_module`
+"""
+
+from .types import (
+    ArrayType,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    I8PTR,
+    IntType,
+    POINTER_SIZE,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    VoidType,
+    pointer_to,
+)
+from .values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    NullPointer,
+    UndefValue,
+    Value,
+    const_float,
+    const_int,
+    null,
+)
+from .instructions import (
+    AllocaInst,
+    BINARY_OPS,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder
+from .printer import format_function, format_instruction, format_module, format_type
+from .parser import ParseError, parse_module
+from .verifier import VerificationError, verify_module
+
+__all__ = [
+    "ArrayType", "F32", "F64", "FloatType", "FunctionType",
+    "I1", "I16", "I32", "I64", "I8", "I8PTR", "IntType",
+    "POINTER_SIZE", "PointerType", "StructType", "Type", "VOID", "VoidType",
+    "pointer_to",
+    "Argument", "Constant", "GlobalVariable", "NullPointer", "UndefValue",
+    "Value", "const_float", "const_int", "null",
+    "AllocaInst", "BINARY_OPS", "BinaryInst", "BranchInst", "CallInst",
+    "CastInst", "CondBranchInst", "FCmpInst", "GEPInst", "ICmpInst",
+    "Instruction", "LoadInst", "PhiInst", "ReturnInst", "SelectInst",
+    "StoreInst", "SwitchInst", "UnreachableInst",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "format_function", "format_instruction", "format_module", "format_type",
+    "ParseError", "parse_module",
+    "VerificationError", "verify_module",
+]

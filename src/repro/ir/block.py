@@ -1,0 +1,79 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, PhiInst
+from .values import Value
+from .types import Type
+
+
+class BasicBlock(Value):
+    """A labelled sequence of instructions with a single terminator.
+
+    Basic blocks are also values (of no meaningful type) so branch
+    targets can reference them uniformly.
+    """
+
+    __slots__ = ("instructions", "parent")
+
+    def __init__(self, name: str):
+        from .types import VOID
+        super().__init__(VOID, name)
+        self.instructions: List[Instruction] = []
+        self.parent = None  # Function, set on insertion
+
+    # -- structure -----------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(f"block %{self.name} already has a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def phis(self) -> List[PhiInst]:
+        return [i for i in self.instructions if isinstance(i, PhiInst)]
+
+    # -- CFG -----------------------------------------------------------
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return list(term.successors) if term is not None else []
+
+    @property
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [bb for bb in self.parent.blocks if self in bb.successors]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.name} ({len(self.instructions)} insts)>"

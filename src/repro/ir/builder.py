@@ -1,0 +1,223 @@
+"""IRBuilder: convenience API for constructing IR programmatically."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .types import IntType, Type
+from .values import Constant, Value
+
+
+def _as_value(v: Union[Value, int], bits: int = 32) -> Value:
+    """Allow bare python ints where a Value is expected."""
+    if isinstance(v, Value):
+        return v
+    return Constant(IntType(bits), v)
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point, auto-naming results.
+
+    Typical use::
+
+        builder = IRBuilder(function.add_block("entry"))
+        ptr = builder.alloca(I32, name="x")
+        builder.store(0, ptr)
+        builder.ret()
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder has no insertion point")
+        return self.block.parent
+
+    def _insert(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        if name:
+            inst.name = self.function.unique_name(name)
+        elif not inst.type.is_void:
+            inst.name = self.function.unique_name("t")
+        self.block.append(inst)
+        return inst
+
+    # -- memory ----------------------------------------------------------
+
+    def alloca(self, ty: Type, name: str = "") -> AllocaInst:
+        return self._insert(AllocaInst(ty), name)
+
+    def load(self, pointer: Value, name: str = "") -> LoadInst:
+        return self._insert(LoadInst(pointer), name)
+
+    def store(self, value: Union[Value, int], pointer: Value) -> StoreInst:
+        if isinstance(value, int):
+            pointee = pointer.type.pointee
+            value = Constant(pointee, value)
+        return self._insert(StoreInst(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Union[Value, int]],
+            name: str = "") -> GEPInst:
+        vals = [_as_value(i, 64) for i in indices]
+        return self._insert(GEPInst(pointer, vals), name)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Union[Value, int],
+              name: str = "") -> BinaryInst:
+        if isinstance(rhs, int):
+            rhs = Constant(lhs.type, rhs)
+        return self._insert(BinaryInst(op, lhs, rhs), name)
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs, rhs, name=""):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    # -- comparisons, casts, select -----------------------------------------
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Union[Value, int],
+             name: str = "") -> ICmpInst:
+        if isinstance(rhs, int):
+            rhs = Constant(lhs.type, rhs)
+        return self._insert(ICmpInst(predicate, lhs, rhs), name)
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value,
+             name: str = "") -> FCmpInst:
+        return self._insert(FCmpInst(predicate, lhs, rhs), name)
+
+    def cast(self, op: str, value: Value, to_type: Type,
+             name: str = "") -> CastInst:
+        return self._insert(CastInst(op, value, to_type), name)
+
+    def bitcast(self, value, to_type, name=""):
+        return self.cast("bitcast", value, to_type, name)
+
+    def ptrtoint(self, value, to_type, name=""):
+        return self.cast("ptrtoint", value, to_type, name)
+
+    def inttoptr(self, value, to_type, name=""):
+        return self.cast("inttoptr", value, to_type, name)
+
+    def sext(self, value, to_type, name=""):
+        return self.cast("sext", value, to_type, name)
+
+    def zext(self, value, to_type, name=""):
+        return self.cast("zext", value, to_type, name)
+
+    def trunc(self, value, to_type, name=""):
+        return self.cast("trunc", value, to_type, name)
+
+    def sitofp(self, value, to_type, name=""):
+        return self.cast("sitofp", value, to_type, name)
+
+    def fptosi(self, value, to_type, name=""):
+        return self.cast("fptosi", value, to_type, name)
+
+    def select(self, cond: Value, true_value: Value, false_value: Value,
+               name: str = "") -> SelectInst:
+        return self._insert(SelectInst(cond, true_value, false_value), name)
+
+    # -- control flow ------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self._insert(BranchInst(target))
+
+    def condbr(self, condition: Value, true_target: BasicBlock,
+               false_target: BasicBlock) -> CondBranchInst:
+        return self._insert(CondBranchInst(condition, true_target, false_target))
+
+    def switch(self, value: Value, default: BasicBlock,
+               cases: Sequence[Tuple[int, BasicBlock]]) -> SwitchInst:
+        return self._insert(SwitchInst(value, default, cases))
+
+    def ret(self, value: Optional[Union[Value, int]] = None) -> ReturnInst:
+        if isinstance(value, int):
+            ret_ty = self.function.return_type
+            value = Constant(ret_ty, value)
+        return self._insert(ReturnInst(value))
+
+    def unreachable(self) -> UnreachableInst:
+        return self._insert(UnreachableInst())
+
+    def phi(self, ty: Type, name: str = "") -> PhiInst:
+        """Insert a phi at the start of the current block."""
+        inst = PhiInst(ty)
+        inst.name = self.function.unique_name(name or "phi")
+        phis = self.block.phis
+        self.block.insert(len(phis), inst)
+        return inst
+
+    def call(self, callee: Function, args: Sequence[Union[Value, int]] = (),
+             name: str = "") -> CallInst:
+        vals = []
+        for arg, ty in zip(args, callee.func_type.param_types):
+            if isinstance(arg, int):
+                arg = Constant(ty, arg)
+            vals.append(arg)
+        vals.extend(a for a in list(args)[len(vals):] if isinstance(a, Value))
+        return self._insert(CallInst(callee, vals), name)

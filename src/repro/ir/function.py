@@ -1,0 +1,108 @@
+"""Functions: named, typed collections of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .block import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+
+class Function(Value):
+    """A function definition or declaration.
+
+    A function with no blocks is a *declaration* (external, e.g.
+    ``malloc``); the interpreter dispatches declarations to built-in
+    models, and :mod:`repro.modules.memory.stdlib` models their memory
+    behaviour for analysis.
+    """
+
+    __slots__ = ("func_type", "args", "blocks", "attributes", "_name_counts",
+                 "parent")
+
+    def __init__(self, name: str, func_type: FunctionType,
+                 arg_names: Optional[Sequence[str]] = None):
+        super().__init__(func_type, name)
+        self.func_type = func_type
+        names = list(arg_names or [])
+        while len(names) < len(func_type.param_types):
+            names.append(f"arg{len(names)}")
+        self.args: List[Argument] = [
+            Argument(ty, nm, self, i)
+            for i, (ty, nm) in enumerate(zip(func_type.param_types, names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        # Free-form attributes: "pure", "readonly", "noalias_return", ...
+        self.attributes: set = set()
+        self._name_counts: Dict[str, int] = {}
+        self.parent = None  # Module, set on insertion
+
+    # -- basic structure -----------------------------------------------
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    @property
+    def return_type(self) -> Type:
+        return self.func_type.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def is_pure(self) -> bool:
+        """True if the function neither reads nor writes memory."""
+        return "pure" in self.attributes
+
+    @property
+    def is_readonly(self) -> bool:
+        """True if the function may read but never writes memory."""
+        return "readonly" in self.attributes or self.is_pure
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str) -> BasicBlock:
+        bb = BasicBlock(self.unique_name(name))
+        bb.parent = self
+        self.blocks.append(bb)
+        return bb
+
+    def get_block(self, name: str) -> BasicBlock:
+        for bb in self.blocks:
+            if bb.name == name:
+                return bb
+        raise KeyError(f"no block %{name} in @{self.name}")
+
+    def unique_name(self, base: str) -> str:
+        """Return ``base``, suffixed if needed to be unique in this function."""
+        if not base:
+            base = "v"
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}.{count}"
+
+    # -- iteration -----------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for bb in self.blocks:
+            yield from bb.instructions
+
+    def memory_instructions(self) -> Iterator[Instruction]:
+        for inst in self.instructions():
+            if inst.accesses_memory:
+                yield inst
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "func"
+        return f"<{kind} @{self.name} {self.func_type!r}>"

@@ -1,0 +1,475 @@
+"""Instruction set of the repro IR.
+
+A deliberately small, LLVM-flavoured instruction set that is rich
+enough to express the memory-access idioms SCAF's analyses reason
+about: stack allocation, loads/stores, pointer arithmetic (GEP),
+integer/float arithmetic, comparisons, casts, branches, phis, calls,
+and returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from .values import Constant, Value, _wrap_int
+
+BINARY_OPS = frozenset({
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+    "fadd", "fsub", "fmul", "fdiv", "frem",
+})
+
+ICMP_PREDICATES = frozenset({
+    "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge",
+})
+
+FCMP_PREDICATES = frozenset({"oeq", "one", "olt", "ole", "ogt", "oge"})
+
+CAST_OPS = frozenset({
+    "bitcast", "ptrtoint", "inttoptr", "trunc", "zext", "sext",
+    "sitofp", "fptosi", "fpext", "fptrunc",
+})
+
+
+class Instruction(Value):
+    """Base class of all instructions.
+
+    The result of an instruction is the instruction object itself
+    (as in LLVM); instructions with ``void`` type produce no value.
+    """
+
+    __slots__ = ("operands", "parent")
+
+    opcode: str = "?"
+
+    def __init__(self, ty: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(ty, name)
+        self.operands: List[Value] = list(operands)
+        self.parent = None  # BasicBlock, set on insertion
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (BranchInst, CondBranchInst, ReturnInst,
+                                 SwitchInst, UnreachableInst))
+
+    @property
+    def reads_memory(self) -> bool:
+        return False
+
+    @property
+    def writes_memory(self) -> bool:
+        return False
+
+    @property
+    def accesses_memory(self) -> bool:
+        return self.reads_memory or self.writes_memory
+
+    @property
+    def function(self):
+        """The function containing this instruction (or None)."""
+        return self.parent.parent if self.parent is not None else None
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+
+    def __repr__(self) -> str:
+        from .printer import format_instruction
+        return format_instruction(self)
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions
+# ---------------------------------------------------------------------------
+
+
+class AllocaInst(Instruction):
+    """Stack allocation of one value of ``allocated_type``."""
+
+    __slots__ = ("allocated_type",)
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, name: str = ""):
+        super().__init__(PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+
+class LoadInst(Instruction):
+    """Load a value of the pointee type from a pointer."""
+
+    __slots__ = ()
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load requires a pointer, got {pointer.type!r}")
+        super().__init__(pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def reads_memory(self) -> bool:
+        return True
+
+    @property
+    def access_size(self) -> int:
+        return self.type.size
+
+
+class StoreInst(Instruction):
+    """Store a value through a pointer."""
+
+    __slots__ = ()
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store requires a pointer, got {pointer.type!r}")
+        super().__init__(VOID, [value, pointer], "")
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def writes_memory(self) -> bool:
+        return True
+
+    @property
+    def access_size(self) -> int:
+        return self.value.type.size
+
+
+class GEPInst(Instruction):
+    """Pointer arithmetic (getelementptr).
+
+    Semantics follow LLVM: the first index scales by the pointee size;
+    subsequent indices step into arrays and structs.  Struct indices
+    must be integer constants.
+    """
+
+    __slots__ = ()
+    opcode = "gep"
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"gep requires a pointer, got {pointer.type!r}")
+        result = _gep_result_type(pointer.type, indices)
+        super().__init__(result, [pointer, *indices], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+    def constant_offset(self) -> Optional[int]:
+        """Byte offset from the base pointer if all indices are constant."""
+        offset = 0
+        ty: Type = self.pointer.type
+        for i, idx in enumerate(self.indices):
+            if not isinstance(idx, Constant):
+                return None
+            if i == 0:
+                assert isinstance(ty, PointerType)
+                offset += idx.value * ty.pointee.size
+                ty = ty.pointee
+            elif isinstance(ty, ArrayType):
+                offset += idx.value * ty.element.size
+                ty = ty.element
+            elif isinstance(ty, StructType):
+                offset += ty.field_offset(idx.value)
+                ty = ty.fields[idx.value]
+            else:
+                return None
+        return offset
+
+
+def _gep_result_type(ptr_ty: PointerType, indices: Sequence[Value]) -> Type:
+    if not indices:
+        raise ValueError("gep requires at least one index")
+    ty: Type = ptr_ty.pointee
+    for idx in indices[1:]:
+        if isinstance(ty, ArrayType):
+            ty = ty.element
+        elif isinstance(ty, StructType):
+            if not isinstance(idx, Constant):
+                raise TypeError("struct gep index must be a constant")
+            ty = ty.fields[idx.value]
+        else:
+            raise TypeError(f"cannot index into {ty!r}")
+    return PointerType(ty)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic, comparison, casts, select
+# ---------------------------------------------------------------------------
+
+
+class BinaryInst(Instruction):
+    """A two-operand arithmetic or bitwise instruction."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op: {op}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmpInst(Instruction):
+    """Integer/pointer comparison producing an i1."""
+
+    __slots__ = ("predicate",)
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate: {predicate}")
+        super().__init__(IntType(1), [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmpInst(Instruction):
+    """Float comparison producing an i1."""
+
+    __slots__ = ("predicate",)
+    opcode = "fcmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate: {predicate}")
+        super().__init__(IntType(1), [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class CastInst(Instruction):
+    """A type conversion (bitcast, zext, ptrtoint, ...)."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, value: Value, to_type: Type, name: str = ""):
+        if op not in CAST_OPS:
+            raise ValueError(f"unknown cast op: {op}")
+        super().__init__(to_type, [value], name)
+        self.op = op
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class SelectInst(Instruction):
+    """``select cond, a, b`` — ternary choice without control flow."""
+
+    __slots__ = ()
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value,
+                 name: str = ""):
+        super().__init__(true_value.type, [cond, true_value, false_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+class BranchInst(Instruction):
+    """Unconditional branch."""
+
+    __slots__ = ("target",)
+    opcode = "br"
+
+    def __init__(self, target: "object"):
+        super().__init__(VOID, [], "")
+        self.target = target
+
+    @property
+    def successors(self) -> List["object"]:
+        return [self.target]
+
+
+class CondBranchInst(Instruction):
+    """Conditional branch on an i1."""
+
+    __slots__ = ("true_target", "false_target")
+    opcode = "condbr"
+
+    def __init__(self, condition: Value, true_target: "object",
+                 false_target: "object"):
+        super().__init__(VOID, [condition], "")
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def successors(self) -> List["object"]:
+        return [self.true_target, self.false_target]
+
+
+class SwitchInst(Instruction):
+    """Multi-way branch on an integer value."""
+
+    __slots__ = ("default_target", "cases")
+    opcode = "switch"
+
+    def __init__(self, value: Value, default_target: "object",
+                 cases: Sequence[Tuple[int, "object"]]):
+        super().__init__(VOID, [value], "")
+        self.default_target = default_target
+        self.cases: List[Tuple[int, object]] = list(cases)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def successors(self) -> List["object"]:
+        return [self.default_target] + [bb for _, bb in self.cases]
+
+
+class ReturnInst(Instruction):
+    """Return from the current function, optionally with a value."""
+
+    __slots__ = ()
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [], "")
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def successors(self) -> List["object"]:
+        return []
+
+
+class UnreachableInst(Instruction):
+    """Marks a point that is never reached (e.g. after abort)."""
+
+    __slots__ = ()
+    opcode = "unreachable"
+
+    def __init__(self):
+        super().__init__(VOID, [], "")
+
+    @property
+    def successors(self) -> List["object"]:
+        return []
+
+
+class PhiInst(Instruction):
+    """SSA phi node: value depends on the predecessor block."""
+
+    __slots__ = ("incoming",)
+    opcode = "phi"
+
+    def __init__(self, ty: Type, name: str = ""):
+        super().__init__(ty, [], name)
+        self.incoming: List[Tuple[Value, object]] = []
+
+    def add_incoming(self, value: Value, block: "object") -> None:
+        self.incoming.append((value, block))
+        self.operands.append(value)
+
+    def incoming_for(self, block: "object") -> Value:
+        for value, bb in self.incoming:
+            if bb is block:
+                return value
+        raise KeyError(f"phi {self.ref} has no incoming value for {block}")
+
+
+class CallInst(Instruction):
+    """Direct call to a function (defined or declared)."""
+
+    __slots__ = ("callee",)
+    opcode = "call"
+
+    def __init__(self, callee: "object", args: Sequence[Value], name: str = ""):
+        super().__init__(callee.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+    @property
+    def reads_memory(self) -> bool:
+        # Conservative default; analyses refine via callee summaries.
+        return not getattr(self.callee, "is_pure", False)
+
+    @property
+    def writes_memory(self) -> bool:
+        return not (getattr(self.callee, "is_pure", False)
+                    or getattr(self.callee, "is_readonly", False))

@@ -1,0 +1,79 @@
+"""Modules: top-level containers of globals, struct types, and functions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .function import Function
+from .types import FunctionType, StructType, Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A translation unit."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.structs: Dict[str, StructType] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.functions: Dict[str, Function] = {}
+
+    # -- struct types ----------------------------------------------------
+
+    def add_struct(self, name: str, fields: Optional[Sequence[Type]] = None
+                   ) -> StructType:
+        if name in self.structs:
+            raise ValueError(f"duplicate struct %{name}")
+        st = StructType(name, fields)
+        self.structs[name] = st
+        return st
+
+    def get_struct(self, name: str) -> StructType:
+        return self.structs[name]
+
+    # -- globals ----------------------------------------------------------
+
+    def add_global(self, name: str, value_type: Type, initializer=None,
+                   is_constant: bool = False) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global @{name}")
+        gv = GlobalVariable(name, value_type, initializer, is_constant)
+        self.globals[name] = gv
+        return gv
+
+    def get_global(self, name: str) -> GlobalVariable:
+        return self.globals[name]
+
+    # -- functions ---------------------------------------------------------
+
+    def add_function(self, name: str, func_type: FunctionType,
+                     arg_names: Optional[Sequence[str]] = None) -> Function:
+        if name in self.functions:
+            raise ValueError(f"duplicate function @{name}")
+        fn = Function(name, func_type, arg_names)
+        fn.parent = self
+        self.functions[name] = fn
+        return fn
+
+    def declare_function(self, name: str, func_type: FunctionType,
+                         attributes: Sequence[str] = ()) -> Function:
+        """Add (or fetch) an external function declaration."""
+        if name in self.functions:
+            return self.functions[name]
+        fn = self.add_function(name, func_type)
+        fn.attributes.update(attributes)
+        return fn
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    @property
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __repr__(self) -> str:
+        return (f"<Module {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

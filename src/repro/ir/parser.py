@@ -1,0 +1,578 @@
+"""Parser for the textual repro IR.
+
+Accepts the format produced by :mod:`repro.ir.printer`.  A short
+example::
+
+    struct %node { i32, %node* }
+
+    global @counter : i32 = 0
+
+    declare @malloc(i64) -> i8*
+
+    func @main() -> i32 {
+    entry:
+      %x = alloca i32
+      store i32 41, i32* %x
+      %v = load i32* %x
+      %v2 = add i32 %v, 1
+      ret i32 %v2
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BinaryInst as _Bin,
+    BranchInst,
+    BINARY_OPS,
+    CallInst,
+    CastInst,
+    CAST_OPS,
+    CondBranchInst,
+    FCmpInst,
+    FCMP_PREDICATES,
+    GEPInst,
+    ICmpInst,
+    ICMP_PREDICATES,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    VOID,
+)
+from .values import Constant, NullPointer, UndefValue, Value
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>;[^\n]*)
+  | (?P<newline>\n)
+  | (?P<arrow>->)
+  | (?P<float>-?\d+\.\d+(e-?\d+)?)
+  | (?P<int>-?\d+)
+  | (?P<gname>@[A-Za-z_][\w.]*)
+  | (?P<lname>%[A-Za-z_][\w.]*)
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<word>[A-Za-z_][\w.]*)
+  | (?P<punct>[{}\[\](),:=*])
+""", re.VERBOSE)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "newline":
+            line += 1
+            if tokens and tokens[-1].kind != "newline":
+                tokens.append(_Token("newline", "\n", line - 1))
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Token(kind, m.group(), line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Placeholder(Value):
+    """A forward reference to a not-yet-defined local value."""
+
+    __slots__ = ()
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, name: str = "module"):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.module = Module(name)
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def skip_newlines(self) -> None:
+        while self.current.kind == "newline":
+            self.advance()
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self.current
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, got {tok.text!r}", tok.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self.current
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.line)
+
+    # -- types -------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        tok = self.current
+        if tok.kind == "word":
+            base = self._parse_base_word_type()
+        elif tok.kind == "lname":
+            self.advance()
+            name = tok.text[1:]
+            if name not in self.module.structs:
+                # Forward-declared struct (for recursive types).
+                self.module.add_struct(name)
+            base = self.module.structs[name]
+        elif tok.kind == "punct" and tok.text == "[":
+            base = self._parse_array_type()
+        else:
+            raise self.error(f"expected a type, got {tok.text!r}")
+        while self.accept("punct", "*"):
+            base = PointerType(base)
+        return base
+
+    def _parse_base_word_type(self) -> Type:
+        tok = self.expect("word")
+        text = tok.text
+        if text == "void":
+            return VOID
+        m = re.fullmatch(r"i(\d+)", text)
+        if m:
+            return IntType(int(m.group(1)))
+        m = re.fullmatch(r"f(\d+)", text)
+        if m:
+            return FloatType(int(m.group(1)))
+        raise ParseError(f"unknown type {text!r}", tok.line)
+
+    def _parse_array_type(self) -> Type:
+        self.expect("punct", "[")
+        count = int(self.expect("int").text)
+        x = self.expect("word")
+        if x.text != "x":
+            raise ParseError("expected 'x' in array type", x.line)
+        elem = self.parse_type()
+        self.expect("punct", "]")
+        return ArrayType(elem, count)
+
+    # -- module-level ------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        self.skip_newlines()
+        while self.current.kind != "eof":
+            tok = self.current
+            if tok.kind != "word":
+                raise self.error(f"unexpected {tok.text!r} at top level")
+            if tok.text == "struct":
+                self._parse_struct()
+            elif tok.text in ("global", "const"):
+                self._parse_global()
+            elif tok.text == "declare":
+                self._parse_declare()
+            elif tok.text == "func":
+                self._parse_function()
+            else:
+                raise self.error(f"unexpected {tok.text!r} at top level")
+            self.skip_newlines()
+        return self.module
+
+    def _parse_struct(self) -> None:
+        self.expect("word", "struct")
+        name = self.expect("lname").text[1:]
+        self.expect("punct", "{")
+        fields = [self.parse_type()]
+        while self.accept("punct", ","):
+            fields.append(self.parse_type())
+        self.expect("punct", "}")
+        if name in self.module.structs:
+            self.module.structs[name].set_body(fields)
+        else:
+            self.module.add_struct(name, fields)
+
+    def _parse_global(self) -> None:
+        is_constant = bool(self.accept("word", "const"))
+        self.expect("word", "global")
+        name = self.expect("gname").text[1:]
+        self.expect("punct", ":")
+        ty = self.parse_type()
+        self.expect("punct", "=")
+        init = self._parse_initializer()
+        self.module.add_global(name, ty, init, is_constant)
+
+    def _parse_initializer(self):
+        tok = self.current
+        if tok.kind == "word" and tok.text == "zeroinit":
+            self.advance()
+            return None
+        if tok.kind == "int":
+            return int(self.advance().text)
+        if tok.kind == "float":
+            return float(self.advance().text)
+        if tok.kind == "string":
+            raw = self.advance().text[1:-1]
+            return raw.replace('\\"', '"').replace("\\\\", "\\")
+        if tok.kind == "punct" and tok.text == "[":
+            self.advance()
+            self.skip_newlines()
+            values = []
+            if not (self.current.kind == "punct" and self.current.text == "]"):
+                values.append(self._parse_number())
+                self.skip_newlines()
+                while self.accept("punct", ","):
+                    self.skip_newlines()
+                    values.append(self._parse_number())
+                    self.skip_newlines()
+            self.expect("punct", "]")
+            return values
+        raise self.error(f"bad initializer {tok.text!r}")
+
+    def _parse_number(self):
+        tok = self.current
+        if tok.kind == "int":
+            return int(self.advance().text)
+        if tok.kind == "float":
+            return float(self.advance().text)
+        raise self.error(f"expected number, got {tok.text!r}")
+
+    def _parse_signature(self) -> Tuple[str, FunctionType, List[str]]:
+        name = self.expect("gname").text[1:]
+        self.expect("punct", "(")
+        param_types: List[Type] = []
+        param_names: List[str] = []
+        if not (self.current.kind == "punct" and self.current.text == ")"):
+            while True:
+                param_types.append(self.parse_type())
+                nm = self.accept("lname")
+                param_names.append(nm.text[1:] if nm else f"arg{len(param_names)}")
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        self.expect("arrow")
+        ret = self.parse_type()
+        return name, FunctionType(ret, param_types), param_names
+
+    def _parse_declare(self) -> None:
+        self.expect("word", "declare")
+        name, fty, _ = self._parse_signature()
+        fn = self.module.add_function(name, fty)
+        if self.accept("punct", "["):
+            while self.current.kind == "word":
+                fn.attributes.add(self.advance().text)
+            self.expect("punct", "]")
+
+    # -- function bodies -----------------------------------------------------
+
+    def _parse_function(self) -> None:
+        self.expect("word", "func")
+        name, fty, arg_names = self._parse_signature()
+        fn = self.module.add_function(name, fty, arg_names)
+        self.expect("punct", "{")
+        self.skip_newlines()
+
+        # Pre-scan for block labels so branches can reference them forward.
+        self._prescan_labels(fn)
+
+        locals_: Dict[str, Value] = {f"%{a.name}": a for a in fn.args}
+        placeholders: Dict[str, _Placeholder] = {}
+        block: Optional[BasicBlock] = None
+
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            tok = self.current
+            if tok.kind in ("word", "lname") and self._peek_is_label():
+                label = self.advance().text
+                label = label[1:] if label.startswith("%") else label
+                self.expect("punct", ":")
+                block = fn.get_block(label)
+            else:
+                if block is None:
+                    raise self.error("instruction before first block label")
+                inst = self._parse_instruction(fn, block, locals_, placeholders)
+                if inst.name:
+                    key = f"%{inst.name}"
+                    locals_[key] = inst
+            self.skip_newlines()
+        self.expect("punct", "}")
+
+        self._resolve_placeholders(fn, locals_, placeholders)
+
+    def _prescan_labels(self, fn: Function) -> None:
+        """Scan ahead to create every basic block named by a label."""
+        depth = 0
+        i = self.pos
+        while i < len(self.tokens):
+            tok = self.tokens[i]
+            if tok.kind == "punct" and tok.text == "{":
+                depth += 1
+            elif tok.kind == "punct" and tok.text == "}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif (
+                tok.kind in ("word", "lname")
+                and i + 1 < len(self.tokens)
+                and self.tokens[i + 1].kind == "punct"
+                and self.tokens[i + 1].text == ":"
+                and (i == 0 or self.tokens[i - 1].kind in ("newline",))
+            ):
+                label = tok.text[1:] if tok.text.startswith("%") else tok.text
+                fn.add_block(label)
+            i += 1
+
+    def _peek_is_label(self) -> bool:
+        nxt = self.tokens[self.pos + 1]
+        return nxt.kind == "punct" and nxt.text == ":"
+
+    def _resolve_placeholders(self, fn: Function, locals_: Dict[str, Value],
+                              placeholders: Dict[str, _Placeholder]) -> None:
+        for key, ph in placeholders.items():
+            target = locals_.get(key)
+            if target is None:
+                raise ParseError(f"undefined value {key} in @{fn.name}", 0)
+            for inst in fn.instructions():
+                inst.replace_operand(ph, target)
+                if isinstance(inst, PhiInst):
+                    inst.incoming = [
+                        (target if v is ph else v, bb)
+                        for v, bb in inst.incoming
+                    ]
+
+    # -- operands --------------------------------------------------------------
+
+    def _lookup(self, key: str, ty: Type, locals_: Dict[str, Value],
+                placeholders: Dict[str, _Placeholder]) -> Value:
+        if key in locals_:
+            return locals_[key]
+        if key not in placeholders:
+            placeholders[key] = _Placeholder(ty, key[1:])
+        return placeholders[key]
+
+    def _parse_operand(self, ty: Type, locals_: Dict[str, Value],
+                       placeholders: Dict[str, _Placeholder]) -> Value:
+        """Parse an operand of a known type.
+
+        A redundant leading type annotation (``i64 %x`` where the type
+        is already implied) is tolerated and skipped.
+        """
+        tok = self.current
+        if tok.kind == "word" and re.fullmatch(r"(i|f)\d+", tok.text):
+            ty = self.parse_type()
+            tok = self.current
+        if tok.kind == "int":
+            self.advance()
+            if isinstance(ty, FloatType):
+                return Constant(ty, float(tok.text))
+            return Constant(ty, int(tok.text))
+        if tok.kind == "float":
+            self.advance()
+            return Constant(ty, float(tok.text))
+        if tok.kind == "word" and tok.text == "null":
+            self.advance()
+            if not isinstance(ty, PointerType):
+                raise self.error("null requires a pointer type")
+            return NullPointer(ty)
+        if tok.kind == "word" and tok.text == "undef":
+            self.advance()
+            return UndefValue(ty, "")
+        if tok.kind == "lname":
+            self.advance()
+            return self._lookup(tok.text, ty, locals_, placeholders)
+        if tok.kind == "gname":
+            self.advance()
+            name = tok.text[1:]
+            if name in self.module.globals:
+                return self.module.globals[name]
+            if name in self.module.functions:
+                return self.module.functions[name]
+            raise self.error(f"unknown global {tok.text}")
+        raise self.error(f"expected operand, got {tok.text!r}")
+
+    def _parse_typed_operand(self, locals_: Dict[str, Value],
+                             placeholders: Dict[str, _Placeholder]) -> Value:
+        ty = self.parse_type()
+        return self._parse_operand(ty, locals_, placeholders)
+
+    def _parse_block_ref(self, fn: Function) -> BasicBlock:
+        tok = self.expect("lname")
+        return fn.get_block(tok.text[1:])
+
+    # -- instructions -------------------------------------------------------------
+
+    def _parse_instruction(self, fn: Function, block: BasicBlock,
+                           locals_: Dict[str, Value],
+                           placeholders: Dict[str, _Placeholder]) -> Instruction:
+        name = ""
+        if self.current.kind == "lname":
+            name = self.advance().text[1:]
+            self.expect("punct", "=")
+        op_tok = self.expect("word")
+        op = op_tok.text
+
+        inst: Instruction
+        if op == "alloca":
+            inst = AllocaInst(self.parse_type())
+        elif op == "load":
+            inst = LoadInst(self._parse_typed_operand(locals_, placeholders))
+        elif op == "store":
+            value = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            pointer = self._parse_typed_operand(locals_, placeholders)
+            inst = StoreInst(value, pointer)
+        elif op == "gep":
+            pointer = self._parse_typed_operand(locals_, placeholders)
+            indices = []
+            while self.accept("punct", ","):
+                indices.append(self._parse_typed_operand(locals_, placeholders))
+            inst = GEPInst(pointer, indices)
+        elif op in BINARY_OPS:
+            lhs = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(lhs.type, locals_, placeholders)
+            inst = BinaryInst(op, lhs, rhs)
+        elif op == "icmp":
+            pred = self.expect("word").text
+            lhs = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(lhs.type, locals_, placeholders)
+            inst = ICmpInst(pred, lhs, rhs)
+        elif op == "fcmp":
+            pred = self.expect("word").text
+            lhs = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(lhs.type, locals_, placeholders)
+            inst = FCmpInst(pred, lhs, rhs)
+        elif op in CAST_OPS:
+            value = self._parse_typed_operand(locals_, placeholders)
+            self.expect("word", "to")
+            inst = CastInst(op, value, self.parse_type())
+        elif op == "select":
+            cond = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            tv = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            fv = self._parse_operand(tv.type, locals_, placeholders)
+            inst = SelectInst(cond, tv, fv)
+        elif op == "br":
+            inst = BranchInst(self._parse_block_ref(fn))
+        elif op == "condbr":
+            cond = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            t = self._parse_block_ref(fn)
+            self.expect("punct", ",")
+            f = self._parse_block_ref(fn)
+            inst = CondBranchInst(cond, t, f)
+        elif op == "switch":
+            value = self._parse_typed_operand(locals_, placeholders)
+            self.expect("punct", ",")
+            default = self._parse_block_ref(fn)
+            cases = []
+            self.expect("punct", "[")
+            while self.current.kind == "int":
+                v = int(self.advance().text)
+                self.expect("punct", ":")
+                cases.append((v, self._parse_block_ref(fn)))
+                self.accept("punct", ",")
+            self.expect("punct", "]")
+            inst = SwitchInst(value, default, cases)
+        elif op == "ret":
+            if self.current.kind in ("newline", "eof") or (
+                    self.current.kind == "punct" and self.current.text == "}"):
+                inst = ReturnInst()
+            else:
+                inst = ReturnInst(self._parse_typed_operand(locals_, placeholders))
+        elif op == "unreachable":
+            inst = UnreachableInst()
+        elif op == "phi":
+            ty = self.parse_type()
+            inst = PhiInst(ty)
+            while self.accept("punct", "["):
+                value = self._parse_operand(ty, locals_, placeholders)
+                self.expect("punct", ",")
+                bb = self._parse_block_ref(fn)
+                self.expect("punct", "]")
+                inst.add_incoming(value, bb)
+                self.accept("punct", ",")
+        elif op == "call":
+            callee_tok = self.expect("gname")
+            callee_name = callee_tok.text[1:]
+            if callee_name not in self.module.functions:
+                raise ParseError(f"unknown function @{callee_name}",
+                                 callee_tok.line)
+            callee = self.module.functions[callee_name]
+            self.expect("punct", "(")
+            args = []
+            if not (self.current.kind == "punct" and self.current.text == ")"):
+                args.append(self._parse_typed_operand(locals_, placeholders))
+                while self.accept("punct", ","):
+                    args.append(self._parse_typed_operand(locals_, placeholders))
+            self.expect("punct", ")")
+            inst = CallInst(callee, args)
+        else:
+            raise ParseError(f"unknown instruction {op!r}", op_tok.line)
+
+        if name:
+            inst.name = name
+            fn._name_counts.setdefault(name, 1)
+        block.append(inst)
+        return inst
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse textual IR into a :class:`Module`."""
+    return Parser(text, name).parse_module()

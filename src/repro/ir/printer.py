@@ -1,0 +1,166 @@
+"""Textual printer for the repro IR.
+
+The emitted text round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+)
+from .values import Value
+
+
+def format_type(ty: Type) -> str:
+    if isinstance(ty, VoidType):
+        return "void"
+    if isinstance(ty, IntType):
+        return f"i{ty.bits}"
+    if isinstance(ty, FloatType):
+        return f"f{ty.bits}"
+    if isinstance(ty, PointerType):
+        return f"{format_type(ty.pointee)}*"
+    if isinstance(ty, ArrayType):
+        return f"[{ty.count} x {format_type(ty.element)}]"
+    if isinstance(ty, StructType):
+        return f"%{ty.name}"
+    raise TypeError(f"cannot format type {ty!r}")
+
+
+def format_operand(value: Value, with_type: bool = True) -> str:
+    ref = value.ref
+    if not with_type or isinstance(value, BasicBlock):
+        return ref
+    return f"{format_type(value.type)} {ref}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    lhs = f"{inst.ref} = " if not inst.type.is_void and inst.name else ""
+    if isinstance(inst, AllocaInst):
+        return f"{lhs}alloca {format_type(inst.allocated_type)}"
+    if isinstance(inst, LoadInst):
+        return f"{lhs}load {format_operand(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return (f"store {format_operand(inst.value)}, "
+                f"{format_operand(inst.pointer)}")
+    if isinstance(inst, GEPInst):
+        parts = [format_operand(inst.pointer)]
+        parts += [format_operand(i) for i in inst.indices]
+        return f"{lhs}gep {', '.join(parts)}"
+    if isinstance(inst, BinaryInst):
+        return (f"{lhs}{inst.op} {format_operand(inst.lhs)}, "
+                f"{inst.rhs.ref}")
+    if isinstance(inst, ICmpInst):
+        return (f"{lhs}icmp {inst.predicate} {format_operand(inst.lhs)}, "
+                f"{inst.rhs.ref}")
+    if isinstance(inst, FCmpInst):
+        return (f"{lhs}fcmp {inst.predicate} {format_operand(inst.lhs)}, "
+                f"{inst.rhs.ref}")
+    if isinstance(inst, CastInst):
+        return (f"{lhs}{inst.op} {format_operand(inst.value)} "
+                f"to {format_type(inst.type)}")
+    if isinstance(inst, SelectInst):
+        return (f"{lhs}select {format_operand(inst.condition)}, "
+                f"{format_operand(inst.true_value)}, "
+                f"{inst.false_value.ref}")
+    if isinstance(inst, BranchInst):
+        return f"br %{inst.target.name}"
+    if isinstance(inst, CondBranchInst):
+        return (f"condbr {format_operand(inst.condition)}, "
+                f"%{inst.true_target.name}, %{inst.false_target.name}")
+    if isinstance(inst, SwitchInst):
+        cases = ", ".join(f"{v}: %{bb.name}" for v, bb in inst.cases)
+        return (f"switch {format_operand(inst.value)}, "
+                f"%{inst.default_target.name} [{cases}]")
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            return "ret"
+        return f"ret {format_operand(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(
+            f"[{v.ref}, %{bb.name}]" for v, bb in inst.incoming)
+        return f"{lhs}phi {format_type(inst.type)} {pairs}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(format_operand(a) for a in inst.args)
+        return f"{lhs}call @{inst.callee.name}({args})"
+    raise TypeError(f"cannot format instruction {type(inst).__name__}")
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(
+        f"{format_type(a.type)} %{a.name}" for a in fn.args)
+    header = f"@{fn.name}({params}) -> {format_type(fn.return_type)}"
+    if fn.is_declaration:
+        attrs = " ".join(sorted(fn.attributes))
+        suffix = f" [{attrs}]" if attrs else ""
+        return f"declare {header}{suffix}"
+    lines: List[str] = [f"func {header} {{"]
+    for bb in fn.blocks:
+        lines.append(f"{bb.name}:")
+        for inst in bb.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_initializer(init) -> str:
+    if init is None:
+        return "zeroinit"
+    if isinstance(init, (list, tuple)):
+        return "[" + ", ".join(str(v) for v in init) + "]"
+    if isinstance(init, str):
+        return '"' + init.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return str(init)
+
+
+def format_module(module: Module) -> str:
+    lines: List[str] = []
+    for st in module.structs.values():
+        fields = ", ".join(format_type(f) for f in st.fields)
+        lines.append(f"struct %{st.name} {{ {fields} }}")
+    if module.structs:
+        lines.append("")
+    for gv in module.globals.values():
+        prefix = "const global" if gv.is_constant else "global"
+        lines.append(
+            f"{prefix} @{gv.name} : {format_type(gv.value_type)}"
+            f" = {_format_initializer(gv.initializer)}")
+    if module.globals:
+        lines.append("")
+    for fn in module.functions.values():
+        lines.append(format_function(fn))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

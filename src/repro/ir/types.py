@@ -1,0 +1,261 @@
+"""Type system for the repro IR.
+
+The IR is typed much like LLVM's: integers of arbitrary bit width,
+IEEE floats, typed pointers, fixed-size arrays, named structs, and
+function types.  Types are immutable and compared structurally (named
+structs compare by name so that recursive types work).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+POINTER_SIZE = 8  # bytes; the simulated machine is 64-bit
+
+
+class Type:
+    """Base class of all IR types."""
+
+    @property
+    def size(self) -> int:
+        """Size of a value of this type in bytes."""
+        raise NotImplementedError
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+
+class VoidType(Type):
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a given bit width (i1, i8, i16, i32, i64)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits <= 0 or bits > 64:
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """An IEEE floating point type: f32 or f64."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("float", self.bits))
+
+    def __repr__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(Type):
+    """A typed pointer.  ``pointee`` may be any non-void type."""
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    @property
+    def size(self) -> int:
+        return POINTER_SIZE
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(Type):
+    """A fixed-length array ``[count x element]``."""
+
+    __slots__ = ("element", "count")
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __repr__(self) -> str:
+        return f"[{self.count} x {self.element!r}]"
+
+
+class StructType(Type):
+    """A named struct with ordered fields.
+
+    Structs are identified by name; the body may be set after creation
+    to permit recursive types (e.g. linked-list nodes).  Layout has no
+    padding: field offsets are the running sum of field sizes, which is
+    sufficient for a simulated machine.
+    """
+
+    __slots__ = ("name", "_fields")
+
+    def __init__(self, name: str, fields: Optional[Sequence[Type]] = None):
+        self.name = name
+        self._fields: Optional[Tuple[Type, ...]] = (
+            tuple(fields) if fields is not None else None
+        )
+
+    @property
+    def fields(self) -> Tuple[Type, ...]:
+        if self._fields is None:
+            raise ValueError(f"struct %{self.name} has no body")
+        return self._fields
+
+    def set_body(self, fields: Sequence[Type]) -> None:
+        if self._fields is not None:
+            raise ValueError(f"struct %{self.name} already has a body")
+        self._fields = tuple(fields)
+
+    @property
+    def is_opaque(self) -> bool:
+        return self._fields is None
+
+    @property
+    def size(self) -> int:
+        return sum(f.size for f in self.fields)
+
+    def field_offset(self, index: int) -> int:
+        """Byte offset of field ``index`` from the start of the struct."""
+        if not 0 <= index < len(self.fields):
+            raise IndexError(f"struct %{self.name} has no field {index}")
+        return sum(f.size for f in self.fields[:index])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    __slots__ = ("return_type", "param_types", "vararg")
+
+    def __init__(self, return_type: Type, param_types: Sequence[Type],
+                 vararg: bool = False):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+        self.vararg = vararg
+
+    @property
+    def size(self) -> int:
+        raise TypeError("function types have no size")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+            and other.vararg == self.vararg
+        )
+
+    def __hash__(self) -> int:
+        return hash(("func", self.return_type, self.param_types, self.vararg))
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.param_types)
+        if self.vararg:
+            params = params + ", ..." if params else "..."
+        return f"({params}) -> {self.return_type!r}"
+
+
+# Commonly used singletons.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+I8PTR = PointerType(I8)
+
+
+def pointer_to(ty: Type) -> PointerType:
+    """Convenience constructor for ``ty*``."""
+    return PointerType(ty)

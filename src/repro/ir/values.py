@@ -1,0 +1,148 @@
+"""Value hierarchy for the repro IR.
+
+Every operand of an instruction is a :class:`Value`: constants,
+function arguments, global variables, functions, basic blocks (for
+branch targets), and instructions themselves (their results).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .types import FloatType, IntType, PointerType, Type
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, ty: Type, name: str = ""):
+        self.type = ty
+        self.name = name
+
+    @property
+    def ref(self) -> str:
+        """Textual reference used by the printer (e.g. ``%x`` or ``42``)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref}: {self.type!r}>"
+
+
+class Constant(Value):
+    """An integer or float literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, ty: Type, value: Union[int, float]):
+        super().__init__(ty, "")
+        if isinstance(ty, IntType):
+            value = _wrap_int(int(value), ty.bits)
+        elif isinstance(ty, FloatType):
+            value = float(value)
+        else:
+            raise TypeError(f"constants must be int or float, got {ty!r}")
+        self.value = value
+
+    @property
+    def ref(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class NullPointer(Value):
+    """The null constant of a given pointer type."""
+
+    __slots__ = ()
+
+    def __init__(self, ty: PointerType):
+        super().__init__(ty, "")
+
+    @property
+    def ref(self) -> str:
+        return "null"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullPointer) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("null", self.type))
+
+
+class UndefValue(Value):
+    """An undefined value of a given type."""
+
+    __slots__ = ()
+
+    @property
+    def ref(self) -> str:
+        return "undef"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("function", "index")
+
+    def __init__(self, ty: Type, name: str, function: "object", index: int):
+        super().__init__(ty, name)
+        self.function = function
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    The value itself is a *pointer* to the storage; ``value_type`` is
+    the type of the pointed-to storage.  ``initializer`` is a python
+    value understood by the interpreter (int, float, list, bytes, or
+    None for zero-initialized).
+    """
+
+    __slots__ = ("value_type", "initializer", "is_constant")
+
+    def __init__(self, name: str, value_type: Type, initializer=None,
+                 is_constant: bool = False):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant = is_constant
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+def _wrap_int(value: int, bits: int) -> int:
+    """Wrap ``value`` to the signed range of ``bits``-wide integers."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    if bits > 1 and value & sign:
+        value -= 1 << bits
+    return value
+
+
+def const_int(value: int, bits: int = 32) -> Constant:
+    """Shorthand for an integer constant."""
+    return Constant(IntType(bits), value)
+
+
+def const_float(value: float, bits: int = 64) -> Constant:
+    """Shorthand for a float constant."""
+    return Constant(FloatType(bits), value)
+
+
+def null(pointee: Type) -> NullPointer:
+    """Shorthand for the null pointer of type ``pointee*``."""
+    return NullPointer(PointerType(pointee))

@@ -1,0 +1,166 @@
+"""Structural verifier for IR modules.
+
+Checks the invariants the analyses and the interpreter rely on:
+terminated blocks, phi/predecessor agreement, operand visibility, and
+type sanity of memory operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    CallInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from .module import Module
+from .types import PointerType
+from .values import Argument, Constant, NullPointer, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates a structural invariant."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function; raise VerificationError on failure."""
+    errors: List[str] = []
+    for fn in module.defined_functions:
+        errors.extend(_verify_function(fn))
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(fn: Function) -> List[str]:
+    errors: List[str] = []
+    where = f"@{fn.name}"
+
+    if not fn.blocks:
+        return [f"{where}: defined function has no blocks"]
+
+    names: Set[str] = set()
+    for bb in fn.blocks:
+        if bb.name in names:
+            errors.append(f"{where}: duplicate block name %{bb.name}")
+        names.add(bb.name)
+
+    defined: Set[int] = set()
+    value_names: Set[str] = {a.name for a in fn.args}
+    for bb in fn.blocks:
+        for inst in bb.instructions:
+            defined.add(id(inst))
+            if inst.name:
+                if inst.name in value_names:
+                    errors.append(f"{where}: duplicate value name "
+                                  f"%{inst.name}")
+                value_names.add(inst.name)
+
+    for bb in fn.blocks:
+        errors.extend(_verify_block(fn, bb, defined))
+
+    # Entry block must not have predecessors (keeps loop analysis simple).
+    if fn.entry.predecessors:
+        errors.append(f"{where}: entry block %{fn.entry.name} has predecessors")
+
+    return errors
+
+
+def _verify_block(fn: Function, bb: BasicBlock, defined: Set[int]) -> List[str]:
+    errors: List[str] = []
+    where = f"@{fn.name}:%{bb.name}"
+
+    if not bb.is_terminated:
+        errors.append(f"{where}: block lacks a terminator")
+    for inst in bb.instructions[:-1]:
+        if inst.is_terminator:
+            errors.append(f"{where}: terminator {inst.opcode} "
+                          "in the middle of a block")
+
+    seen_non_phi = False
+    for inst in bb.instructions:
+        if isinstance(inst, PhiInst):
+            if seen_non_phi:
+                errors.append(f"{where}: phi %{inst.name} after "
+                              "non-phi instruction")
+            errors.extend(_verify_phi(fn, bb, inst))
+        else:
+            seen_non_phi = True
+        errors.extend(_verify_operands(fn, bb, inst, defined))
+        errors.extend(_verify_types(fn, bb, inst))
+    return errors
+
+
+def _verify_phi(fn: Function, bb: BasicBlock, phi: PhiInst) -> List[str]:
+    errors: List[str] = []
+    where = f"@{fn.name}:%{bb.name}:%{phi.name}"
+    preds = set(id(p) for p in bb.predecessors)
+    incoming = set(id(b) for _, b in phi.incoming)
+    if preds != incoming:
+        pred_names = sorted(p.name for p in bb.predecessors)
+        in_names = sorted(b.name for _, b in phi.incoming)
+        errors.append(f"{where}: phi incoming blocks {in_names} "
+                      f"!= predecessors {pred_names}")
+    for value, _ in phi.incoming:
+        if value.type != phi.type and not isinstance(value, UndefValue):
+            errors.append(f"{where}: incoming value type {value.type!r} "
+                          f"!= phi type {phi.type!r}")
+    return errors
+
+
+def _verify_operands(fn: Function, bb: BasicBlock, inst: Instruction,
+                     defined: Set[int]) -> List[str]:
+    errors: List[str] = []
+    where = f"@{fn.name}:%{bb.name}"
+    for op in inst.operands:
+        if isinstance(op, (Constant, NullPointer, UndefValue, BasicBlock)):
+            continue
+        if isinstance(op, Argument):
+            if op.function is not fn:
+                errors.append(f"{where}: operand %{op.name} is an argument "
+                              "of a different function")
+            continue
+        if isinstance(op, Instruction):
+            if id(op) not in defined:
+                errors.append(f"{where}: operand %{op.name} is not defined "
+                              "in this function")
+            continue
+        # Globals and functions are fine; placeholders are not.
+        if type(op).__name__ == "_Placeholder":
+            errors.append(f"{where}: unresolved placeholder %{op.name}")
+    return errors
+
+
+def _verify_types(fn: Function, bb: BasicBlock, inst: Instruction) -> List[str]:
+    errors: List[str] = []
+    where = f"@{fn.name}:%{bb.name}"
+    if isinstance(inst, LoadInst):
+        if not isinstance(inst.pointer.type, PointerType):
+            errors.append(f"{where}: load from non-pointer")
+    elif isinstance(inst, StoreInst):
+        ptr_ty = inst.pointer.type
+        if not isinstance(ptr_ty, PointerType):
+            errors.append(f"{where}: store to non-pointer")
+        elif (ptr_ty.pointee != inst.value.type
+              and not isinstance(inst.value, UndefValue)):
+            errors.append(f"{where}: store of {inst.value.type!r} "
+                          f"through {ptr_ty!r}")
+    elif isinstance(inst, CallInst):
+        callee = inst.callee
+        params = callee.func_type.param_types
+        if not callee.func_type.vararg and len(inst.args) != len(params):
+            errors.append(f"{where}: call to @{callee.name} with "
+                          f"{len(inst.args)} args, expected {len(params)}")
+        for arg, ty in zip(inst.args, params):
+            if arg.type != ty and not isinstance(arg, UndefValue):
+                errors.append(f"{where}: call arg type {arg.type!r} != "
+                              f"param type {ty!r} for @{callee.name}")
+    return errors

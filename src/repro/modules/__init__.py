@@ -1,0 +1,6 @@
+"""Analysis modules: memory analysis (CAF) and speculation (SCAF)."""
+
+from .memory import default_memory_modules
+from .speculation import default_speculation_modules
+
+__all__ = ["default_memory_modules", "default_speculation_modules"]

@@ -1,0 +1,59 @@
+"""The 13 memory-analysis modules (§4.1, after CAF).
+
+Each algorithm attacks one of the four dependence conditions of §2.1
+(alias, update, feasible-path, no-kill).  Several are *factored*:
+they issue premise queries resolvable by any module in the ensemble —
+including, under SCAF, the speculation modules.
+"""
+
+from .basic import BasicAA
+from .callsite import CallsiteSummaryAA
+from .capture import NoCaptureGlobalAA, NoCaptureSourceAA
+from .common import (
+    capture_instructions,
+    interval_alias,
+    is_allocator_call,
+    is_identified_object,
+    object_size,
+    premise_unexecutable,
+    strip_pointer,
+    underlying_base,
+)
+from .field import FieldMallocAA, TypeBasedFieldAA
+from .globals_aa import GlobalMallocAA, UniqueAccessPathsAA
+from .killflow import KillFlowAA
+from .reachability import ReachabilityAA
+from .scev_aa import InductionVariableAA, ScalarEvolutionAA, affine_disjoint
+from .stdlib import STDLIB_MODELS, StdLibAA
+
+
+def default_memory_modules(context, profiles=None):
+    """The full CAF ensemble, in default evaluation order."""
+    classes = (
+        BasicAA,
+        TypeBasedFieldAA,
+        FieldMallocAA,
+        InductionVariableAA,
+        ScalarEvolutionAA,
+        StdLibAA,
+        ReachabilityAA,
+        NoCaptureGlobalAA,
+        NoCaptureSourceAA,
+        GlobalMallocAA,
+        UniqueAccessPathsAA,
+        CallsiteSummaryAA,
+        KillFlowAA,
+    )
+    return [cls(context, profiles) for cls in classes]
+
+
+__all__ = [
+    "BasicAA", "CallsiteSummaryAA", "NoCaptureGlobalAA", "NoCaptureSourceAA",
+    "FieldMallocAA", "TypeBasedFieldAA", "GlobalMallocAA",
+    "UniqueAccessPathsAA", "KillFlowAA", "ReachabilityAA",
+    "InductionVariableAA", "ScalarEvolutionAA", "StdLibAA",
+    "STDLIB_MODELS", "affine_disjoint", "default_memory_modules",
+    "capture_instructions", "interval_alias", "is_allocator_call",
+    "is_identified_object", "object_size", "premise_unexecutable",
+    "strip_pointer", "underlying_base",
+]

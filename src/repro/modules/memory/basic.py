@@ -1,0 +1,71 @@
+"""BasicAA: identified objects and constant-offset intervals.
+
+The workhorse disambiguator: distinct globals and stack slots never
+alias, and two accesses off the same base with constant offsets alias
+exactly as their byte intervals dictate.
+"""
+
+from __future__ import annotations
+
+from ...core.module import AnalysisModule, Resolver
+from ...ir import AllocaInst, GlobalVariable, NullPointer
+from ...query import AliasQuery, AliasResult, QueryResponse
+from .common import (
+    interval_alias,
+    is_allocator_call,
+    is_identified_object,
+    is_loop_variant,
+    strip_pointer,
+)
+
+
+class BasicAA(AnalysisModule):
+    """Disproves the *alias* condition for obviously-distinct objects."""
+
+    name = "basic-aa"
+
+    def alias(self, query: AliasQuery, resolver: Resolver) -> QueryResponse:
+        p1, s1 = query.loc1.pointer, query.loc1.size
+        p2, s2 = query.loc2.pointer, query.loc2.size
+        b1, o1 = strip_pointer(p1)
+        b2, o2 = strip_pointer(p2)
+
+        # Null never aliases an identified object.
+        if isinstance(b1, NullPointer) or isinstance(b2, NullPointer):
+            if b1 is not b2 and (is_identified_object(b1)
+                                 or is_identified_object(b2)):
+                return QueryResponse.no_alias()
+
+        if b1 is b2:
+            return self._same_base(query, b1, o1, s1, o2, s2)
+
+        if is_identified_object(b1) and is_identified_object(b2):
+            # Globals, allocas, and fresh heap blocks are pairwise
+            # distinct objects; accesses within them cannot overlap.
+            return QueryResponse.no_alias()
+
+        return QueryResponse.may_alias()
+
+    def _same_base(self, query: AliasQuery, base, o1, s1, o2, s2
+                   ) -> QueryResponse:
+        # Across iterations, a base produced inside the loop may denote
+        # a different object (or address) per iteration; only an
+        # invariant base lets us compare offsets directly.  Same-base
+        # loop-variant cases are the SCEV/IV modules' job.
+        if query.relation.is_cross_iteration and \
+                is_loop_variant(base, query.loop):
+            return QueryResponse.may_alias()
+
+        if o1 is not None and o2 is not None:
+            return QueryResponse.free(interval_alias(o1, s1, o2, s2))
+
+        # Identical pointer SSA value with an invariant base: the
+        # addresses coincide even without constant offsets.
+        if query.loc1.pointer is query.loc2.pointer and s1 > 0 and s2 > 0:
+            if not is_loop_variant(query.loc1.pointer, query.loop) or \
+                    not query.relation.is_cross_iteration:
+                if s1 == s2:
+                    return QueryResponse.must_alias()
+                return QueryResponse.free(AliasResult.SUB_ALIAS)
+
+        return QueryResponse.may_alias()

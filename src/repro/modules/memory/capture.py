@@ -1,0 +1,88 @@
+"""No-capture reasoning: NoCaptureGlobalAA and NoCaptureSourceAA.
+
+A pointer whose address never *escapes* (is never stored to memory or
+passed to an unknown callee) cannot be reached through unrelated
+pointers.  Both modules are *factored*: when the escape scan finds a
+capturing instruction, they ask the ensemble whether that instruction
+can actually execute — which the control-speculation module answers
+for profile-dead code (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.module import AnalysisModule, Resolver
+from ...ir import GlobalVariable, Value
+from ...query import AliasQuery, AliasResult, OptionSet, QueryResponse
+from .common import (
+    capture_instructions,
+    is_allocator_call,
+    is_identified_object,
+    premise_unexecutable,
+    strip_pointer,
+)
+
+
+class _NoCaptureBase(AnalysisModule):
+    """Common machinery: prove one side non-captured, other side foreign."""
+
+    def _anchor_matches(self, base: Value) -> bool:
+        raise NotImplementedError
+
+    def alias(self, query: AliasQuery, resolver: Resolver) -> QueryResponse:
+        if query.desired is AliasResult.MUST_ALIAS:
+            return QueryResponse.may_alias()
+        pairs = ((query.loc1, query.loc2), (query.loc2, query.loc1))
+        for loc_a, loc_b in pairs:
+            base_a, _ = strip_pointer(loc_a.pointer)
+            if not self._anchor_matches(base_a):
+                continue
+            base_b, _ = strip_pointer(loc_b.pointer)
+            if base_b is base_a or is_identified_object(base_b):
+                # Same object, or a distinct identified object —
+                # BasicAA territory either way.
+                continue
+            options = self._prove_uncaptured(base_a, query, resolver)
+            if options is not None:
+                return QueryResponse(AliasResult.NO_ALIAS, options)
+        return QueryResponse.may_alias()
+
+    def _prove_uncaptured(self, base: Value, query: AliasQuery,
+                          resolver: Resolver) -> Optional[OptionSet]:
+        """OptionSet under which ``base`` never escapes, else None.
+
+        Static captures may be discharged by premise queries showing
+        the capturing instruction cannot execute.
+        """
+        captures = capture_instructions(self.context, base)
+        if captures is None:
+            return None
+        options = OptionSet.free()
+        for capture in captures:
+            response = premise_unexecutable(resolver, capture, query)
+            if response is None:
+                return None
+            options = options * response.options
+            if options.is_empty:
+                return None
+        return options
+
+
+class NoCaptureGlobalAA(_NoCaptureBase):
+    """A never-escaping global cannot alias unknown-origin pointers."""
+
+    name = "no-capture-global-aa"
+
+    def _anchor_matches(self, base: Value) -> bool:
+        return isinstance(base, GlobalVariable)
+
+
+class NoCaptureSourceAA(_NoCaptureBase):
+    """A never-escaping heap allocation cannot alias unknown-origin
+    pointers."""
+
+    name = "no-capture-source-aa"
+
+    def _anchor_matches(self, base: Value) -> bool:
+        return is_allocator_call(base)

@@ -1,0 +1,203 @@
+"""KillFlowAA: dependences killed by intervening stores (§2.1 no-kill).
+
+A dependence from ``i1`` to ``i2`` cannot exist if every execution
+path between the two accesses passes a store that overwrites the
+entire dependence footprint.  This is a *factored* module: whether a
+candidate store covers the footprint is established through a premise
+must-alias query, answerable by any module in the ensemble — and the
+path reasoning uses whatever control-flow view the query carries,
+which is how speculative control flow (Figure 5/6) becomes profitable
+here without this module knowing anything about speculation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...analysis import Loop
+from ...core.module import AnalysisModule, Resolver
+from ...ir import BasicBlock, Instruction, StoreInst
+from ...query import (
+    AliasQuery,
+    AliasResult,
+    CFGView,
+    MemoryLocation,
+    ModRefQuery,
+    ModRefResult,
+    QueryResponse,
+    TemporalRelation,
+)
+
+#: Cap on candidate killing stores examined per query.
+MAX_CANDIDATES = 64
+
+
+class KillFlowAA(AnalysisModule):
+    """Disproves the *no-kill* condition of §2.1."""
+
+    name = "kill-flow-aa"
+
+    def modref(self, query: ModRefQuery, resolver: Resolver) -> QueryResponse:
+        i1 = query.inst
+        i2 = query.target
+        if not isinstance(i2, Instruction):
+            return QueryResponse.mod_ref()
+        # Killing only removes dependences sourced at a write.
+        if not i1.writes_memory:
+            return QueryResponse.mod_ref()
+        loc1 = self.footprint(i1)
+        loc2 = self.footprint(i2)
+        if loc1 is None or loc2 is None:
+            return QueryResponse.mod_ref()
+        fn = i1.function
+        if fn is None or fn is not i2.function:
+            return QueryResponse.mod_ref()
+        if query.relation is TemporalRelation.AFTER:
+            return QueryResponse.mod_ref()
+        cfg = self.cfg_view(query)
+        if cfg is None:
+            return QueryResponse.mod_ref()
+
+        cross = query.relation.is_cross_iteration
+        if cross and (query.loop is None or not query.loop.contains(i1)
+                      or not query.loop.contains(i2)):
+            return QueryResponse.mod_ref()
+
+        for kill in self._candidates(fn, query)[:MAX_CANDIDATES]:
+            if kill is i1 or kill is i2 or not cfg.is_live(kill.parent):
+                continue
+            response = self._try_kill(kill, i1, loc1, i2, loc2, query,
+                                      cfg, resolver)
+            if response is not None:
+                return response
+        return QueryResponse.mod_ref()
+
+    def _candidates(self, fn, query: ModRefQuery) -> List[StoreInst]:
+        if query.relation.is_cross_iteration and query.loop is not None:
+            insts = query.loop.instructions()
+        else:
+            insts = fn.instructions()
+        return [i for i in insts if isinstance(i, StoreInst)]
+
+    def _try_kill(self, kill: StoreInst, i1: Instruction,
+                  loc1: MemoryLocation, i2: Instruction,
+                  loc2: MemoryLocation, query: ModRefQuery, cfg: CFGView,
+                  resolver: Resolver) -> Optional[QueryResponse]:
+        """NoModRef if ``kill`` blocks every i1→i2 path and overwrites
+        the dependence footprint; None otherwise."""
+        loop = query.loop
+        # Which footprints may the kill guard?  Guarding the
+        # destination requires the kill to execute in i2's iteration
+        # before i2; guarding the source requires it to execute in
+        # i1's iteration after i1 and before the iteration ends.
+        guard_dst = False
+        guard_src = False
+        if query.relation.is_cross_iteration:
+            in_loop = loop is not None and loop.contains(kill)
+            if in_loop:
+                guard_dst = cfg.dominates(kill, i2)
+                guard_src = _blocks_all_latch_paths(cfg, loop, i1, kill)
+        else:
+            guard_dst = cfg.dominates(i1, kill) and cfg.dominates(kill, i2)
+            if not guard_dst:
+                # Precise fallback: no intra-iteration i1→i2 path
+                # avoids the kill (covers either footprint).
+                if not _exists_path_avoiding(cfg, loop, i1, i2, kill):
+                    guard_dst = guard_src = True
+        if not (guard_dst or guard_src):
+            return None
+
+        kill_loc = MemoryLocation.of(kill)
+        for guarded, loc in ((guard_dst, loc2), (guard_src, loc1)):
+            if not guarded or loc.size <= 0 or kill_loc.size < loc.size:
+                continue
+            premise = AliasQuery(kill_loc, TemporalRelation.SAME, loc,
+                                 query.loop, query.context, cfg,
+                                 desired=AliasResult.MUST_ALIAS)
+            answer = resolver.premise(premise)
+            if answer.result is AliasResult.MUST_ALIAS:
+                return QueryResponse(ModRefResult.NO_MOD_REF, answer.options)
+        return None
+
+
+def _allowed(cfg: CFGView, loop: Optional[Loop], bb: BasicBlock) -> bool:
+    """May an intra-iteration path pass through ``bb``?
+
+    Paths are confined to live blocks and, within a loop, to the loop
+    body excluding a return to the header (which would start a new
+    iteration).
+    """
+    if not cfg.is_live(bb):
+        return False
+    if loop is not None:
+        return bb in loop.blocks and bb is not loop.header
+    return True
+
+
+def _exists_path_avoiding(cfg: CFGView, loop: Optional[Loop],
+                          i1: Instruction, i2: Instruction,
+                          kill: Instruction) -> bool:
+    """Is there an intra-iteration execution path from ``i1`` to ``i2``
+    that does not execute ``kill``?"""
+    start = i1.parent
+    insts = start.instructions
+    # Walk the remainder of i1's block.
+    for inst in insts[insts.index(i1) + 1:]:
+        if inst is kill:
+            return False  # every continuation from i1 hits the kill first
+        if inst is i2:
+            return True
+
+    visited = set()
+    work = [s for s in start.successors]
+    while work:
+        bb = work.pop()
+        if bb in visited:
+            continue
+        visited.add(bb)
+        if not _allowed(cfg, loop, bb):
+            continue
+        blocked = False
+        for inst in bb.instructions:
+            if inst is kill:
+                blocked = True
+                break
+            if inst is i2:
+                return True
+        if not blocked:
+            work.extend(bb.successors)
+    return False
+
+
+def _blocks_all_latch_paths(cfg: CFGView, loop: Loop, i1: Instruction,
+                            kill: Instruction) -> bool:
+    """Does every path from ``i1`` to the end of the current iteration
+    (a live back edge to the header) pass through ``kill``?
+
+    If so, the kill executes after ``i1`` within ``i1``'s own
+    iteration on every continuation that reaches a later iteration.
+    """
+    start = i1.parent
+    insts = start.instructions
+    for inst in insts[insts.index(i1) + 1:]:
+        if inst is kill:
+            return True
+
+    # DFS over the loop body avoiding the kill; reaching the header
+    # (completing a back edge) means a kill-free path to the next
+    # iteration exists.
+    visited = set()
+    work = [s for s in start.successors]
+    while work:
+        bb = work.pop()
+        if bb in visited:
+            continue
+        visited.add(bb)
+        if bb is loop.header:
+            return False  # completed an iteration without the kill
+        if not _allowed(cfg, loop, bb):
+            continue
+        if any(inst is kill for inst in bb.instructions):
+            continue  # this route is blocked by the kill
+        work.extend(bb.successors)
+    return True

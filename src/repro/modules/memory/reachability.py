@@ -1,0 +1,129 @@
+"""ReachabilityAA: disproves the *feasible-path* condition of §2.1.
+
+A dependence from ``i1`` to ``i2`` needs an execution path from the
+first access to the second.  Intra-iteration (SAME) queries need a
+path that stays within the current iteration; cross-iteration
+(BEFORE) queries need the source to complete its iteration and the
+destination to be reachable in a later one.  All reasoning uses the
+control-flow view attached to the query, so speculatively-pruned
+control flow sharpens this module transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...analysis import Loop
+from ...core.module import AnalysisModule, Resolver
+from ...ir import BasicBlock, Instruction
+from ...query import (
+    CFGView,
+    ModRefQuery,
+    ModRefResult,
+    QueryResponse,
+    TemporalRelation,
+)
+
+
+class ReachabilityAA(AnalysisModule):
+    """No feasible path ⇒ no dependence."""
+
+    name = "reachability-aa"
+
+    def modref(self, query: ModRefQuery, resolver: Resolver) -> QueryResponse:
+        i1 = query.inst
+        i2 = query.target
+        if not isinstance(i2, Instruction):
+            return QueryResponse.mod_ref()
+        fn = i1.function
+        if fn is None or fn is not i2.function:
+            return QueryResponse.mod_ref()
+        if not i1.accesses_memory or not i2.accesses_memory:
+            return QueryResponse.no_mod_ref()
+        cfg = self.cfg_view(query)
+        if cfg is None:
+            return QueryResponse.mod_ref()
+
+        # An access in a dead block can never execute.
+        if not cfg.is_live(i1.parent) or not cfg.is_live(i2.parent):
+            return QueryResponse.no_mod_ref()
+
+        if query.relation is TemporalRelation.AFTER:
+            return QueryResponse.mod_ref()
+
+        if query.relation is TemporalRelation.SAME:
+            if not _intra_iteration_path(cfg, query.loop, i1, i2):
+                return QueryResponse.no_mod_ref()
+            return QueryResponse.mod_ref()
+
+        # BEFORE: i1 must complete its iteration (reach a live back
+        # edge) and i2 must be reachable from the header within an
+        # iteration.
+        loop = query.loop
+        if loop is None:
+            return QueryResponse.mod_ref()
+        if not loop.contains(i1) or not loop.contains(i2):
+            return QueryResponse.no_mod_ref()
+        if not _reaches_next_iteration(cfg, loop, i1):
+            return QueryResponse.no_mod_ref()
+        header_first = loop.header.instructions[0]
+        if i2 is not header_first and \
+                not _intra_iteration_path(cfg, loop, header_first, i2,
+                                          include_start=True):
+            return QueryResponse.no_mod_ref()
+        return QueryResponse.mod_ref()
+
+
+def _allowed(cfg: CFGView, loop: Optional[Loop], bb: BasicBlock) -> bool:
+    if not cfg.is_live(bb):
+        return False
+    if loop is not None:
+        return bb in loop.blocks and bb is not loop.header
+    return True
+
+
+def _intra_iteration_path(cfg: CFGView, loop: Optional[Loop],
+                          i1: Instruction, i2: Instruction,
+                          include_start: bool = False) -> bool:
+    """Is there a path from ``i1`` to ``i2`` not crossing an iteration
+    boundary of ``loop``?  ``include_start`` treats ``i1`` itself as a
+    valid meeting point (used for header-to-instruction queries)."""
+    start = i1.parent
+    insts = start.instructions
+    begin = insts.index(i1) + (0 if include_start else 1)
+    for inst in insts[begin:]:
+        if inst is i2:
+            return True
+
+    visited = set()
+    work = list(start.successors)
+    while work:
+        bb = work.pop()
+        if bb in visited:
+            continue
+        visited.add(bb)
+        if not _allowed(cfg, loop, bb):
+            continue
+        if any(inst is i2 for inst in bb.instructions):
+            return True
+        work.extend(bb.successors)
+    return False
+
+
+def _reaches_next_iteration(cfg: CFGView, loop: Loop,
+                            i1: Instruction) -> bool:
+    """Can execution continue from ``i1`` to a later iteration (reach
+    the header via a live back edge without leaving the loop)?"""
+    visited = set()
+    work = list(i1.parent.successors)
+    while work:
+        bb = work.pop()
+        if bb is loop.header:
+            return True
+        if bb in visited:
+            continue
+        visited.add(bb)
+        if not _allowed(cfg, loop, bb):
+            continue
+        work.extend(bb.successors)
+    return False

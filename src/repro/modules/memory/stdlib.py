@@ -1,0 +1,187 @@
+"""StdLibAA: memory models of the C standard library.
+
+Each supported external function declares which argument-rooted
+memory it reads or writes and whether it touches hidden library state
+(e.g. the PRNG or stdio).  ``StdLibAA`` consumes the models directly;
+``CallsiteSummaryAA`` folds them into interprocedural summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ...core.module import AnalysisModule, Resolver
+from ...ir import CallInst, Constant, Instruction
+from ...query import (
+    AliasQuery,
+    AliasResult,
+    MemoryLocation,
+    ModRefQuery,
+    ModRefResult,
+    OptionSet,
+    QueryResponse,
+)
+
+
+@dataclass(frozen=True)
+class ArgAccess:
+    """One argument-rooted access of a library function."""
+
+    arg_index: int
+    mode: str                       # "mod" | "ref"
+    size_arg: Optional[int] = None  # argument carrying the byte count
+
+
+@dataclass(frozen=True)
+class LibFnModel:
+    """Memory behaviour of one external function."""
+
+    accesses: Tuple[ArgAccess, ...] = ()
+    state: Optional[str] = None  # hidden state root ("rng", "stdio", ...)
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.accesses and self.state is None
+
+
+STDLIB_MODELS: Dict[str, LibFnModel] = {
+    # Allocation: fresh memory only; no program-visible accesses.
+    "malloc": LibFnModel(),
+    "calloc": LibFnModel(),
+    "free": LibFnModel(accesses=(ArgAccess(0, "mod"),)),
+    # Block operations.
+    "memcpy": LibFnModel(accesses=(ArgAccess(0, "mod", size_arg=2),
+                                   ArgAccess(1, "ref", size_arg=2))),
+    "memmove": LibFnModel(accesses=(ArgAccess(0, "mod", size_arg=2),
+                                    ArgAccess(1, "ref", size_arg=2))),
+    "memset": LibFnModel(accesses=(ArgAccess(0, "mod", size_arg=2),)),
+    # PRNG: hidden state only.
+    "rand": LibFnModel(state="rng"),
+    "srand": LibFnModel(state="rng"),
+    # Stdio: reads pointer args, mutates stream state.
+    "printf": LibFnModel(accesses=(ArgAccess(0, "ref"),), state="stdio"),
+    "puts": LibFnModel(accesses=(ArgAccess(0, "ref"),), state="stdio"),
+    "putchar": LibFnModel(state="stdio"),
+    "exit": LibFnModel(state="stdio"),
+    "abort": LibFnModel(state="stdio"),
+    # Math: pure.
+    "sqrt": LibFnModel(), "sin": LibFnModel(), "cos": LibFnModel(),
+    "exp": LibFnModel(), "log": LibFnModel(), "fabs": LibFnModel(),
+    "floor": LibFnModel(), "ceil": LibFnModel(), "pow": LibFnModel(),
+    "abs": LibFnModel(),
+}
+
+
+def model_of(inst: Instruction) -> Optional[LibFnModel]:
+    """The library model of a call, if it targets a modeled declaration."""
+    if isinstance(inst, CallInst) and inst.callee.is_declaration:
+        return STDLIB_MODELS.get(inst.callee.name)
+    return None
+
+
+def access_location(call: CallInst, access: ArgAccess) -> MemoryLocation:
+    """The caller-side memory location of one modeled argument access."""
+    pointer = call.args[access.arg_index]
+    size = 0
+    if access.size_arg is not None and access.size_arg < len(call.args):
+        size_value = call.args[access.size_arg]
+        if isinstance(size_value, Constant):
+            size = int(size_value.value)
+    return MemoryLocation(pointer, size)
+
+
+class StdLibAA(AnalysisModule):
+    """Disproves the *update* condition for modeled library calls."""
+
+    name = "stdlib-aa"
+
+    def modref(self, query: ModRefQuery, resolver: Resolver) -> QueryResponse:
+        i1 = query.inst
+        i2 = query.target
+
+        m1 = model_of(i1)
+        m2 = model_of(i2) if isinstance(i2, Instruction) else None
+        if m1 is None and m2 is None:
+            return QueryResponse.mod_ref()
+
+        # Pure library calls interact with nothing.
+        if m1 is not None and m1.is_pure:
+            return QueryResponse.no_mod_ref()
+        if m2 is not None and m2.is_pure:
+            return QueryResponse.no_mod_ref()
+
+        # Hidden library state never aliases program memory; two calls
+        # interact only through a shared state root.
+        if m1 is not None and m2 is not None:
+            return self._call_vs_call(i1, m1, i2, m2, query, resolver)
+        if m1 is not None:
+            return self._call_vs_location(i1, m1, query.target_location,
+                                          query, resolver, call_is_subject=True)
+        return self._call_vs_location(i2, m2, self.footprint(i1), query,
+                                      resolver, call_is_subject=False)
+
+    def _call_vs_call(self, c1: CallInst, m1: LibFnModel, c2: CallInst,
+                      m2: LibFnModel, query: ModRefQuery,
+                      resolver: Resolver) -> QueryResponse:
+        if m1.state is not None and m1.state == m2.state:
+            return QueryResponse.mod_ref()  # serialized via library state
+        mod = ref = False
+        options = OptionSet.free()
+        for a1 in m1.accesses:
+            loc1 = access_location(c1, a1)
+            for a2 in m2.accesses:
+                if a1.mode == "ref" and a2.mode == "ref":
+                    continue
+                loc2 = access_location(c2, a2)
+                answer = resolver.premise(AliasQuery(
+                    loc1, query.relation, loc2, query.loop, query.context,
+                    query.cfg, desired=AliasResult.NO_ALIAS))
+                if answer.result is AliasResult.NO_ALIAS:
+                    options = options * answer.options
+                    if options.is_empty:
+                        return QueryResponse.mod_ref()
+                    continue
+                mod = mod or a1.mode == "mod"
+                ref = ref or a1.mode == "ref"
+        return _join_flags(mod, ref, options)
+
+    def _call_vs_location(self, call: CallInst, model: LibFnModel,
+                          other: Optional[MemoryLocation],
+                          query: ModRefQuery, resolver: Resolver,
+                          call_is_subject: bool) -> QueryResponse:
+        if other is None:
+            return QueryResponse.mod_ref()
+        mod = ref = False
+        options = OptionSet.free()
+        other_writes = (not call_is_subject) or query.inst.writes_memory
+        for access in model.accesses:
+            loc = access_location(call, access)
+            answer = resolver.premise(AliasQuery(
+                loc, query.relation, other, query.loop, query.context,
+                query.cfg, desired=AliasResult.NO_ALIAS))
+            if answer.result is AliasResult.NO_ALIAS:
+                options = options * answer.options
+                if options.is_empty:
+                    return QueryResponse.mod_ref()
+                continue
+            mod = mod or access.mode == "mod"
+            ref = ref or access.mode == "ref"
+        if not call_is_subject:
+            # The subject is a plain load/store; the result must
+            # describe *its* effect on the call's footprint.
+            if not (mod or ref):
+                return QueryResponse(ModRefResult.NO_MOD_REF, options)
+            cap = self.intrinsic_capability(query.inst)
+            return QueryResponse(cap, options) \
+                if cap is not ModRefResult.MOD_REF else QueryResponse.mod_ref()
+        return _join_flags(mod, ref, options)
+
+
+def _join_flags(mod: bool, ref: bool, options: OptionSet) -> QueryResponse:
+    if not mod and not ref:
+        return QueryResponse(ModRefResult.NO_MOD_REF, options)
+    if mod and ref:
+        return QueryResponse.mod_ref()
+    return QueryResponse(ModRefResult.MOD if mod else ModRefResult.REF,
+                         options)

@@ -1,0 +1,53 @@
+"""The speculation modules (§4.2) plus the memory-speculation baseline."""
+
+from .common import (
+    CONTROL_SPEC_CHECK,
+    HEAP_CHECK,
+    MEMORY_SPEC_CHECK,
+    MODULE_CONTROL,
+    MODULE_MEMORY_SPEC,
+    MODULE_POINTS_TO,
+    MODULE_READ_ONLY,
+    MODULE_RESIDUE,
+    MODULE_SHORT_LIVED,
+    MODULE_VALUE_PRED,
+    RESIDUE_CHECK,
+    SHORT_LIVED_ITER_CHECK,
+    VALUE_PRED_CHECK,
+    execution_count,
+    replace_points_to_assertions,
+    validation_cost,
+)
+from .control import ControlSpeculation
+from .memory_spec import MemorySpeculation
+from .points_to import PointsToSpeculation
+from .residue import PointerResidue
+from .separation import ReadOnly, ShortLived
+from .value_prediction import ValuePrediction
+
+
+def default_speculation_modules(context, profiles):
+    """The six SCAF speculation modules (memory speculation excluded,
+    exactly as in §5's evaluation of SCAF and confluence)."""
+    classes = (
+        ControlSpeculation,
+        ValuePrediction,
+        PointerResidue,
+        ReadOnly,
+        ShortLived,
+        PointsToSpeculation,
+    )
+    return [cls(context, profiles) for cls in classes]
+
+
+__all__ = [
+    "ControlSpeculation", "MemorySpeculation", "PointsToSpeculation",
+    "PointerResidue", "ReadOnly", "ShortLived", "ValuePrediction",
+    "default_speculation_modules",
+    "CONTROL_SPEC_CHECK", "HEAP_CHECK", "MEMORY_SPEC_CHECK",
+    "MODULE_CONTROL", "MODULE_MEMORY_SPEC", "MODULE_POINTS_TO",
+    "MODULE_READ_ONLY", "MODULE_RESIDUE", "MODULE_SHORT_LIVED",
+    "MODULE_VALUE_PRED", "RESIDUE_CHECK", "SHORT_LIVED_ITER_CHECK",
+    "VALUE_PRED_CHECK", "execution_count", "replace_points_to_assertions",
+    "validation_cost",
+]

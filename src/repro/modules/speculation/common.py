@@ -1,0 +1,71 @@
+"""Shared machinery for speculation modules (§4.2.1).
+
+Implements the design pattern for speculation modules in a
+collaborative environment: assertion construction with the
+(id, transformation points, estimated cost, conflict points) tuple,
+validation-cost estimation from profiled execution counts, and the
+points-to-assertion replacement rule of §4.2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ir import Instruction
+from ...profiling import EdgeProfile
+from ...query import OptionSet, PROHIBITIVE_COST, SpeculativeAssertion
+
+# -- per-invocation validation latency estimates (§4.2.1) --------------------
+#
+# Relative latencies of one execution of each validation snippet,
+# mirroring Figure 7: SCAF's checks are a few ALU ops / one compare,
+# while a memory-speculation check walks shadow memory (many ops
+# including loads and stores).
+
+CONTROL_SPEC_CHECK = 0.0      # the branch is computed anyway
+VALUE_PRED_CHECK = 1.0        # one compare against the predicted value
+RESIDUE_CHECK = 1.0           # mask + compare on the computed pointer
+HEAP_CHECK = 1.0              # mask + compare (points-to heap check)
+SHORT_LIVED_ITER_CHECK = 2.0  # allocation/free counter per iteration
+MEMORY_SPEC_CHECK = 30.0      # shadow-memory read/check/update per access
+
+MODULE_CONTROL = "control-spec"
+MODULE_VALUE_PRED = "value-prediction"
+MODULE_RESIDUE = "pointer-residue"
+MODULE_POINTS_TO = "points-to"
+MODULE_READ_ONLY = "read-only"
+MODULE_SHORT_LIVED = "short-lived"
+MODULE_MEMORY_SPEC = "memory-speculation"
+
+
+def execution_count(edge_profile: Optional[EdgeProfile],
+                    inst: Instruction) -> int:
+    """Profiled execution count of an instruction (via its block)."""
+    if edge_profile is None or inst.parent is None:
+        return 0
+    return edge_profile.block_count(inst.parent)
+
+
+def validation_cost(edge_profile: Optional[EdgeProfile],
+                    inst: Instruction, per_check: float) -> float:
+    """Total validation cost: per-check latency × execution count
+    (§4.2.1, Estimated Cost Computation)."""
+    return per_check * max(1, execution_count(edge_profile, inst))
+
+
+def replace_points_to_assertions(options: OptionSet,
+                                 replacement: SpeculativeAssertion
+                                 ) -> OptionSet:
+    """§4.2.3: separation-based modules may drop points-to assertions
+    from premise responses and substitute their own heap check.
+
+    Any option containing a points-to assertion has it removed and the
+    module's own (cheap) assertion added; other assertions (e.g.
+    control speculation) are preserved.
+    """
+    rebuilt = []
+    for option in options.options:
+        kept = frozenset(a for a in option
+                         if a.module_id != MODULE_POINTS_TO)
+        rebuilt.append(kept | {replacement})
+    return OptionSet(rebuilt)

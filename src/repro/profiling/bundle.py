@@ -1,0 +1,69 @@
+"""ProfileBundle: everything a training run produced, plus the runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+from ..analysis import AnalysisContext, Loop
+from ..interp import Interpreter, LoopStats
+from ..ir import Module
+from .edge import EdgeProfile, EdgeProfiler
+from .lifetime import LifetimeProfile, LifetimeProfiler
+from .memdep import MemDepProfile, MemDepProfiler
+from .points_to import PointsToProfile, PointsToProfiler
+from .residue import ResidueProfile, ResidueProfiler
+from .value import ValueProfile, ValueProfiler
+
+
+@dataclass
+class ProfileBundle:
+    """All profiles SCAF's speculation modules consume (§4.2.2)."""
+
+    edge: EdgeProfile
+    value: ValueProfile
+    points_to: PointsToProfile
+    residue: ResidueProfile
+    lifetime: LifetimeProfile
+    memdep: MemDepProfile
+    loop_stats: Dict[Loop, LoopStats] = field(default_factory=dict)
+    total_instructions: int = 0
+    exit_value: Union[int, float, None] = None
+
+
+def run_profilers(module: Module,
+                  analysis: Optional[AnalysisContext] = None,
+                  entry: str = "main",
+                  args: Sequence[Union[int, float]] = (),
+                  max_steps: int = 50_000_000) -> ProfileBundle:
+    """Execute ``entry`` once with every profiler attached.
+
+    This is the offline training run of §2.2: the returned bundle is
+    the only dynamic information the speculation modules ever see.
+    """
+    analysis = analysis or AnalysisContext(module)
+    interp = Interpreter(module, analysis, max_steps=max_steps)
+
+    edge = EdgeProfiler()
+    value = ValueProfiler()
+    points_to = PointsToProfiler()
+    residue = ResidueProfiler()
+    lifetime = LifetimeProfiler()
+    memdep = MemDepProfiler()
+    for profiler in (edge, value, points_to, residue, lifetime, memdep):
+        interp.add_listener(profiler)
+
+    result = interp.run(entry, args)
+    lifetime.finish()
+
+    return ProfileBundle(
+        edge=edge.profile,
+        value=value.profile,
+        points_to=points_to.profile,
+        residue=residue.profile,
+        lifetime=lifetime.profile,
+        memdep=memdep.profile,
+        loop_stats=interp.loop_stats,
+        total_instructions=interp.total_instructions(),
+        exit_value=result,
+    )

@@ -1,0 +1,72 @@
+"""Edge profiler: execution counts of blocks and CFG edges.
+
+This is the profiler behind control speculation (§4.2.2-i): blocks
+that never execute under the training input are *speculatively dead*,
+and branches whose one side never executes are *biased*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..interp.hooks import ExecutionListener
+from ..ir import BasicBlock, CallInst, Function
+
+
+class EdgeProfile:
+    """Result of edge profiling: block and edge counts."""
+
+    def __init__(self):
+        self.block_counts: Dict[BasicBlock, int] = {}
+        self.edge_counts: Dict[Tuple[BasicBlock, BasicBlock], int] = {}
+
+    def block_count(self, bb: BasicBlock) -> int:
+        return self.block_counts.get(bb, 0)
+
+    def edge_count(self, src: BasicBlock, dst: BasicBlock) -> int:
+        return self.edge_counts.get((src, dst), 0)
+
+    def executed(self, bb: BasicBlock) -> bool:
+        return self.block_count(bb) > 0
+
+    def dead_blocks(self, fn: Function) -> List[BasicBlock]:
+        """Blocks of ``fn`` never executed during profiling.
+
+        If the function itself never ran, nothing is reported: an
+        unexecuted function provides no evidence about its hot paths.
+        """
+        if not self.executed(fn.entry):
+            return []
+        return [bb for bb in fn.blocks if not self.executed(bb)]
+
+    def biased_branches(self, fn: Function
+                        ) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges (src, never-taken-dst) of executed blocks."""
+        result = []
+        for bb in fn.blocks:
+            if not self.executed(bb):
+                continue
+            for succ in bb.successors:
+                if self.edge_count(bb, succ) == 0:
+                    result.append((bb, succ))
+        return result
+
+
+class EdgeProfiler(ExecutionListener):
+    """Collects an :class:`EdgeProfile` during interpretation."""
+
+    def __init__(self):
+        self.profile = EdgeProfile()
+
+    def on_call(self, inst: CallInst, callee: Function) -> None:
+        if not callee.is_declaration:
+            entry = callee.entry
+            counts = self.profile.block_counts
+            counts[entry] = counts.get(entry, 0) + 1
+
+    def on_edge(self, from_bb: BasicBlock, to_bb: BasicBlock) -> None:
+        counts = self.profile.block_counts
+        counts[to_bb] = counts.get(to_bb, 0) + 1
+        edges = self.profile.edge_counts
+        key = (from_bb, to_bb)
+        edges[key] = edges.get(key, 0) + 1

@@ -1,0 +1,75 @@
+"""Object-lifetime profiler.
+
+Detects *short-lived* allocation sites (§4.2.2-iv, §4.2.4): heap sites
+whose every object, allocated during some iteration of a loop, is
+freed within that same iteration.  Such objects cannot carry
+cross-iteration dependences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..analysis import Loop
+from ..interp.hooks import ExecutionListener
+from ..interp.memory import MemoryObject
+from .sites import AllocationSite, site_of
+
+
+class LifetimeProfile:
+    """Short-lived classification of heap sites per loop."""
+
+    def __init__(self):
+        # loop -> sites with at least one allocation observed inside it
+        self.allocating_sites: Dict[Loop, Set[AllocationSite]] = {}
+        # loop -> sites that violated the single-iteration lifetime rule
+        self.disqualified: Dict[Loop, Set[AllocationSite]] = {}
+        # loop -> (allocation count, freed-in-iteration count)
+        self.alloc_counts: Dict[Loop, int] = {}
+
+    def short_lived_sites(self, loop: Loop) -> Set[AllocationSite]:
+        """Sites proven short-lived in ``loop`` by the training run."""
+        allocating = self.allocating_sites.get(loop, set())
+        bad = self.disqualified.get(loop, set())
+        return allocating - bad
+
+    def is_short_lived(self, loop: Loop, site: AllocationSite) -> bool:
+        return site in self.short_lived_sites(loop)
+
+
+class LifetimeProfiler(ExecutionListener):
+    """Collects a :class:`LifetimeProfile` during interpretation."""
+
+    def __init__(self):
+        self.profile = LifetimeProfile()
+        # live object serial -> (site, [(loop, invocation, iteration)])
+        self._live: Dict[int, Tuple[AllocationSite,
+                                    List[Tuple[Loop, int, int]]]] = {}
+
+    def on_alloc(self, obj: MemoryObject, loops) -> None:
+        if obj.kind != "heap":
+            return
+        site = site_of(obj)
+        snapshot = [(rec.loop, rec.invocation, rec.iteration)
+                    for rec in loops]
+        self._live[obj.serial] = (site, snapshot)
+        for loop, _, _ in snapshot:
+            self.profile.allocating_sites.setdefault(loop, set()).add(site)
+            self.profile.alloc_counts[loop] = \
+                self.profile.alloc_counts.get(loop, 0) + 1
+
+    def on_free(self, obj: MemoryObject, loops) -> None:
+        if obj.serial not in self._live:
+            return
+        site, snapshot = self._live.pop(obj.serial)
+        current = {rec.loop: (rec.invocation, rec.iteration) for rec in loops}
+        for loop, invocation, iteration in snapshot:
+            if current.get(loop) != (invocation, iteration):
+                self.profile.disqualified.setdefault(loop, set()).add(site)
+
+    def finish(self) -> None:
+        """Disqualify sites of objects still live at program end."""
+        for site, snapshot in self._live.values():
+            for loop, _, _ in snapshot:
+                self.profile.disqualified.setdefault(loop, set()).add(site)
+        self._live.clear()

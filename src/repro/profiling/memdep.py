@@ -1,0 +1,137 @@
+"""Loop-sensitive memory dependence profiler.
+
+The profiler behind the memory-speculation baseline (§5): for every
+loop, it records which (source, destination) pairs of static memory
+instructions exhibited a flow, anti, or output dependence at runtime,
+split into intra-iteration and cross-iteration (loop-carried) cases.
+Memory speculation then asserts the absence of every *non-observed*
+dependence, at high validation cost.
+
+Accesses performed inside callees are attributed to the callsite
+visible in the profiled loop's function, so dependence pairs match
+the static instructions a loop-level client queries about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis import Loop
+from ..interp.hooks import ExecutionListener
+from ..ir import CallInst, Instruction
+
+
+# (source inst, destination inst, is_cross_iteration)
+DepKey = Tuple[Instruction, Instruction, bool]
+
+
+class MemDepProfile:
+    """Observed memory dependences, per loop."""
+
+    def __init__(self):
+        self.observed: Dict[Loop, Set[DepKey]] = {}
+
+    def record(self, loop: Loop, src: Instruction, dst: Instruction,
+               cross: bool) -> None:
+        self.observed.setdefault(loop, set()).add((src, dst, cross))
+
+    def is_observed(self, loop: Loop, src: Instruction, dst: Instruction,
+                    cross: bool) -> bool:
+        return (src, dst, cross) in self.observed.get(loop, set())
+
+    def observed_pairs(self, loop: Loop) -> Set[DepKey]:
+        return self.observed.get(loop, set())
+
+
+def loop_representative(inst: Instruction,
+                        context: Tuple[CallInst, ...],
+                        loop: Loop) -> Optional[Instruction]:
+    """The instruction a loop-level client sees for this access: the
+    access itself if it lives in the loop's function, else the
+    shallowest callsite in the loop's function."""
+    fn = loop.function
+    if inst.function is fn:
+        return inst
+    for call in context:
+        if call.function is fn:
+            return call
+    return None
+
+
+class _Access:
+    """One dynamic access: instruction, calling context, loop context."""
+
+    __slots__ = ("inst", "context", "loop_ctx")
+
+    def __init__(self, inst, context, loop_ctx):
+        self.inst = inst
+        self.context = context
+        self.loop_ctx = loop_ctx
+
+
+class _ByteState:
+    """Last writer and readers-since-write of one byte."""
+
+    __slots__ = ("writer", "readers")
+
+    def __init__(self):
+        self.writer: Optional[_Access] = None
+        self.readers: List[_Access] = []
+
+
+class MemDepProfiler(ExecutionListener):
+    """Collects a :class:`MemDepProfile` via byte-granular shadow memory."""
+
+    def __init__(self):
+        self.profile = MemDepProfile()
+        self._shadow: Dict[int, _ByteState] = {}
+
+    # -- event handling ----------------------------------------------------
+
+    def on_load(self, inst, address, size, value, obj, loops, context) -> None:
+        loop_ctx = tuple((r.loop, r.invocation, r.iteration) for r in loops)
+        access = _Access(inst, context, loop_ctx)
+        shadow = self._shadow
+        for b in range(address, address + size):
+            state = shadow.get(b)
+            if state is None:
+                state = shadow[b] = _ByteState()
+            if state.writer is not None:
+                self._record(state.writer, access)
+            state.readers.append(access)
+
+    def on_store(self, inst, address, size, value, obj, loops, context) -> None:
+        loop_ctx = tuple((r.loop, r.invocation, r.iteration) for r in loops)
+        access = _Access(inst, context, loop_ctx)
+        shadow = self._shadow
+        for b in range(address, address + size):
+            state = shadow.get(b)
+            if state is None:
+                state = shadow[b] = _ByteState()
+            else:
+                if state.writer is not None:
+                    self._record(state.writer, access)
+                for reader in state.readers:
+                    self._record(reader, access)
+            state.writer = access
+            state.readers = []
+
+    # -- classification ------------------------------------------------------
+
+    def _record(self, src: _Access, dst: _Access) -> None:
+        """Attribute one dynamic dependence to every loop active in both
+        accesses within the same invocation."""
+        dst_by_loop = {loop: (inv, it) for loop, inv, it in dst.loop_ctx}
+        for loop, src_inv, src_it in src.loop_ctx:
+            entry = dst_by_loop.get(loop)
+            if entry is None:
+                continue
+            dst_inv, dst_it = entry
+            if src_inv != dst_inv:
+                continue
+            src_inst = loop_representative(src.inst, src.context, loop)
+            dst_inst = loop_representative(dst.inst, dst.context, loop)
+            if src_inst is None or dst_inst is None:
+                continue
+            self.profile.record(loop, src_inst, dst_inst,
+                                cross=(src_it != dst_it))

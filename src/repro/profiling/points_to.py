@@ -1,0 +1,87 @@
+"""Pointer-to-object profiler.
+
+Produces the points-to map of separation speculation (§4.2.2-iii):
+for every memory instruction, the set of allocation sites its pointer
+resolved to at runtime; plus, per loop, per-site read/write counts
+(the raw material of the read-only module, §4.2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..analysis import Loop
+from ..interp.hooks import ExecutionListener
+from ..interp.memory import MemoryObject
+from ..ir import Instruction, Value
+from .sites import AllocationSite, site_of
+
+
+class SiteAccessCounts:
+    """Read/write counters for one allocation site within one loop."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+
+
+class PointsToProfile:
+    """Observed points-to sets and per-loop object access behaviour."""
+
+    def __init__(self):
+        # pointer SSA value -> set of allocation sites it resolved to
+        self.points_to: Dict[Value, Set[AllocationSite]] = {}
+        # pointer SSA value -> True once it missed every known object
+        self.escaped: Dict[Value, bool] = {}
+        # loop -> site -> counters
+        self.loop_site_access: Dict[Loop, Dict[AllocationSite,
+                                               SiteAccessCounts]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, pointer: Value, obj: Optional[MemoryObject],
+               is_write: bool, loops) -> None:
+        if obj is None:
+            self.escaped[pointer] = True
+            return
+        site = site_of(obj)
+        self.points_to.setdefault(pointer, set()).add(site)
+        for rec in loops:
+            per_loop = self.loop_site_access.setdefault(rec.loop, {})
+            counts = per_loop.setdefault(site, SiteAccessCounts())
+            if is_write:
+                counts.writes += 1
+            else:
+                counts.reads += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def sites_of(self, pointer: Value) -> Optional[Set[AllocationSite]]:
+        """The observed site set, or None if unprofiled/unreliable."""
+        if self.escaped.get(pointer):
+            return None
+        return self.points_to.get(pointer)
+
+    def read_only_sites(self, loop: Loop) -> Set[AllocationSite]:
+        """Sites accessed in ``loop`` whose objects were never written there."""
+        per_loop = self.loop_site_access.get(loop, {})
+        return {site for site, counts in per_loop.items()
+                if counts.writes == 0 and counts.reads > 0}
+
+    def accessed_sites(self, loop: Loop) -> Set[AllocationSite]:
+        return set(self.loop_site_access.get(loop, {}))
+
+
+class PointsToProfiler(ExecutionListener):
+    """Collects a :class:`PointsToProfile` during interpretation."""
+
+    def __init__(self):
+        self.profile = PointsToProfile()
+
+    def on_load(self, inst, address, size, value, obj, loops, context) -> None:
+        self.profile.record(inst.pointer, obj, False, loops)
+
+    def on_store(self, inst, address, size, value, obj, loops, context) -> None:
+        self.profile.record(inst.pointer, obj, True, loops)

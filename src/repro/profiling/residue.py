@@ -1,0 +1,71 @@
+"""Pointer-residue profiler.
+
+Characterizes each pointer SSA value by the observed values of its
+four least-significant bits (the *residue*, §4.2.3).  Two accesses
+whose residue sets are disjoint with respect to their access sizes
+cannot touch the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..interp.hooks import ExecutionListener
+from ..ir import Instruction, Value
+
+RESIDUE_BITS = 4
+RESIDUE_MOD = 1 << RESIDUE_BITS  # 16
+
+
+class ResidueProfile:
+    """Observed residues per pointer SSA value."""
+
+    def __init__(self):
+        self.residues: Dict[Value, Set[int]] = {}
+        self.counts: Dict[Value, int] = {}
+
+    def record(self, pointer: Value, address: int) -> None:
+        self.residues.setdefault(pointer, set()).add(address % RESIDUE_MOD)
+        self.counts[pointer] = self.counts.get(pointer, 0) + 1
+
+    def residue_set(self, pointer: Value) -> Set[int]:
+        return self.residues.get(pointer, set())
+
+    def execution_count(self, pointer: Value) -> int:
+        return self.counts.get(pointer, 0)
+
+    def footprint(self, pointer: Value, size: int) -> Set[int]:
+        """All residues the access may touch given its size (mod 16)."""
+        touched: Set[int] = set()
+        for r in self.residue_set(pointer):
+            for delta in range(size):
+                touched.add((r + delta) % RESIDUE_MOD)
+        return touched
+
+    def disjoint(self, p1: Value, size1: int, p2: Value, size2: int) -> bool:
+        """True if profiled residues prove the accesses never overlap.
+
+        Requires both pointers to have been profiled, neither access
+        to be residue-wrapping (as large as the residue window), and
+        the size-expanded residue sets to be disjoint.
+        """
+        if not self.residue_set(p1) or not self.residue_set(p2):
+            return False
+        if size1 >= RESIDUE_MOD or size2 >= RESIDUE_MOD:
+            return False
+        if size1 <= 0 or size2 <= 0:
+            return False
+        return not (self.footprint(p1, size1) & self.footprint(p2, size2))
+
+
+class ResidueProfiler(ExecutionListener):
+    """Collects a :class:`ResidueProfile` during interpretation."""
+
+    def __init__(self):
+        self.profile = ResidueProfile()
+
+    def on_load(self, inst, address, size, value, obj, loops, context) -> None:
+        self.profile.record(inst.pointer, address)
+
+    def on_store(self, inst, address, size, value, obj, loops, context) -> None:
+        self.profile.record(inst.pointer, address)

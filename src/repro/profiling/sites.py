@@ -1,0 +1,57 @@
+"""Allocation sites: the static identity of memory objects.
+
+Profilers report memory behaviour per *allocation site* — the static
+program point (global, alloca, or heap-allocating callsite) that
+created an object, optionally qualified by calling context (the
+``cc`` query parameter of §3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir import AllocaInst, CallInst, GlobalVariable, Instruction, Value
+from ..interp.memory import MemoryObject
+
+
+@dataclass(frozen=True)
+class AllocationSite:
+    """A static allocation site, context-qualified for heap sites."""
+
+    kind: str                      # "global" | "stack" | "heap"
+    anchor: object                 # GlobalVariable | AllocaInst | CallInst
+    context: Tuple[CallInst, ...]  # calling context of the allocation
+
+    def __repr__(self) -> str:
+        name = getattr(self.anchor, "name", "?")
+        where = ""
+        if self.kind != "global" and isinstance(self.anchor, Instruction):
+            fn = self.anchor.function
+            where = f"@{fn.name}:" if fn is not None else ""
+        ctx = f"+{len(self.context)}ctx" if self.context else ""
+        return f"<Site {self.kind} {where}%{name}{ctx}>"
+
+
+def site_of(obj: MemoryObject, context_sensitive: bool = True
+            ) -> AllocationSite:
+    """The allocation site of a simulated memory object."""
+    context = obj.context if (context_sensitive and obj.kind == "heap") else ()
+    return AllocationSite(obj.kind, obj.site, context)
+
+
+def static_site_of_value(value: Value) -> Optional[AllocationSite]:
+    """The allocation site a pointer value *statically* denotes, if obvious.
+
+    Used by analyses to connect IR pointers with profiled sites:
+    a global resolves to its global site, an alloca to its stack site,
+    and a call to an allocator to its (context-insensitive) heap site.
+    """
+    if isinstance(value, GlobalVariable):
+        return AllocationSite("global", value, ())
+    if isinstance(value, AllocaInst):
+        return AllocationSite("stack", value, ())
+    if isinstance(value, CallInst) and value.callee.name in (
+            "malloc", "calloc"):
+        return AllocationSite("heap", value, ())
+    return None

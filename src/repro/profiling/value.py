@@ -1,0 +1,51 @@
+"""Value-prediction profiler: finds loads with predictable values.
+
+Follows Gabbay & Mendelson-style last-value prediction (§4.2.2-ii):
+a load is *predictable* if every dynamic instance produced the same
+value and it executed enough times to matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..interp.hooks import ExecutionListener
+from ..ir import Instruction
+
+
+class ValueProfile:
+    """Observed value behaviour of load instructions."""
+
+    def __init__(self, min_count: int = 2):
+        self.min_count = min_count
+        self.counts: Dict[Instruction, int] = {}
+        self.constant_value: Dict[Instruction, Optional[object]] = {}
+
+    def record(self, inst: Instruction, value) -> None:
+        count = self.counts.get(inst, 0)
+        if count == 0:
+            self.constant_value[inst] = value
+        elif self.constant_value.get(inst) != value:
+            self.constant_value[inst] = None
+        self.counts[inst] = count + 1
+
+    def is_predictable(self, inst: Instruction) -> bool:
+        """True if the load always produced one value (and ran enough)."""
+        return (self.counts.get(inst, 0) >= self.min_count
+                and self.constant_value.get(inst) is not None)
+
+    def predicted_value(self, inst: Instruction):
+        return self.constant_value.get(inst)
+
+    def execution_count(self, inst: Instruction) -> int:
+        return self.counts.get(inst, 0)
+
+
+class ValueProfiler(ExecutionListener):
+    """Collects a :class:`ValueProfile` during interpretation."""
+
+    def __init__(self, min_count: int = 2):
+        self.profile = ValueProfile(min_count)
+
+    def on_load(self, inst, address, size, value, obj, loops, context) -> None:
+        self.profile.record(inst, value)

@@ -1,0 +1,33 @@
+"""SCAF's query language: queries, responses, speculative assertions."""
+
+from .assertions import (
+    AssertionOption,
+    OptionSet,
+    PROHIBITIVE_COST,
+    SpeculativeAssertion,
+    option_consistent,
+    option_cost,
+)
+from .queries import (
+    AliasQuery,
+    AliasResult,
+    CallingContext,
+    CFGView,
+    MemoryLocation,
+    ModRefQuery,
+    ModRefResult,
+    Query,
+    TemporalRelation,
+    most_precise,
+    precision,
+)
+from .responses import JoinPolicy, QueryResponse, join
+
+__all__ = [
+    "AssertionOption", "OptionSet", "PROHIBITIVE_COST",
+    "SpeculativeAssertion", "option_consistent", "option_cost",
+    "AliasQuery", "AliasResult", "CallingContext", "CFGView",
+    "MemoryLocation", "ModRefQuery", "ModRefResult", "Query",
+    "TemporalRelation", "most_precise", "precision",
+    "JoinPolicy", "QueryResponse", "join",
+]

@@ -1,0 +1,175 @@
+"""Speculative assertions and assertion options (§3.2.3, §4.2.1).
+
+A query response in SCAF may be predicated on *speculative
+assertions*.  Each assertion carries:
+
+- the id of the speculation module that produced it (so clients can
+  apply the matching validation/recovery transformation),
+- the *transformation points* where validation code must be inserted,
+- an *estimated cost* of that validation, and
+- *conflict points*: program points the transformation must own
+  exclusively (e.g. allocation sites moved to a separate heap).
+
+An *assertion option* is a set of assertions that must all hold for
+the result to be sound; a response carries a *set of options*, any one
+of which the client may choose.  The algebra follows Algorithm 2:
+``S1 + S2`` unions alternatives and ``S1 × S2`` combines requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+#: Cost assigned to assertions that clients must never pay (§4.2.3:
+#: points-to speculation responses are priced out rather than banned,
+#: so that *other speculation modules* can still build on them).
+PROHIBITIVE_COST = 1e9
+
+
+@dataclass(frozen=True)
+class SpeculativeAssertion:
+    """One dynamically-enforced assertion: A = (id, tp, ec, cp)."""
+
+    module_id: str
+    points: Tuple[object, ...] = ()
+    cost: float = 0.0
+    conflict_points: FrozenSet[object] = frozenset()
+    description: str = ""
+
+    def conflicts_with(self, other: "SpeculativeAssertion") -> bool:
+        """True if the two assertions cannot be applied together."""
+        if self == other:
+            return False
+        return bool(self.conflict_points & other.conflict_points)
+
+    def __repr__(self) -> str:
+        desc = f" {self.description}" if self.description else ""
+        return f"<Assert {self.module_id} cost={self.cost:g}{desc}>"
+
+
+AssertionOption = FrozenSet[SpeculativeAssertion]
+
+
+def option_cost(option: AssertionOption) -> float:
+    return sum(a.cost for a in option)
+
+
+def option_consistent(option: AssertionOption) -> bool:
+    """True if no two assertions in the option conflict."""
+    items = list(option)
+    for i, a in enumerate(items):
+        for b in items[i + 1:]:
+            if a.conflicts_with(b):
+                return False
+    return True
+
+
+class OptionSet:
+    """An immutable set of assertion options (the ``S`` of Figure 3)."""
+
+    __slots__ = ("options",)
+
+    def __init__(self, options: Iterable[AssertionOption] = ()):
+        self.options: FrozenSet[AssertionOption] = frozenset(
+            frozenset(o) for o in options)
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def free() -> "OptionSet":
+        """The caveat-free option set: one empty option."""
+        return _FREE
+
+    @staticmethod
+    def single(*assertions: SpeculativeAssertion) -> "OptionSet":
+        return OptionSet([frozenset(assertions)])
+
+    # -- algebra (Algorithm 2) -----------------------------------------------
+
+    def union(self, other: "OptionSet") -> "OptionSet":
+        """``S1 + S2``: either side's options satisfy the result."""
+        return OptionSet(self.options | other.options)
+
+    def cross(self, other: "OptionSet") -> "OptionSet":
+        """``S1 × S2``: one option from each side is required.
+
+        Combined options that are internally inconsistent (contain
+        conflicting assertions) are dropped.
+        """
+        combined = []
+        for o1 in self.options:
+            for o2 in other.options:
+                merged = o1 | o2
+                if option_consistent(merged):
+                    combined.append(merged)
+        return OptionSet(combined)
+
+    def __or__(self, other: "OptionSet") -> "OptionSet":
+        return self.union(other)
+
+    def __mul__(self, other: "OptionSet") -> "OptionSet":
+        return self.cross(other)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """No option at all: the result cannot be realized."""
+        return not self.options
+
+    @property
+    def is_free(self) -> bool:
+        """True if some option requires no assertions (cost-free result)."""
+        return frozenset() in self.options
+
+    def cheapest(self) -> Optional[AssertionOption]:
+        if not self.options:
+            return None
+        # Deterministic tie-breaking: cost, then fewest assertions,
+        # then module ids — so equal-cost alternatives resolve the
+        # same way on every run.
+        return min(self.options,
+                   key=lambda o: (option_cost(o), len(o),
+                                  sorted(a.module_id for a in o),
+                                  sorted(a.description for a in o)))
+
+    def cheapest_cost(self) -> float:
+        option = self.cheapest()
+        return option_cost(option) if option is not None else float("inf")
+
+    def keep_cheapest(self) -> "OptionSet":
+        """The CHEAPEST join policy: retain only the best option."""
+        option = self.cheapest()
+        return OptionSet([option]) if option is not None else OptionSet()
+
+    def without_prohibitive(self) -> "OptionSet":
+        """Drop options whose cost is prohibitive (client-side filter)."""
+        return OptionSet(o for o in self.options
+                         if option_cost(o) < PROHIBITIVE_COST)
+
+    def modules_involved(self) -> FrozenSet[str]:
+        return frozenset(a.module_id for o in self.options for a in o)
+
+    def conflicts_with(self, other: "OptionSet") -> bool:
+        """True if *no* pair of options from the two sets is compatible."""
+        for o1 in self.options:
+            for o2 in other.options:
+                if option_consistent(o1 | o2):
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OptionSet) and other.options == self.options
+
+    def __hash__(self) -> int:
+        return hash(self.options)
+
+    def __repr__(self) -> str:
+        if self.is_free:
+            return "S{free}"
+        return f"S{{{len(self.options)} options, " \
+               f"min cost {self.cheapest_cost():g}}}"
+
+
+_FREE = OptionSet([frozenset()])

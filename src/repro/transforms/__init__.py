@@ -1,0 +1,109 @@
+"""The transformation side of speculation (§4.2.1, §4.2.5).
+
+SCAF itself never transforms code — it *suggests* (§3.4).  A client
+that adopts a speculative response must apply the matching
+transformation part: validation-code generation plus runtime and
+recovery support.  This package provides exactly that:
+
+- :func:`instrument` — insert each module's validation code.
+- :class:`SpeculativeInterpreter` / :class:`SpeculationRuntime` — the
+  runtime the inserted intrinsics call into.
+- :class:`Misspeculation` / :func:`run_with_recovery` — failed checks
+  raise, and recovery re-executes non-speculatively.
+- :func:`harvest_assertions` — collect the distinct assertions behind
+  a loop PDG's speculative removals.
+- :func:`execute_validated` — one-call instrument-and-run.
+
+Instrument a module only after analysis is complete: the inserted
+intrinsic calls are ordinary (conservative) call instructions and
+would perturb any later analysis of the same module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..ir import Module
+from ..profiling import ProfileBundle
+from ..query import SpeculativeAssertion
+from .runtime import (
+    Misspeculation,
+    SpeculationRuntime,
+    SpeculativeInterpreter,
+    run_with_recovery,
+)
+from .validation import ValidationError, ValidationPlan, instrument
+
+
+def harvest_assertions(pdg) -> List[SpeculativeAssertion]:
+    """The distinct assertions backing a LoopPDG's speculative
+    removals (cheapest option per removed dependence)."""
+    assertions: List[SpeculativeAssertion] = []
+    seen = set()
+    for record in pdg.records:
+        if not record.speculative:
+            continue
+        option = record.usable_options.cheapest()
+        if option is None:
+            continue
+        for assertion in option:
+            if assertion not in seen:
+                seen.add(assertion)
+                assertions.append(assertion)
+    return assertions
+
+
+def execute_plan(plan: ValidationPlan,
+                 entry: str = "main",
+                 analysis=None,
+                 recover: bool = True
+                 ) -> Tuple[Union[int, float, None], bool,
+                            SpeculationRuntime]:
+    """Execute an already-instrumented module under its plan.
+
+    Use this (rather than re-calling :func:`execute_validated`) to run
+    the same instrumented module multiple times — instrumentation is
+    a one-time, in-place rewrite.
+    """
+    interp = SpeculativeInterpreter(plan.module, analysis)
+    interp.runtime.separated_sites = dict(plan.separated_sites)
+    try:
+        result = interp.run(entry)
+        return result, False, interp.runtime
+    except Misspeculation:
+        if not recover:
+            raise
+        from .runtime import _RecoveryInterpreter
+        recovery = _RecoveryInterpreter(plan.module, analysis)
+        recovery.runtime.separated_sites = dict(plan.separated_sites)
+        result = recovery.run(entry)
+        return result, True, interp.runtime
+
+
+def execute_validated(module: Module,
+                      assertions: Iterable[SpeculativeAssertion],
+                      profiles: Optional[ProfileBundle] = None,
+                      entry: str = "main",
+                      analysis=None,
+                      recover: bool = True
+                      ) -> Tuple[Union[int, float, None], bool,
+                                 SpeculationRuntime, ValidationPlan]:
+    """Instrument ``module`` with validation code and execute it.
+
+    Returns ``(result, misspeculated, runtime, plan)``.  With
+    ``recover`` (the default), a misspeculation triggers §4.2.5-style
+    recovery: non-speculative re-execution.  Without it, the
+    :class:`Misspeculation` propagates to the caller.
+    """
+    plan = instrument(module, assertions, profiles)
+    result, misspeculated, runtime = execute_plan(
+        plan, entry=entry, analysis=analysis, recover=recover)
+    return result, misspeculated, runtime, plan
+
+
+__all__ = [
+    "Misspeculation", "SpeculationRuntime", "SpeculativeInterpreter",
+    "ValidationError", "ValidationPlan",
+    "execute_plan", "execute_validated", "harvest_assertions",
+    "instrument", "run_with_recovery",
+]

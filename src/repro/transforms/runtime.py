@@ -1,0 +1,236 @@
+"""Runtime support for speculative execution (§4.2.1, §4.2.5).
+
+The *transformation part* of each speculative technique needs runtime
+help: value checks, heap-membership masks, per-iteration lifetime
+counters, shadow access tracking, and a misspeculation trigger.  This
+module provides that runtime as interpreter builtins; the validator
+(:mod:`repro.transforms.validation`) inserts calls to them.
+
+On a failed check the runtime raises :class:`Misspeculation` — the
+moment a real system would roll back to a checkpoint and re-execute
+non-speculatively (§4.2.5).  :func:`run_with_recovery` models exactly
+that recovery story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple, Union
+
+from ..interp import Interpreter
+from ..interp.memory import MemoryObject
+from ..ir import Module
+
+
+class Misspeculation(Exception):
+    """A dynamically-enforced speculative assertion failed."""
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"misspeculation[{kind}] {detail}".strip())
+        self.kind = kind
+        self.detail = detail
+
+
+class SpeculationRuntime:
+    """State shared between validation intrinsics during one execution."""
+
+    def __init__(self):
+        #: site id -> serials of live objects allocated at that site
+        self.separated_live: Dict[int, Set[int]] = {}
+        #: site id -> allocation-site anchor (CallInst) registered
+        self.separated_sites: Dict[int, object] = {}
+        #: per-assertion shadow state for memory speculation
+        self.shadow: Dict[int, Dict[str, Set[int]]] = {}
+        self.checks_executed = 0
+        self.misspeculations = 0
+
+    # -- bookkeeping driven by the interpreter -----------------------------
+
+    def note_alloc(self, obj: MemoryObject) -> None:
+        for site_id, anchor in self.separated_sites.items():
+            if obj.site is anchor:
+                self.separated_live.setdefault(site_id, set()).add(
+                    obj.serial)
+
+    def note_free(self, obj: MemoryObject) -> None:
+        for live in self.separated_live.values():
+            live.discard(obj.serial)
+
+    # -- intrinsics ----------------------------------------------------------
+
+    def trigger(self, kind: str, detail: str = "") -> None:
+        self.misspeculations += 1
+        raise Misspeculation(kind, detail)
+
+    def check_value(self, actual, predicted) -> None:
+        """Value-prediction check: one compare (Figure 7a scale)."""
+        self.checks_executed += 1
+        if actual != predicted:
+            self.trigger("value-prediction",
+                         f"loaded {actual}, predicted {predicted}")
+
+    def check_residue(self, address: int, allowed_mask: int) -> None:
+        """Pointer-residue check: mask + compare."""
+        self.checks_executed += 1
+        if not (allowed_mask >> (address % 16)) & 1:
+            self.trigger("pointer-residue",
+                         f"address residue {address % 16} not allowed")
+
+    def check_not_separated(self, interp: Interpreter, address: int,
+                            site_id: int) -> None:
+        """Separation heap check: the pointer must lie outside the
+        separated (read-only / short-lived) heap (Figure 7a)."""
+        self.checks_executed += 1
+        obj = interp.memory.object_at(address)
+        if obj is not None and \
+                obj.serial in self.separated_live.get(site_id, set()):
+            self.trigger("separation",
+                         f"write into separated object #{obj.serial}")
+
+    def check_separated(self, interp: Interpreter, address: int,
+                        site_id: int) -> None:
+        """Separation heap check: the pointer must target a live
+        object of the separated site (the asserted membership)."""
+        self.checks_executed += 1
+        obj = interp.memory.object_at(address)
+        if obj is None or \
+                obj.serial not in self.separated_live.get(site_id, set()):
+            self.trigger("separation",
+                         f"pointer 0x{address:x} left the separated heap")
+
+    def check_iteration_empty(self, site_id: int) -> None:
+        """Short-lived end-of-iteration check: every object of the
+        site allocated this iteration has been freed."""
+        self.checks_executed += 1
+        live = self.separated_live.get(site_id, set())
+        if live:
+            self.trigger("short-lived",
+                         f"{len(live)} objects of site {site_id} "
+                         "survive the iteration")
+
+    def _shadow_state(self, assertion_id: int):
+        state = self.shadow.get(assertion_id)
+        if state is None:
+            state = self.shadow[assertion_id] = {
+                "prev": set(),   # source bytes from earlier iterations
+                "cur": set(),    # source bytes from this iteration
+            }
+        return state
+
+    def shadow_source(self, assertion_id: int, address: int,
+                      size: int) -> None:
+        """Record the speculated dependence source's footprint
+        (Figure 7b: per-byte shadow work)."""
+        self.checks_executed += size
+        self._shadow_state(assertion_id)["cur"].update(
+            range(address, address + size))
+
+    def shadow_sink(self, assertion_id: int, address: int, size: int,
+                    cross_iteration: bool) -> None:
+        """Check the sink's footprint against the recorded source
+        bytes.  An overlap means the speculated-absent dependence
+        manifested."""
+        self.checks_executed += size
+        state = self._shadow_state(assertion_id)
+        watched = state["prev"] if cross_iteration else state["cur"]
+        if any(b in watched for b in range(address, address + size)):
+            self.trigger("memory-speculation",
+                         f"speculated dependence manifested at "
+                         f"0x{address:x}")
+
+    def shadow_iteration_boundary(self, assertion_id: int,
+                                  cross_iteration: bool) -> None:
+        """Advance the per-iteration shadow sets at a loop back edge."""
+        self.checks_executed += 1
+        state = self._shadow_state(assertion_id)
+        if cross_iteration:
+            state["prev"] |= state["cur"]
+        state["cur"] = set()
+
+
+class SpeculativeInterpreter(Interpreter):
+    """An interpreter with the speculation runtime wired in."""
+
+    def __init__(self, module: Module, analysis=None, max_steps=50_000_000):
+        super().__init__(module, analysis, max_steps)
+        self.runtime = SpeculationRuntime()
+
+    def _call_builtin(self, fn, args, call_inst):
+        handler = _RUNTIME_BUILTINS.get(fn.name)
+        if handler is not None:
+            return handler(self, args)
+        result = super()._call_builtin(fn, args, call_inst)
+        return result
+
+    def _builtin_malloc(self, args, call_inst):
+        address = super()._builtin_malloc(args, call_inst)
+        self.runtime.note_alloc(self.memory.object_at(address))
+        return address
+
+    def _builtin_calloc(self, args, call_inst):
+        address = super()._builtin_calloc(args, call_inst)
+        self.runtime.note_alloc(self.memory.object_at(address))
+        return address
+
+    def _builtin_free(self, args, call_inst):
+        address = int(args[0])
+        obj = self.memory.object_at(address) if address else None
+        result = super()._builtin_free(args, call_inst)
+        if obj is not None:
+            self.runtime.note_free(obj)
+        return result
+
+
+_RUNTIME_BUILTINS = {
+    "__misspec": lambda interp, args: interp.runtime.trigger(
+        "control-spec", f"speculatively-dead code reached ({int(args[0])})"),
+    "__validate_value": lambda interp, args: interp.runtime.check_value(
+        args[0], args[1]),
+    "__validate_residue": lambda interp, args:
+        interp.runtime.check_residue(int(args[0]), int(args[1])),
+    "__validate_not_separated": lambda interp, args:
+        interp.runtime.check_not_separated(interp, int(args[0]),
+                                           int(args[1])),
+    "__validate_separated": lambda interp, args:
+        interp.runtime.check_separated(interp, int(args[0]),
+                                       int(args[1])),
+    "__validate_iteration_empty": lambda interp, args:
+        interp.runtime.check_iteration_empty(int(args[0])),
+    "__shadow_src": lambda interp, args: interp.runtime.shadow_source(
+        int(args[0]), int(args[1]), int(args[2])),
+    "__shadow_sink": lambda interp, args: interp.runtime.shadow_sink(
+        int(args[0]), int(args[1]), int(args[2]), bool(int(args[3]))),
+    "__shadow_iter": lambda interp, args:
+        interp.runtime.shadow_iteration_boundary(int(args[0]),
+                                                 bool(int(args[1]))),
+}
+
+
+def run_with_recovery(module: Module, entry: str = "main",
+                      analysis=None
+                      ) -> Tuple[Union[int, float, None], bool,
+                                 "SpeculationRuntime"]:
+    """Execute a validated module with §4.2.5-style recovery.
+
+    Runs speculatively; on misspeculation, "rolls back" and re-executes
+    the program non-speculatively (validation intrinsics disabled) —
+    the sequential-re-execution recovery of process-based schemes.
+
+    Returns ``(result, misspeculated, runtime)``.
+    """
+    interp = SpeculativeInterpreter(module, analysis)
+    try:
+        result = interp.run(entry)
+        return result, False, interp.runtime
+    except Misspeculation:
+        recovery = _RecoveryInterpreter(module, analysis)
+        result = recovery.run(entry)
+        return result, True, interp.runtime
+
+
+class _RecoveryInterpreter(SpeculativeInterpreter):
+    """Re-execution with every validation intrinsic as a no-op."""
+
+    def _call_builtin(self, fn, args, call_inst):
+        if fn.name in _RUNTIME_BUILTINS:
+            return 0
+        return Interpreter._call_builtin(self, fn, args, call_inst)

@@ -1,0 +1,292 @@
+"""Validation-code generation: the *transformation part* of §4.2.1.
+
+Clients that leverage a SCAF response must enforce its speculative
+assertions.  :func:`instrument` rewrites the module in place, inserting
+the per-module validation code the paper describes:
+
+- **control-spec**: a misspeculation trigger at the entry of each
+  asserted-dead block (Figure 5c) — free unless taken.
+- **value-prediction**: a compare of the loaded value against the
+  predicted one, right after the load.
+- **pointer-residue**: a residue-mask check where each speculated
+  pointer is computed.
+- **read-only / short-lived**: the separated allocation site is
+  registered with the runtime (modelling re-allocation into a
+  dedicated heap); writers get heap-membership checks, and short-lived
+  loops get an end-of-iteration liveness check.
+- **memory-speculation**: shadow-memory access tracking on both
+  instructions (Figure 7b — visibly heavier than everything above).
+
+The result is a :class:`ValidationPlan`; attach it to a
+:class:`repro.transforms.runtime.SpeculativeInterpreter` (or use
+:func:`repro.transforms.execute_validated`) to execute with checks
+armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..analysis import Loop
+from ..ir import (
+    BasicBlock,
+    CallInst,
+    Constant,
+    FloatType,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I32,
+    I64,
+    Instruction,
+    IntType,
+    LoadInst,
+    Module,
+    PhiInst,
+    StoreInst,
+    Value,
+    VOID,
+)
+from ..profiling import ProfileBundle, RESIDUE_MOD
+from ..query import SpeculativeAssertion
+
+
+class ValidationError(Exception):
+    """Raised when an assertion cannot be enforced (e.g. conflicts)."""
+
+
+@dataclass
+class ValidationPlan:
+    """Everything the runtime needs to enforce the applied assertions."""
+
+    module: Module
+    #: site id -> allocation anchor (CallInst) moved to a separate heap
+    separated_sites: Dict[int, object] = field(default_factory=dict)
+    inserted_checks: int = 0
+    assertions_applied: int = 0
+
+    def describe(self) -> str:
+        return (f"{self.assertions_applied} assertions enforced with "
+                f"{self.inserted_checks} inserted checks and "
+                f"{len(self.separated_sites)} separated heap sites")
+
+
+def instrument(module: Module, assertions: Iterable[SpeculativeAssertion],
+               profiles: Optional[ProfileBundle] = None) -> ValidationPlan:
+    """Insert validation code for ``assertions`` into ``module``.
+
+    Assertions must be mutually conflict-free (clients resolve
+    conflicts when planning); duplicates are applied once.
+    """
+    unique = list(dict.fromkeys(assertions))
+    for i, a in enumerate(unique):
+        for b in unique[i + 1:]:
+            if a.conflicts_with(b):
+                raise ValidationError(
+                    f"conflicting assertions: {a!r} vs {b!r}")
+
+    applier = _Applier(module, profiles)
+    for assertion in unique:
+        applier.apply(assertion)
+    return applier.plan
+
+
+class _Applier:
+    def __init__(self, module: Module, profiles: Optional[ProfileBundle]):
+        self.module = module
+        self.profiles = profiles
+        self.plan = ValidationPlan(module)
+        self._next_site_id = 1
+        self._next_shadow_id = 1
+        self._misspec_blocks: Set[int] = set()
+        self._checked_values: Set[Tuple[str, int]] = set()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _intrinsic(self, name: str) -> Function:
+        return self.module.declare_function(
+            name, FunctionType(VOID, [], vararg=True))
+
+    def _insert_after(self, anchor: Instruction, call: CallInst) -> None:
+        block = anchor.parent
+        index = block.instructions.index(anchor) + 1
+        block.insert(index, call)
+        self.plan.inserted_checks += 1
+
+    def _insert_before(self, anchor: Instruction, call: CallInst) -> None:
+        block = anchor.parent
+        index = block.instructions.index(anchor)
+        block.insert(index, call)
+        self.plan.inserted_checks += 1
+
+    def _insert_at_entry(self, block: BasicBlock, call: CallInst) -> None:
+        index = len(block.phis)
+        block.insert(index, call)
+        self.plan.inserted_checks += 1
+
+    def _insert_before_terminator(self, block: BasicBlock,
+                                  call: CallInst) -> None:
+        block.insert(len(block.instructions) - 1, call)
+        self.plan.inserted_checks += 1
+
+    # -- dispatch ------------------------------------------------------------
+
+    def apply(self, assertion: SpeculativeAssertion) -> None:
+        handler = {
+            "control-spec": self._apply_control,
+            "value-prediction": self._apply_value_prediction,
+            "pointer-residue": self._apply_residue,
+            "read-only": self._apply_separation,
+            "short-lived": self._apply_separation,
+            "memory-speculation": self._apply_memory_speculation,
+        }.get(assertion.module_id)
+        if handler is None:
+            raise ValidationError(
+                f"no validation generator for module "
+                f"{assertion.module_id!r}")
+        handler(assertion)
+        self.plan.assertions_applied += 1
+
+    # -- per-module generators --------------------------------------------------
+
+    def _apply_control(self, assertion: SpeculativeAssertion) -> None:
+        """Misspeculation triggers at asserted-dead block entries."""
+        misspec = self._intrinsic("__misspec")
+        for point in assertion.points:
+            if not isinstance(point, BasicBlock):
+                continue
+            if id(point) in self._misspec_blocks:
+                continue  # one trigger per block is enough
+            self._misspec_blocks.add(id(point))
+            call = CallInst(misspec, [Constant(I64, id(point) & 0xFFFF)])
+            self._insert_at_entry(point, call)
+
+    def _apply_value_prediction(self,
+                                assertion: SpeculativeAssertion) -> None:
+        """Compare the loaded value against the profile's prediction."""
+        if self.profiles is None:
+            raise ValidationError("value prediction needs profiles")
+        check = self._intrinsic("__validate_value")
+        for point in assertion.points:
+            if not isinstance(point, LoadInst):
+                continue
+            key = ("vp", id(point))
+            if key in self._checked_values:
+                continue
+            self._checked_values.add(key)
+            predicted = self.profiles.value.predicted_value(point)
+            if predicted is None:
+                raise ValidationError(
+                    f"load %{point.name} is not predictable")
+            ty = point.type
+            if not isinstance(ty, (IntType, FloatType)):
+                ty = I64  # pointers are validated as integers
+            call = CallInst(check, [point, Constant(ty, predicted)])
+            self._insert_after(point, call)
+
+    def _apply_residue(self, assertion: SpeculativeAssertion) -> None:
+        """Mask-check speculated pointers where they are computed."""
+        if self.profiles is None:
+            raise ValidationError("pointer residue needs profiles")
+        check = self._intrinsic("__validate_residue")
+        for point in assertion.points:
+            if not isinstance(point, Value) or not point.type.is_pointer:
+                continue
+            key = ("residue", id(point))
+            if key in self._checked_values:
+                continue
+            self._checked_values.add(key)
+            residues = self.profiles.residue.residue_set(point)
+            if not residues:
+                raise ValidationError("pointer has no residue profile")
+            mask = 0
+            for r in residues:
+                mask |= 1 << (r % RESIDUE_MOD)
+            call = CallInst(check, [point, Constant(I64, mask)])
+            if isinstance(point, Instruction):
+                self._insert_after(point, call)
+            # Residues of globals/arguments are fixed; nothing to check.
+
+    def _apply_separation(self, assertion: SpeculativeAssertion) -> None:
+        """Register the separated site; heap-check writers; check
+        iteration liveness for short-lived loops."""
+        anchor = assertion.points[0]
+        site_id = None
+        for known_id, known in self.plan.separated_sites.items():
+            if known is anchor:
+                site_id = known_id
+        if site_id is None:
+            site_id = self._next_site_id
+            self._next_site_id += 1
+            self.plan.separated_sites[site_id] = anchor
+
+        not_member = self._intrinsic("__validate_not_separated")
+        member = self._intrinsic("__validate_separated")
+        iter_check = self._intrinsic("__validate_iteration_empty")
+        for point in assertion.points[1:]:
+            if isinstance(point, Loop):
+                for latch in point.latches:
+                    key = ("sl-latch", id(latch), site_id)
+                    if key in self._checked_values:
+                        continue
+                    self._checked_values.add(key)
+                    call = CallInst(iter_check, [Constant(I64, site_id)])
+                    self._insert_before_terminator(latch, call)
+            elif isinstance(point, StoreInst):
+                # A bare store is a foreign write: it must never hit
+                # the separated heap.
+                key = ("sep-w", id(point), site_id)
+                if key in self._checked_values:
+                    continue
+                self._checked_values.add(key)
+                call = CallInst(not_member, [point.pointer,
+                                             Constant(I64, site_id)])
+                self._insert_before(point, call)
+            elif isinstance(point, tuple) and len(point) == 2:
+                role, pointer = point
+                if not isinstance(pointer, Instruction) or \
+                        not pointer.type.is_pointer:
+                    continue  # residues of fixed pointers need no check
+                key = ("sep", role, id(pointer), site_id)
+                if key in self._checked_values:
+                    continue
+                self._checked_values.add(key)
+                intrinsic = member if role == "member" else not_member
+                call = CallInst(intrinsic, [pointer,
+                                            Constant(I64, site_id)])
+                self._insert_after(pointer, call)
+
+    def _apply_memory_speculation(self,
+                                  assertion: SpeculativeAssertion) -> None:
+        """Shadow-memory tracking on the speculated source/sink pair.
+
+        Points carry (source, sink, loop, cross-iteration): the source
+        records its footprint, the sink checks for overlap — against
+        earlier iterations for a loop-carried assertion, against the
+        current iteration otherwise — and every back edge advances the
+        shadow epoch.
+        """
+        src, sink, loop, cross = assertion.points
+        if not isinstance(src, (LoadInst, StoreInst)) or \
+                not isinstance(sink, (LoadInst, StoreInst)):
+            raise ValidationError(
+                "memory speculation can only instrument loads/stores")
+        shadow_id = self._next_shadow_id
+        self._next_shadow_id += 1
+        cross_flag = Constant(I64, 1 if cross else 0)
+
+        record = self._intrinsic("__shadow_src")
+        self._insert_before(src, CallInst(record, [
+            Constant(I64, shadow_id), src.pointer,
+            Constant(I64, src.access_size)]))
+
+        check = self._intrinsic("__shadow_sink")
+        self._insert_before(sink, CallInst(check, [
+            Constant(I64, shadow_id), sink.pointer,
+            Constant(I64, sink.access_size), cross_flag]))
+
+        epoch = self._intrinsic("__shadow_iter")
+        for latch in loop.latches:
+            self._insert_before_terminator(latch, CallInst(epoch, [
+                Constant(I64, shadow_id), cross_flag]))

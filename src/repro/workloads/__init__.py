@@ -1,0 +1,67 @@
+"""The 16 synthetic SPEC-like workloads of the evaluation (§5).
+
+Each module stands in for one benchmark of Figure 8, engineered to
+exhibit the memory-access idioms that drive the corresponding
+analysis and speculation modules (see each workload's docstring and
+``patterns`` tuple, and DESIGN.md for the substitution rationale).
+"""
+
+from typing import Dict, List
+
+from .base import PreparedWorkload, Workload, clear_cache, prepare
+from . import (
+    alvinn,
+    art,
+    compress,
+    ear,
+    equake,
+    gzip,
+    hmmer,
+    lbm470,
+    lbm519,
+    libquantum,
+    mcf181,
+    mcf429,
+    nab,
+    sphinx3,
+    vpr,
+    x264,
+)
+
+#: All workloads in Figure 8's order.
+ALL_WORKLOADS: List[Workload] = [
+    alvinn.WORKLOAD,
+    ear.WORKLOAD,
+    compress.WORKLOAD,
+    gzip.WORKLOAD,
+    vpr.WORKLOAD,
+    art.WORKLOAD,
+    mcf181.WORKLOAD,
+    equake.WORKLOAD,
+    mcf429.WORKLOAD,
+    hmmer.WORKLOAD,
+    libquantum.WORKLOAD,
+    lbm470.WORKLOAD,
+    sphinx3.WORKLOAD,
+    lbm519.WORKLOAD,
+    x264.WORKLOAD,
+    nab.WORKLOAD,
+]
+
+WORKLOADS: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+#: Benchmarks the paper singles out as already saturated by
+#: composition-by-confluence (§5.1).
+CONFLUENCE_SATURATED = frozenset({
+    "056.ear", "129.compress", "164.gzip", "179.art",
+})
+
+
+def get_workload(name: str) -> Workload:
+    return WORKLOADS[name]
+
+
+__all__ = [
+    "ALL_WORKLOADS", "CONFLUENCE_SATURATED", "WORKLOADS",
+    "PreparedWorkload", "Workload", "clear_cache", "get_workload", "prepare",
+]

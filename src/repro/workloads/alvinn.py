@@ -1,0 +1,151 @@
+"""052.alvinn — neural-network training kernel.
+
+Idiom mix:
+- strided global array updates (CAF: SCEV/induction-variable),
+- direct-global vs loaded-pointer accesses (CAF: no-capture global),
+- heap input buffer, read-only during training, reached only through
+  a pointer global stored at an interior offset — so only the
+  points-to profile identifies it (SCAF: read-only × points-to),
+- the motivating rare-branch kill pattern (SCAF: control-spec ×
+  kill-flow),
+- a permutation-indexed scatter that no analysis disambiguates
+  (memory-speculation only),
+- accumulator recurrences (observed dependences).
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @input_ptr : f64* = zeroinit
+global @weight_ptr : f64* = zeroinit
+global @hidden : [64 x f64] = zeroinit
+global @scatter : [128 x f64] = zeroinit
+const global @perm : [64 x i32] = [
+  64, 67, 70, 73, 76, 79, 82, 85, 88, 91, 94, 97, 100, 103, 106, 109,
+  112, 115, 118, 121, 124, 127, 65, 68, 71, 74, 77, 80, 83, 86, 89, 92,
+  95, 98, 101, 104, 107, 110, 113, 116, 119, 122, 125, 66, 69, 72, 75,
+  78, 81, 84, 87, 90, 93, 96, 99, 102, 105, 108, 111, 114, 117, 120,
+  123, 126 ]
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @overflow_flag : i32 = 0
+global @log_count : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %in.raw = call @malloc(i64 528)
+  %in.f = bitcast i8* %in.raw to f64*
+  %in.base = gep f64* %in.f, i64 2
+  store f64* %in.base, f64** @input_ptr
+  %w.raw = call @malloc(i64 528)
+  %w.f = bitcast i8* %w.raw to f64*
+  %w.base = gep f64* %w.f, i64 2
+  store f64* %w.base, f64** @weight_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %in.addr = ptrtoint f64** @input_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %in.addr, i64* %reg0
+  %w.addr = ptrtoint f64** @weight_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %w.addr, i64* %reg1
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fif = sitofp i64 %fi to f64
+  %in.slot = gep f64* %in.base, i64 %fi
+  %fx = fmul f64 %fif, 0.5
+  store f64 %fx, f64* %in.slot
+  %w.slot = gep f64* %w.base, i64 %fi
+  store f64 0.01, f64* %w.slot
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 64
+  condbr i1 %fc, %fill, %epoch.head
+epoch.head:
+  br %epoch
+epoch:
+  %e = phi i32 [0, %epoch.head], [%e.next, %epoch.latch]
+  br %train
+train:
+  %j = phi i64 [0, %epoch], [%j.next, %train.latch]
+  %flag = load i32* @overflow_flag
+  %rare = icmp ne i32 %flag, 0
+  condbr i1 %rare, %overflow, %normal
+overflow:
+  %lc = load i32* @log_count
+  %lc.next = add i32 %lc, 1
+  store i32 %lc.next, i32* @log_count
+  br %join
+normal:
+  %sp.n = load f64** @state_ptr
+  %sc.slot.n = gep f64* %sp.n, i64 0
+  %jf = sitofp i64 %j to f64
+  store f64 %jf, f64* %sc.slot.n
+  br %join
+join:
+  %sp = load f64** @state_ptr
+  %sc.slot = gep f64* %sp, i64 0
+  %svf = load f64* %sc.slot
+  %in = load f64** @input_ptr
+  %w = load f64** @weight_ptr
+  %x.slot = gep f64* %in, i64 %j
+  %x = load f64* %x.slot
+  %wv.slot = gep f64* %w, i64 %j
+  %wv = load f64* %wv.slot
+  %h = fmul f64 %x, %wv
+  %h.slot = gep [64 x f64]* @hidden, i64 0, i64 %j
+  store f64 %h, f64* %h.slot
+  %err.slot = gep f64* %sp, i64 1
+  %err0 = load f64* %err.slot
+  %delta = fsub f64 %h, %svf
+  %err1 = fadd f64 %err0, %delta
+  store f64 %err1, f64* %err.slot
+  %grad = fmul f64 %delta, 0.01
+  %wv2 = fsub f64 %wv, %grad
+  store f64 %wv2, f64* %wv.slot
+  %p.slot = gep [64 x i32]* @perm, i64 0, i64 %j
+  %p = load i32* %p.slot
+  %p64 = sext i32 %p to i64
+  %sc.dst = gep [128 x f64]* @scatter, i64 0, i64 %p64
+  store f64 %h, f64* %sc.dst
+  %sc.src = gep [128 x f64]* @scatter, i64 0, i64 %j
+  %sc = load f64* %sc.src
+  %sc.sum = fadd f64 %sc, %h
+  %sp2 = load f64** @state_ptr
+  %sc.slot2 = gep f64* %sp2, i64 0
+  %sv2 = fadd f64 %svf, 1.0
+  store f64 %sv2, f64* %sc.slot2
+  br %train.latch
+train.latch:
+  %j.next = add i64 %j, 1
+  %jc = icmp slt i64 %j.next, 64
+  condbr i1 %jc, %train, %epoch.latch
+epoch.latch:
+  %e.next = add i32 %e, 1
+  %ec = icmp slt i32 %e.next, 25
+  condbr i1 %ec, %epoch, %done
+done:
+  %spd = load f64** @state_ptr
+  %fin.slot = gep f64* %spd, i64 1
+  %final = load f64* %fin.slot
+  %code = fptosi f64 %final to i32
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="052.alvinn",
+    description="Neural-network training kernel (backprop flavour).",
+    source=SOURCE,
+    patterns=(
+        "strided-global-updates",
+        "read-only-heap-via-pointer-global",
+        "control-spec-kill-flow",
+        "permutation-scatter-memspec-only",
+        "accumulator-recurrence",
+    ),
+)

@@ -1,0 +1,112 @@
+"""179.art — adaptive resonance theory image recognition.
+
+Confluence-saturated (§5.1): the neuron layer is an array of structs
+reached through a loaded base pointer, so field accesses are
+disambiguated *type-based* (CAF); top-down weights are a distinct
+identified heap object (CAF); the winner search is an observed
+reduction.  Residue speculation separates the interleaved halves of a
+paired buffer — resolvable in isolation.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+struct %neuron { f64, f64, f64 }
+
+global @layer_ptr : %neuron* = zeroinit
+global @pairs_ptr : f64* = zeroinit
+global @pairs_reg : i64 = 0
+global @winner : i32 = 0
+global @best : f64 = 0.0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %l.raw = call @malloc(i64 1536)
+  %layer = bitcast i8* %l.raw to %neuron*
+  store %neuron* %layer, %neuron** @layer_ptr
+  %p.raw = call @malloc(i64 1024)
+  %pairs = bitcast i8* %p.raw to f64*
+  store f64* %pairs, f64** @pairs_ptr
+  %td.raw = call @malloc(i64 512)
+  %td = bitcast i8* %td.raw to f64*
+  %pp.addr = ptrtoint f64** @pairs_ptr to i64
+  store i64 %pp.addr, i64* @pairs_reg
+  br %init
+init:
+  %ii = phi i64 [0, %entry], [%ii.next, %init]
+  %iif = sitofp i64 %ii to f64
+  %n.slot = gep %neuron* %layer, i64 %ii
+  %w.slot = gep %neuron* %n.slot, i64 0, i64 0
+  store f64 %iif, f64* %w.slot
+  %td.slot = gep f64* %td, i64 %ii
+  %tv = fmul f64 %iif, 0.25
+  store f64 %tv, f64* %td.slot
+  %pr.even = mul i64 %ii, 2
+  %pr.slot = gep f64* %pairs, i64 %pr.even
+  store f64 %iif, f64* %pr.slot
+  %ii.next = add i64 %ii, 1
+  %icond = icmp slt i64 %ii.next, 64
+  condbr i1 %icond, %init, %scan.head
+scan.head:
+  br %scan
+scan:
+  %pass = phi i32 [0, %scan.head], [%pass.next, %scan.latch]
+  br %match
+match:
+  %n = phi i64 [0, %scan], [%n.next, %match.latch]
+  %lp = load %neuron** @layer_ptr
+  %node = gep %neuron* %lp, i64 %n
+  %wp = gep %neuron* %node, i64 0, i64 0
+  %w = load f64* %wp
+  %xp = gep %neuron* %node, i64 0, i64 1
+  %tdv.slot = gep f64* %td, i64 %n
+  %tdv = load f64* %tdv.slot
+  %act = fmul f64 %w, %tdv
+  store f64 %act, f64* %xp
+  %yp = gep %neuron* %node, i64 0, i64 2
+  %decay = fmul f64 %act, 0.9
+  store f64 %decay, f64* %yp
+  %pp.e = load f64** @pairs_ptr
+  %even.i = mul i64 %n, 2
+  %odd.i = add i64 %even.i, 1
+  %even.slot = gep f64* %pp.e, i64 %even.i
+  %ev = load f64* %even.slot
+  %pp.o = load f64** @pairs_ptr
+  %odd.slot = gep f64* %pp.o, i64 %odd.i
+  %sum = fadd f64 %ev, %act
+  store f64 %sum, f64* %odd.slot
+  %b = load f64* @best
+  %gt = fcmp ogt f64 %act, %b
+  condbr i1 %gt, %newbest, %match.latch
+newbest:
+  store f64 %act, f64* @best
+  %n32 = trunc i64 %n to i32
+  store i32 %n32, i32* @winner
+  br %match.latch
+match.latch:
+  %n.next = add i64 %n, 1
+  %nc = icmp slt i64 %n.next, 64
+  condbr i1 %nc, %match, %scan.latch
+scan.latch:
+  %pass.next = add i32 %pass, 1
+  %pc = icmp slt i32 %pass.next, 60
+  condbr i1 %pc, %scan, %done
+done:
+  %win = load i32* @winner
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="179.art",
+    description="ART neural network winner-take-all matching.",
+    source=SOURCE,
+    patterns=(
+        "type-based-field-disambiguation",
+        "identified-heap-objects",
+        "residue-interleaved-pairs",
+        "winner-reduction-observed",
+    ),
+)

@@ -1,0 +1,68 @@
+"""Workload infrastructure.
+
+Each workload is a synthetic IR program standing in for one of the 16
+C/C++ SPEC benchmarks of §5.  A workload bundles its IR source, an
+entry point, and documentation of the memory-access idioms it
+exercises.  ``prepare`` parses, verifies, profiles, and caches the
+result so benchmarks and tests share one training run per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import AnalysisContext
+from ..ir import Module, parse_module, verify_module
+from ..profiling import ProfileBundle, run_profilers
+
+
+@dataclass
+class Workload:
+    """One synthetic benchmark program."""
+
+    name: str
+    description: str
+    source: str
+    entry: str = "main"
+    #: Memory-access idioms deliberately present (documentation aid).
+    patterns: Tuple[str, ...] = ()
+
+    def build(self) -> Module:
+        module = parse_module(self.source, name=self.name)
+        verify_module(module)
+        return module
+
+
+@dataclass
+class PreparedWorkload:
+    """A workload plus its analysis context and training profile."""
+
+    workload: Workload
+    module: Module
+    context: AnalysisContext
+    profiles: ProfileBundle
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+_CACHE: Dict[str, PreparedWorkload] = {}
+
+
+def prepare(workload: Workload, use_cache: bool = True) -> PreparedWorkload:
+    """Parse, verify, and profile a workload (cached by name)."""
+    if use_cache and workload.name in _CACHE:
+        return _CACHE[workload.name]
+    module = workload.build()
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=workload.entry)
+    prepared = PreparedWorkload(workload, module, context, profiles)
+    if use_cache:
+        _CACHE[workload.name] = prepared
+    return prepared
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,109 @@
+"""129.compress — LZW-style dictionary compression.
+
+Confluence-saturated benchmark (§5.1): the hash-table scatter
+produces genuine observed dependences, the input buffer is a distinct
+identified object (CAF), and the two profitable speculations — a
+never-taken table-reset path and a predictable bound load — are both
+resolvable by isolated modules.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @htab : [128 x i32] = zeroinit
+global @codetab : [128 x i32] = zeroinit
+global @out_count : i32 = 0
+global @ratio_bad : i32 = 0
+global @clear_events : i32 = 0
+const global @maxcode : i32 = 4096
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %in.raw = call @malloc(i64 512)
+  %in = bitcast i8* %in.raw to i8*
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %f.slot = gep i8* %in, i64 %fi
+  %ft = trunc i64 %fi to i8
+  %fm = mul i8 %ft, 37
+  store i8 %fm, i8* %f.slot
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 512
+  condbr i1 %fc, %fill, %comp.head
+comp.head:
+  br %comp
+comp:
+  %i = phi i64 [0, %comp.head], [%i.next, %comp.latch]
+  %max = load i32* @maxcode
+  %rb = load i32* @ratio_bad
+  %need.clear = icmp ne i32 %rb, 0
+  condbr i1 %need.clear, %clear, %lookup
+clear:
+  %ce = load i32* @clear_events
+  %ce1 = add i32 %ce, 1
+  store i32 %ce1, i32* @clear_events
+  %h0.slot = gep [128 x i32]* @htab, i64 0, i64 0
+  store i32 0, i32* %h0.slot
+  br %lookup
+lookup:
+  %ch.slot = gep i8* %in, i64 %i
+  %ch = load i8* %ch.slot
+  %ch32 = sext i8 %ch to i32
+  %ch64 = sext i8 %ch to i64
+  %mix = mul i64 %ch64, 31
+  %h = srem i64 %mix, 128
+  %habs.neg = icmp slt i64 %h, 0
+  %h.fix = add i64 %h, 128
+  %hidx = select i1 %habs.neg, i64 %h.fix, i64 %h
+  %h.slot = gep [128 x i32]* @htab, i64 0, i64 %hidx
+  %code = load i32* %h.slot
+  %hit = icmp eq i32 %code, %ch32
+  condbr i1 %hit, %emit, %insert
+insert:
+  store i32 %ch32, i32* %h.slot
+  %c.slot = gep [128 x i32]* @codetab, i64 0, i64 %hidx
+  %oc0 = load i32* @out_count
+  store i32 %oc0, i32* %c.slot
+  br %emit
+emit:
+  %oc = load i32* @out_count
+  %oc.ok = icmp slt i32 %oc, %max
+  %oc1 = add i32 %oc, 1
+  %oc2 = select i1 %oc.ok, i32 %oc1, i32 %oc
+  store i32 %oc2, i32* @out_count
+  br %comp.latch
+comp.latch:
+  %i.next = add i64 %i, 1
+  %done.c = icmp slt i64 %i.next, 512
+  condbr i1 %done.c, %comp, %check
+check:
+  %total = load i32* @out_count
+  br %verify
+verify:
+  %v = phi i64 [0, %check], [%v.next, %verify]
+  %vh.slot = gep [128 x i32]* @htab, i64 0, i64 %v
+  %vh = load i32* %vh.slot
+  %vc.slot = gep [128 x i32]* @codetab, i64 0, i64 %v
+  %vc = load i32* %vc.slot
+  %v.next = add i64 %v, 1
+  %vcond = icmp slt i64 %v.next, 128
+  condbr i1 %vcond, %verify, %done
+done:
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="129.compress",
+    description="LZW-style compression with a hashed dictionary.",
+    source=SOURCE,
+    patterns=(
+        "hash-scatter-observed",
+        "control-spec-dead-reset",
+        "value-prediction-direct",
+        "identified-heap-input",
+    ),
+)

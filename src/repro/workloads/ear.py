@@ -1,0 +1,88 @@
+"""056.ear — human auditory model (filterbank cascade).
+
+One of the benchmarks where composition by confluence already covers
+nearly everything (§5.1): dependences are dominated by strided global
+arrays (CAF) and per-frame scratch buffers allocated/freed directly
+in the loop (short-lived with a *static* anchor, so the isolated
+module resolves them).  No pattern here requires collaboration.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @signal : [96 x f64] = zeroinit
+global @bm : [96 x f64] = zeroinit
+global @out : [96 x f64] = zeroinit
+global @energy : f64 = 0.0
+const global @n_stages : i32 = 4
+
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+
+func @main() -> i32 {
+entry:
+  br %init
+init:
+  %ii = phi i64 [0, %entry], [%ii.next, %init]
+  %s.slot = gep [96 x f64]* @signal, i64 0, i64 %ii
+  %iif = sitofp i64 %ii to f64
+  %sv = fmul f64 %iif, 0.125
+  store f64 %sv, f64* %s.slot
+  %ii.next = add i64 %ii, 1
+  %ic = icmp slt i64 %ii.next, 96
+  condbr i1 %ic, %init, %frame.head
+frame.head:
+  br %frame
+frame:
+  %f = phi i32 [0, %frame.head], [%f.next, %frame.latch]
+  %tmp.raw = call @malloc(i64 768)
+  %tmp = bitcast i8* %tmp.raw to f64*
+  br %chan
+chan:
+  %c = phi i64 [0, %frame], [%c.next, %chan.latch]
+  %stages = load i32* @n_stages
+  %sf = sitofp i32 %stages to f64
+  %sig.slot = gep [96 x f64]* @signal, i64 0, i64 %c
+  %sig = load f64* %sig.slot
+  %bm.slot = gep [96 x f64]* @bm, i64 0, i64 %c
+  %bm0 = load f64* %bm.slot
+  %filt = fmul f64 %bm0, 0.97
+  %exc = fadd f64 %filt, %sig
+  store f64 %exc, f64* %bm.slot
+  %t.slot = gep f64* %tmp, i64 %c
+  store f64 %exc, f64* %t.slot
+  %t.back = load f64* %t.slot
+  %scaled = fmul f64 %t.back, %sf
+  %o.slot = gep [96 x f64]* @out, i64 0, i64 %c
+  store f64 %scaled, f64* %o.slot
+  %e0 = load f64* @energy
+  %e1 = fadd f64 %e0, %scaled
+  store f64 %e1, f64* @energy
+  br %chan.latch
+chan.latch:
+  %c.next = add i64 %c, 1
+  %cc = icmp slt i64 %c.next, 96
+  condbr i1 %cc, %chan, %frame.tail
+frame.tail:
+  call @free(i8* %tmp.raw)
+  br %frame.latch
+frame.latch:
+  %f.next = add i32 %f, 1
+  %fc = icmp slt i32 %f.next, 50
+  condbr i1 %fc, %frame, %done
+done:
+  %e = load f64* @energy
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="056.ear",
+    description="Auditory filterbank cascade over frames and channels.",
+    source=SOURCE,
+    patterns=(
+        "strided-global-arrays",
+        "short-lived-static-anchor",
+        "accumulator-recurrence",
+    ),
+)

@@ -1,0 +1,188 @@
+"""183.equake — earthquake simulation (sparse matrix-vector core).
+
+A CSR sparse matvec engineered the way SPEC's pointer-heavy C looks
+to an analyzer: *every* piece of hot-loop state — the row offsets,
+column indices, matrix values, input vector, output vector, and even
+the scalar displacement accumulator — lives on the heap behind
+interior-offset pointer globals, and all those pointer globals are
+captured into a registry at startup, so classical memory analysis can
+disambiguate almost nothing.  Coverage then comes from speculation:
+
+- read-only CSR structure and input vector (read-only × points-to),
+- pointer-slot loads vs heap writes (read-only over the *globals*,
+  again via points-to premises),
+- the motivating kill pattern on the heap-resident displacement cell,
+  whose must-alias premise resolves through unique-access-paths over
+  the (uncaptured) state pointer (control-spec × kill-flow ×
+  unique-access-paths),
+- output-vs-scratch writes that only memory speculation separates,
+- a genuine accumulator recurrence (observed dependences).
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @rowptr_ptr : i32* = zeroinit
+global @colidx_ptr : i32* = zeroinit
+global @vals_ptr : f64* = zeroinit
+global @xvec_ptr : f64* = zeroinit
+global @yvec_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [8 x i64] = zeroinit
+global @clamp_flag : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %rp.raw = call @malloc(i64 280)
+  %rp.i = bitcast i8* %rp.raw to i32*
+  %rp.base = gep i32* %rp.i, i64 2
+  store i32* %rp.base, i32** @rowptr_ptr
+  %ci.raw = call @malloc(i64 1040)
+  %ci.i = bitcast i8* %ci.raw to i32*
+  %ci.base = gep i32* %ci.i, i64 4
+  store i32* %ci.base, i32** @colidx_ptr
+  %va.raw = call @malloc(i64 2064)
+  %va.f = bitcast i8* %va.raw to f64*
+  %va.base = gep f64* %va.f, i64 2
+  store f64* %va.base, f64** @vals_ptr
+  %xv.raw = call @malloc(i64 528)
+  %xv.f = bitcast i8* %xv.raw to f64*
+  %xv.base = gep f64* %xv.f, i64 2
+  store f64* %xv.base, f64** @xvec_ptr
+  %yv.raw = call @malloc(i64 528)
+  %yv.f = bitcast i8* %yv.raw to f64*
+  %yv.base = gep f64* %yv.f, i64 2
+  store f64* %yv.base, f64** @yvec_ptr
+  %st.raw = call @malloc(i64 64)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  ; Capture every pointer global into the registry: their addresses
+  ; escape, so no-capture reasoning is off the table.
+  %rp.addr = ptrtoint i32** @rowptr_ptr to i64
+  %reg0 = gep [8 x i64]* @registry, i64 0, i64 0
+  store i64 %rp.addr, i64* %reg0
+  %ci.addr = ptrtoint i32** @colidx_ptr to i64
+  %reg1 = gep [8 x i64]* @registry, i64 0, i64 1
+  store i64 %ci.addr, i64* %reg1
+  %va.addr = ptrtoint f64** @vals_ptr to i64
+  %reg2 = gep [8 x i64]* @registry, i64 0, i64 2
+  store i64 %va.addr, i64* %reg2
+  %xv.addr = ptrtoint f64** @xvec_ptr to i64
+  %reg3 = gep [8 x i64]* @registry, i64 0, i64 3
+  store i64 %xv.addr, i64* %reg3
+  %yv.addr = ptrtoint f64** @yvec_ptr to i64
+  %reg4 = gep [8 x i64]* @registry, i64 0, i64 4
+  store i64 %yv.addr, i64* %reg4
+  br %build
+build:
+  %bi = phi i64 [0, %entry], [%bi.next, %build]
+  %row.slot = gep i32* %rp.base, i64 %bi
+  %bi32 = trunc i64 %bi to i32
+  %row.start = mul i32 %bi32, 4
+  store i32 %row.start, i32* %row.slot
+  %x.slot = gep f64* %xv.base, i64 %bi
+  %bif = sitofp i64 %bi to f64
+  store f64 %bif, f64* %x.slot
+  %y.slot = gep f64* %yv.base, i64 %bi
+  store f64 0.0, f64* %y.slot
+  %bi.next = add i64 %bi, 1
+  %bc = icmp slt i64 %bi.next, 32
+  condbr i1 %bc, %build, %build.nnz
+build.nnz:
+  %ni = phi i64 [0, %build], [%ni.next, %build.nnz]
+  %ci.slot = gep i32* %ci.base, i64 %ni
+  %ni32 = trunc i64 %ni to i32
+  %col = srem i32 %ni32, 32
+  store i32 %col, i32* %ci.slot
+  %v.slot = gep f64* %va.base, i64 %ni
+  %nif = sitofp i64 %ni to f64
+  %vv = fmul f64 %nif, 0.01
+  store f64 %vv, f64* %v.slot
+  %ni.next = add i64 %ni, 1
+  %nc = icmp slt i64 %ni.next, 128
+  condbr i1 %nc, %build.nnz, %time.head
+time.head:
+  br %time
+time:
+  %step = phi i32 [0, %time.head], [%step.next, %time.latch]
+  br %smvp
+smvp:
+  %row = phi i64 [0, %time], [%row.next, %smvp.latch]
+  %cf = load i32* @clamp_flag
+  %rare = icmp ne i32 %cf, 0
+  condbr i1 %rare, %clamp, %nominal
+clamp:
+  %sp.c = load f64** @state_ptr
+  %cl.slot = gep f64* %sp.c, i64 1
+  %cl0 = load f64* %cl.slot
+  %cl1 = fadd f64 %cl0, 1.0
+  store f64 %cl1, f64* %cl.slot
+  br %smvp.join
+nominal:
+  %sp.n = load f64** @state_ptr
+  %dn.slot.n = gep f64* %sp.n, i64 0
+  %rowf = sitofp i64 %row to f64
+  store f64 %rowf, f64* %dn.slot.n
+  br %smvp.join
+smvp.join:
+  %sp = load f64** @state_ptr
+  %dn.slot = gep f64* %sp, i64 0
+  %dn = load f64* %dn.slot
+  %rowptr = load i32** @rowptr_ptr
+  %colidx = load i32** @colidx_ptr
+  %vals = load f64** @vals_ptr
+  %xv = load f64** @xvec_ptr
+  %yv = load f64** @yvec_ptr
+  %r.slot = gep i32* %rowptr, i64 %row
+  %start = load i32* %r.slot
+  %start64 = sext i32 %start to i64
+  %e0.ci = gep i32* %colidx, i64 %start64
+  %col0 = load i32* %e0.ci
+  %col064 = sext i32 %col0 to i64
+  %e0.v = gep f64* %vals, i64 %start64
+  %a0 = load f64* %e0.v
+  %x0.slot = gep f64* %xv, i64 %col064
+  %x0 = load f64* %x0.slot
+  %prod = fmul f64 %a0, %x0
+  %acc.v = fadd f64 %prod, %dn
+  %y.out = gep f64* %yv, i64 %row
+  %y.old = load f64* %y.out
+  %y.new = fadd f64 %y.old, %acc.v
+  store f64 %y.new, f64* %y.out
+  %sp2 = load f64** @state_ptr
+  %dn.slot2 = gep f64* %sp2, i64 0
+  %dn2 = fadd f64 %dn, 0.5
+  store f64 %dn2, f64* %dn.slot2
+  %en.slot = gep f64* %sp2, i64 2
+  %en0 = load f64* %en.slot
+  %en1 = fadd f64 %en0, %acc.v
+  store f64 %en1, f64* %en.slot
+  br %smvp.latch
+smvp.latch:
+  %row.next = add i64 %row, 1
+  %rc = icmp slt i64 %row.next, 64
+  condbr i1 %rc, %smvp, %time.latch
+time.latch:
+  %step.next = add i32 %step, 1
+  %sc = icmp slt i32 %step.next, 20
+  condbr i1 %sc, %time, %done
+done:
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="183.equake",
+    description="CSR sparse matvec with fully heap-resident state.",
+    source=SOURCE,
+    patterns=(
+        "read-only-csr-structure",
+        "read-only-input-vector",
+        "captured-pointer-globals",
+        "heap-resident-kill-pattern",
+        "energy-accumulator-observed",
+    ),
+)

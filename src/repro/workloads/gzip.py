@@ -1,0 +1,103 @@
+"""164.gzip — sliding-window string matching.
+
+Confluence-saturated (§5.1): the window is filled before the hot
+match loop and only read inside it (read-only with a *static* anchor:
+the SSA malloc result is used directly), chain updates are genuine
+observed dependences, and a never-taken flush path resolves in
+isolation.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @head : [64 x i32] = zeroinit
+global @prev : [64 x i32] = zeroinit
+global @match_len : i32 = 0
+global @flush_flag : i32 = 0
+global @flushes : i32 = 0
+const global @wsize : i32 = 1024
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %w.raw = call @malloc(i64 600)
+  %window = bitcast i8* %w.raw to i8*
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %w.slot = gep i8* %window, i64 %fi
+  %fv = trunc i64 %fi to i8
+  %fm = mul i8 %fv, 11
+  store i8 %fm, i8* %w.slot
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 600
+  condbr i1 %fc, %fill, %deflate.head
+deflate.head:
+  br %deflate
+deflate:
+  %pos = phi i64 [0, %deflate.head], [%pos.next, %deflate.latch]
+  %ws = load i32* @wsize
+  %ff = load i32* @flush_flag
+  %must.flush = icmp ne i32 %ff, 0
+  condbr i1 %must.flush, %flush, %hash
+flush:
+  %fl = load i32* @flushes
+  %fl1 = add i32 %fl, 1
+  store i32 %fl1, i32* @flushes
+  br %hash
+hash:
+  %c.slot = gep i8* %window, i64 %pos
+  %c = load i8* %c.slot
+  %c64 = sext i8 %c to i64
+  %hmix = mul i64 %c64, 17
+  %hraw = srem i64 %hmix, 64
+  %hneg = icmp slt i64 %hraw, 0
+  %hfix = add i64 %hraw, 64
+  %hidx = select i1 %hneg, i64 %hfix, i64 %hraw
+  %head.slot = gep [64 x i32]* @head, i64 0, i64 %hidx
+  %cand = load i32* %head.slot
+  %pos32 = trunc i64 %pos to i32
+  %prev.slot = gep [64 x i32]* @prev, i64 0, i64 %hidx
+  store i32 %cand, i32* %prev.slot
+  store i32 %pos32, i32* %head.slot
+  br %match
+match:
+  %mlen = phi i32 [0, %hash], [%mlen.next, %match.body]
+  %mc = icmp slt i32 %mlen, 8
+  condbr i1 %mc, %match.body, %match.done
+match.body:
+  %m64 = sext i32 %mlen to i64
+  %moff = add i64 %pos, %m64
+  %mwrap = srem i64 %moff, 600
+  %m.slot = gep i8* %window, i64 %mwrap
+  %mv = load i8* %m.slot
+  %mlen.next = add i32 %mlen, 1
+  br %match
+match.done:
+  %best = load i32* @match_len
+  %better = icmp sgt i32 %mlen, %best
+  %newbest = select i1 %better, i32 %mlen, i32 %best
+  store i32 %newbest, i32* @match_len
+  br %deflate.latch
+deflate.latch:
+  %pos.next = add i64 %pos, 1
+  %pc = icmp slt i64 %pos.next, 500
+  condbr i1 %pc, %deflate, %done
+done:
+  %r = load i32* @match_len
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="164.gzip",
+    description="Sliding-window match search with hash chains.",
+    source=SOURCE,
+    patterns=(
+        "read-only-window-static-anchor",
+        "hash-chain-observed",
+        "control-spec-dead-flush",
+        "value-prediction-direct",
+    ),
+)

@@ -1,0 +1,140 @@
+"""456.hmmer — profile HMM sequence search (Viterbi DP flavour).
+
+The transition-score table is read-only behind an interior-offset
+pointer global (read-only × points-to), the per-sequence-position
+scratch row is short-lived behind a reloaded pointer global
+(short-lived × points-to), the previous-row buffer carries genuine
+cross-iteration dependences, and a never-taken rescale path supplies
+dead stores.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @tscore_ptr : f64* = zeroinit
+global @prevrow_ptr : f64* = zeroinit
+global @row_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @underflow_flag : i32 = 0
+global @rescales : i32 = 0
+const global @alphabet : i32 = 20
+
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+
+func @main() -> i32 {
+entry:
+  %t.raw = call @malloc(i64 1040)
+  %t.f = bitcast i8* %t.raw to f64*
+  %t.base = gep f64* %t.f, i64 2
+  store f64* %t.base, f64** @tscore_ptr
+  %p.raw = call @malloc(i64 528)
+  %p.f = bitcast i8* %p.raw to f64*
+  %p.base = gep f64* %p.f, i64 2
+  store f64* %p.base, f64** @prevrow_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %t.addr = ptrtoint f64** @tscore_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %t.addr, i64* %reg0
+  %p.addr = ptrtoint f64** @prevrow_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %p.addr, i64* %reg1
+  %r.addr = ptrtoint f64** @row_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %r.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill.latch]
+  %ok.t = icmp slt i64 %fi, 128
+  condbr i1 %ok.t, %fill.t, %fill.p
+fill.t:
+  %ft.slot = gep f64* %t.base, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  %ft = fmul f64 %fif, 0.0625
+  store f64 %ft, f64* %ft.slot
+  br %fill.p
+fill.p:
+  %ok.p = icmp slt i64 %fi, 64
+  condbr i1 %ok.p, %fill.p.do, %fill.latch
+fill.p.do:
+  %fp.slot = gep f64* %p.base, i64 %fi
+  store f64 0.0, f64* %fp.slot
+  br %fill.latch
+fill.latch:
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 128
+  condbr i1 %fc, %fill, %seq.head
+seq.head:
+  br %seq
+seq:
+  %pos = phi i32 [0, %seq.head], [%pos.next, %seq.latch]
+  br %state
+state:
+  %k = phi i64 [0, %seq], [%k.next, %state.latch]
+  %row.raw = call @malloc(i64 32)
+  %row.f = bitcast i8* %row.raw to f64*
+  store f64* %row.f, f64** @row_ptr
+  %uf = load i32* @underflow_flag
+  %rare = icmp ne i32 %uf, 0
+  condbr i1 %rare, %rescale, %dp
+rescale:
+  %rs = load i32* @rescales
+  %rs1 = add i32 %rs, 1
+  store i32 %rs1, i32* @rescales
+  br %dp
+dp:
+  %ab = load i32* @alphabet
+  %ts = load f64** @tscore_ptr
+  %prev = load f64** @prevrow_ptr
+  %t.slot = gep f64* %ts, i64 %k
+  %trans = load f64* %t.slot
+  %pv.slot = gep f64* %prev, i64 %k
+  %pv = load f64* %pv.slot
+  %cand = fadd f64 %pv, %trans
+  %rp = load f64** @row_ptr
+  %r0 = gep f64* %rp, i64 0
+  store f64 %cand, f64* %r0
+  %r0.back = load f64* %r0
+  %upd = fmul f64 %r0.back, 0.5
+  store f64 %upd, f64* %pv.slot
+  %sp = load f64** @state_ptr
+  %vm.slot = gep f64* %sp, i64 0
+  %vm = load f64* %vm.slot
+  %better = fcmp ogt f64 %cand, %vm
+  %newmax = select i1 %better, f64 %cand, f64 %vm
+  store f64 %newmax, f64* %vm.slot
+  %row.done = load f64** @row_ptr
+  %row.i8 = bitcast f64* %row.done to i8*
+  call @free(i8* %row.i8)
+  br %state.latch
+state.latch:
+  %k.next = add i64 %k, 1
+  %kc = icmp slt i64 %k.next, 64
+  condbr i1 %kc, %state, %seq.latch
+seq.latch:
+  %pos.next = add i32 %pos, 1
+  %pc = icmp slt i32 %pos.next, 22
+  condbr i1 %pc, %seq, %done
+done:
+  %spd = load f64** @state_ptr
+  %v.slot = gep f64* %spd, i64 0
+  %v = load f64* %v.slot
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="456.hmmer",
+    description="Viterbi DP row sweep with scratch rows.",
+    source=SOURCE,
+    patterns=(
+        "read-only-transition-table",
+        "short-lived-scratch-row",
+        "prevrow-recurrence-observed",
+        "control-spec-dead-rescale",
+    ),
+)

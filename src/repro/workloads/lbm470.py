@@ -1,0 +1,140 @@
+"""470.lbm — lattice Boltzmann fluid dynamics (CPU2006).
+
+Double-buffered streaming: source and destination grids are swapped
+through pointer globals each timestep, making their points-to sets
+overlap over time — only per-invocation memory speculation separates
+them (the large residual bar).  The equilibrium-distribution weights
+are read-only behind an interior-offset pointer (read-only ×
+points-to), and a never-taken boundary path supplies dead stores.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @srcgrid_ptr : f64* = zeroinit
+global @dstgrid_ptr : f64* = zeroinit
+global @weights_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @boundary_flag : i32 = 0
+global @boundary_hits : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %a.raw = call @malloc(i64 528)
+  %a.f = bitcast i8* %a.raw to f64*
+  store f64* %a.f, f64** @srcgrid_ptr
+  %b.raw = call @malloc(i64 528)
+  %b.f = bitcast i8* %b.raw to f64*
+  store f64* %b.f, f64** @dstgrid_ptr
+  %w.raw = call @malloc(i64 208)
+  %w.f = bitcast i8* %w.raw to f64*
+  %w.base = gep f64* %w.f, i64 2
+  store f64* %w.base, f64** @weights_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %a.addr = ptrtoint f64** @srcgrid_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %a.addr, i64* %reg0
+  %b.addr = ptrtoint f64** @dstgrid_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %b.addr, i64* %reg1
+  %w.addr = ptrtoint f64** @weights_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %w.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill.latch]
+  %fa.slot = gep f64* %a.f, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  store f64 %fif, f64* %fa.slot
+  %fb.slot = gep f64* %b.f, i64 %fi
+  store f64 0.0, f64* %fb.slot
+  %w.ok = icmp slt i64 %fi, 19
+  condbr i1 %w.ok, %fill.w, %fill.latch
+fill.w:
+  %fw.slot = gep f64* %w.base, i64 %fi
+  %fw = fmul f64 %fif, 0.05
+  store f64 %fw, f64* %fw.slot
+  br %fill.latch
+fill.latch:
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 64
+  condbr i1 %fc, %fill, %time.head
+time.head:
+  br %time
+time:
+  %t = phi i32 [0, %time.head], [%t.next, %time.latch]
+  br %stream
+stream:
+  %cell = phi i64 [1, %time], [%cell.next, %stream.latch]
+  %bf = load i32* @boundary_flag
+  %rare = icmp ne i32 %bf, 0
+  condbr i1 %rare, %boundary, %interior
+boundary:
+  %bh = load i32* @boundary_hits
+  %bh1 = add i32 %bh, 1
+  store i32 %bh1, i32* @boundary_hits
+  br %stream.join
+interior:
+  br %stream.join
+stream.join:
+  %src = load f64** @srcgrid_ptr
+  %dst = load f64** @dstgrid_ptr
+  %w = load f64** @weights_ptr
+  %left.i = sub i64 %cell, 1
+  %left.slot = gep f64* %src, i64 %left.i
+  %left = load f64* %left.slot
+  %here.slot = gep f64* %src, i64 %cell
+  %here = load f64* %here.slot
+  %w.idx = srem i64 %cell, 19
+  %w.slot = gep f64* %w, i64 %w.idx
+  %wv = load f64* %w.slot
+  %flux = fsub f64 %left, %here
+  %relaxed = fmul f64 %flux, %wv
+  %new = fadd f64 %here, %relaxed
+  %out.slot = gep f64* %dst, i64 %cell
+  store f64 %new, f64* %out.slot
+  %sp = load f64** @state_ptr
+  %m.slot = gep f64* %sp, i64 0
+  %m0 = load f64* %m.slot
+  %m1 = fadd f64 %m0, %new
+  store f64 %m1, f64* %m.slot
+  br %stream.latch
+stream.latch:
+  %cell.next = add i64 %cell, 1
+  %cc = icmp slt i64 %cell.next, 64
+  condbr i1 %cc, %stream, %swap
+swap:
+  %old.src = load f64** @srcgrid_ptr
+  %old.dst = load f64** @dstgrid_ptr
+  store f64* %old.dst, f64** @srcgrid_ptr
+  store f64* %old.src, f64** @dstgrid_ptr
+  br %time.latch
+time.latch:
+  %t.next = add i32 %t, 1
+  %tc = icmp slt i32 %t.next, 24
+  condbr i1 %tc, %time, %done
+done:
+  %spd = load f64** @state_ptr
+  %m.fin = gep f64* %spd, i64 0
+  %m = load f64* %m.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="470.lbm",
+    description="Double-buffered lattice streaming step.",
+    source=SOURCE,
+    patterns=(
+        "double-buffer-swap-memspec-only",
+        "read-only-weights",
+        "control-spec-dead-boundary",
+        "mass-accumulator-observed",
+    ),
+)

@@ -1,0 +1,136 @@
+"""519.lbm — lattice Boltzmann, CPU2017 edition (fused collide-stream).
+
+More statically tractable than 470.lbm: both grids sit behind *clean*
+pointer globals (global-malloc resolves them, CAF), while the
+relaxation weights are read-only behind an interior offset
+(read-only × points-to) and a never-taken obstacle path supplies
+dead stores plus the kill pattern on the cell flag cache.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @grid_ptr : f64* = zeroinit
+global @out_ptr : f64* = zeroinit
+global @omega_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @cell_flag : i32 = 0
+global @obstacles : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %g.raw = call @malloc(i64 512)
+  %g.f = bitcast i8* %g.raw to f64*
+  store f64* %g.f, f64** @grid_ptr
+  %o.raw = call @malloc(i64 512)
+  %o.f = bitcast i8* %o.raw to f64*
+  store f64* %o.f, f64** @out_ptr
+  %w.raw = call @malloc(i64 208)
+  %w.f = bitcast i8* %w.raw to f64*
+  %w.base = gep f64* %w.f, i64 2
+  store f64* %w.base, f64** @omega_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %g.addr = ptrtoint f64** @grid_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %g.addr, i64* %reg0
+  %o.addr = ptrtoint f64** @out_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %o.addr, i64* %reg1
+  %w.addr = ptrtoint f64** @omega_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %w.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill.latch]
+  %fg.slot = gep f64* %g.f, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  store f64 %fif, f64* %fg.slot
+  %fo.slot = gep f64* %o.f, i64 %fi
+  store f64 0.0, f64* %fo.slot
+  %w.ok = icmp slt i64 %fi, 19
+  condbr i1 %w.ok, %fill.w, %fill.latch
+fill.w:
+  %fw.slot = gep f64* %w.base, i64 %fi
+  %fw = fadd f64 %fif, 0.5
+  store f64 %fw, f64* %fw.slot
+  br %fill.latch
+fill.latch:
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 64
+  condbr i1 %fc, %fill, %time.head
+time.head:
+  br %time
+time:
+  %t = phi i32 [0, %time.head], [%t.next, %time.latch]
+  br %collide
+collide:
+  %cell = phi i64 [0, %time], [%cell.next, %collide.latch]
+  %flag = load i32* @cell_flag
+  %blocked = icmp ne i32 %flag, 0
+  condbr i1 %blocked, %obstacle, %fluid
+obstacle:
+  %ob = load i32* @obstacles
+  %ob1 = add i32 %ob, 1
+  store i32 %ob1, i32* @obstacles
+  br %collide.join
+fluid:
+  %ct = trunc i64 %cell to i32
+  store i32 %ct, i32* @cell_flag
+  br %collide.join
+collide.join:
+  %cf = load i32* @cell_flag
+  %cff = sitofp i32 %cf to f64
+  %grid = load f64** @grid_ptr
+  %out = load f64** @out_ptr
+  %om = load f64** @omega_ptr
+  %c.slot = gep f64* %grid, i64 %cell
+  %f.old = load f64* %c.slot
+  %w.idx = srem i64 %cell, 19
+  %w.slot = gep f64* %om, i64 %w.idx
+  %wv = load f64* %w.slot
+  %eq = fmul f64 %cff, 0.1
+  %dev = fsub f64 %f.old, %eq
+  %relax = fmul f64 %dev, %wv
+  %f.new = fsub f64 %f.old, %relax
+  %o.slot = gep f64* %out, i64 %cell
+  store f64 %f.new, f64* %o.slot
+  %sp = load f64** @state_ptr
+  %m.slot = gep f64* %sp, i64 0
+  %m0 = load f64* %m.slot
+  %m1 = fadd f64 %m0, %f.new
+  store f64 %m1, f64* %m.slot
+  store i32 0, i32* @cell_flag
+  br %collide.latch
+collide.latch:
+  %cell.next = add i64 %cell, 1
+  %cc = icmp slt i64 %cell.next, 64
+  condbr i1 %cc, %collide, %time.latch
+time.latch:
+  %t.next = add i32 %t, 1
+  %tc = icmp slt i32 %t.next, 24
+  condbr i1 %tc, %time, %done
+done:
+  %spd = load f64** @state_ptr
+  %m.fin = gep f64* %spd, i64 0
+  %m = load f64* %m.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="519.lbm",
+    description="Fused collide-stream lattice update.",
+    source=SOURCE,
+    patterns=(
+        "clean-pointer-globals-caf",
+        "read-only-weights",
+        "control-spec-kill-flow",
+        "momentum-accumulator-observed",
+    ),
+)

@@ -1,0 +1,153 @@
+"""462.libquantum — quantum register simulation.
+
+Gate descriptors are an array of structs disambiguated type-based
+(CAF), amplitudes are strided heap data (CAF via SCEV), the gate
+table is read-only behind an interior-offset pointer (read-only ×
+points-to), and a never-taken decoherence path recreates the
+motivating kill pattern on the accumulated phase.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+struct %gate { i32, i32, f64 }
+
+global @gates_ptr : %gate* = zeroinit
+global @amp_re_ptr : f64* = zeroinit
+global @amp_im_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @decohere_flag : i32 = 0
+global @decoheres : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %g.raw = call @malloc(i64 1056)
+  %g.f = bitcast i8* %g.raw to %gate*
+  %g.base = gep %gate* %g.f, i64 1
+  store %gate* %g.base, %gate** @gates_ptr
+  %re.raw = call @malloc(i64 544)
+  %re.f = bitcast i8* %re.raw to f64*
+  %re.base = gep f64* %re.f, i64 2
+  store f64* %re.base, f64** @amp_re_ptr
+  %im.raw = call @malloc(i64 544)
+  %im.f = bitcast i8* %im.raw to f64*
+  %im.base = gep f64* %im.f, i64 2
+  store f64* %im.base, f64** @amp_im_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %g.addr = ptrtoint %gate** @gates_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %g.addr, i64* %reg0
+  %re.addr = ptrtoint f64** @amp_re_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %re.addr, i64* %reg1
+  %im.addr = ptrtoint f64** @amp_im_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %im.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fg = gep %gate* %g.base, i64 %fi
+  %fg.t = gep %gate* %fg, i64 0, i64 0
+  %fi32 = trunc i64 %fi to i32
+  %ft = srem i32 %fi32, 64
+  store i32 %ft, i32* %fg.t
+  %fg.c = gep %gate* %fg, i64 0, i64 1
+  %fcc = add i32 %ft, 1
+  store i32 %fcc, i32* %fg.c
+  %fg.a = gep %gate* %fg, i64 0, i64 2
+  %fif = sitofp i64 %fi to f64
+  %fang = fmul f64 %fif, 0.1
+  store f64 %fang, f64* %fg.a
+  %re.slot = gep f64* %re.base, i64 %fi
+  store f64 1.0, f64* %re.slot
+  %im.slot = gep f64* %im.base, i64 %fi
+  store f64 0.0, f64* %im.slot
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 64
+  condbr i1 %fc, %fill, %run.head
+run.head:
+  br %run
+run:
+  %step = phi i32 [0, %run.head], [%step.next, %run.latch]
+  br %apply
+apply:
+  %gi = phi i64 [0, %run], [%gi.next, %apply.latch]
+  %df = load i32* @decohere_flag
+  %rare = icmp ne i32 %df, 0
+  condbr i1 %rare, %decohere, %coherent
+decohere:
+  %dc = load i32* @decoheres
+  %dc1 = add i32 %dc, 1
+  store i32 %dc1, i32* @decoheres
+  br %apply.join
+coherent:
+  %sp.c = load f64** @state_ptr
+  %ph.slot.c = gep f64* %sp.c, i64 0
+  %gif = sitofp i64 %gi to f64
+  store f64 %gif, f64* %ph.slot.c
+  br %apply.join
+apply.join:
+  %sp = load f64** @state_ptr
+  %ph.slot = gep f64* %sp, i64 0
+  %phase = load f64* %ph.slot
+  %gates = load %gate** @gates_ptr
+  %re = load f64** @amp_re_ptr
+  %im = load f64** @amp_im_ptr
+  %g.slot = gep %gate* %gates, i64 %gi
+  %tgt.p = gep %gate* %g.slot, i64 0, i64 0
+  %tgt = load i32* %tgt.p
+  %ang.p = gep %gate* %g.slot, i64 0, i64 2
+  %ang = load f64* %ang.p
+  %tgt64 = sext i32 %tgt to i64
+  %re.slot2 = gep f64* %re, i64 %tgt64
+  %rv = load f64* %re.slot2
+  %im.slot2 = gep f64* %im, i64 %tgt64
+  %iv = load f64* %im.slot2
+  %rot = fmul f64 %rv, %ang
+  %rv2 = fsub f64 %rv, %rot
+  store f64 %rv2, f64* %re.slot2
+  %iv2 = fadd f64 %iv, %rot
+  store f64 %iv2, f64* %im.slot2
+  %sp2 = load f64** @state_ptr
+  %ph.slot2 = gep f64* %sp2, i64 0
+  %ph2 = fadd f64 %phase, %ang
+  store f64 %ph2, f64* %ph.slot2
+  %n.slot = gep f64* %sp2, i64 1
+  %n0 = load f64* %n.slot
+  %sq = fmul f64 %rv2, %rv2
+  %n1 = fadd f64 %n0, %sq
+  store f64 %n1, f64* %n.slot
+  br %apply.latch
+apply.latch:
+  %gi.next = add i64 %gi, 1
+  %gc = icmp slt i64 %gi.next, 64
+  condbr i1 %gc, %apply, %run.latch
+run.latch:
+  %step.next = add i32 %step, 1
+  %sc = icmp slt i32 %step.next, 22
+  condbr i1 %sc, %run, %done
+done:
+  %spd = load f64** @state_ptr
+  %n.fin = gep f64* %spd, i64 1
+  %n = load f64* %n.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="462.libquantum",
+    description="Quantum gate application over amplitude arrays.",
+    source=SOURCE,
+    patterns=(
+        "type-based-gate-fields",
+        "read-only-gate-table",
+        "control-spec-kill-flow",
+        "indexed-amplitude-updates",
+    ),
+)

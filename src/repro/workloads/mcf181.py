@@ -1,0 +1,151 @@
+"""181.mcf — minimum-cost network flow (simplex pricing flavour).
+
+Heap-heavy pointer code: the arc array is reached through a pointer
+global stored at an interior offset (opaque to static analysis), arc
+costs are read-only during pricing (read-only × points-to), node
+potentials are chased through data-dependent indices (observed or
+memory-speculation-only), and a never-executed repricing block both
+carries dead stores and unlocks kill-flow under speculative control
+flow.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @arc_cost_ptr : f64* = zeroinit
+global @arc_head_ptr : i32* = zeroinit
+global @potential_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @reprice_flag : i32 = 0
+global @reprices : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %ac.raw = call @malloc(i64 560)
+  %ac.f = bitcast i8* %ac.raw to f64*
+  %ac.base = gep f64* %ac.f, i64 2
+  store f64* %ac.base, f64** @arc_cost_ptr
+  %ah.raw = call @malloc(i64 272)
+  %ah.i = bitcast i8* %ah.raw to i32*
+  %ah.base = gep i32* %ah.i, i64 4
+  store i32* %ah.base, i32** @arc_head_ptr
+  %po.raw = call @malloc(i64 560)
+  %po.f = bitcast i8* %po.raw to f64*
+  %po.base = gep f64* %po.f, i64 2
+  store f64* %po.base, f64** @potential_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %ac.addr = ptrtoint f64** @arc_cost_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %ac.addr, i64* %reg0
+  %ah.addr = ptrtoint i32** @arc_head_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %ah.addr, i64* %reg1
+  %po.addr = ptrtoint f64** @potential_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %po.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fif = sitofp i64 %fi to f64
+  %fc.slot = gep f64* %ac.base, i64 %fi
+  %fcost = fmul f64 %fif, 3.0
+  store f64 %fcost, f64* %fc.slot
+  %fh.slot = gep i32* %ah.base, i64 %fi
+  %fi32 = trunc i64 %fi to i32
+  %fh = mul i32 %fi32, 7
+  %fh.mod = srem i32 %fh, 64
+  store i32 %fh.mod, i32* %fh.slot
+  %fp.slot = gep f64* %po.base, i64 %fi
+  store f64 1.0, f64* %fp.slot
+  %fi.next = add i64 %fi, 1
+  %fcond = icmp slt i64 %fi.next, 64
+  condbr i1 %fcond, %fill, %iter.head
+iter.head:
+  br %iter
+iter:
+  %round = phi i32 [0, %iter.head], [%round.next, %iter.latch]
+  br %price
+price:
+  %a = phi i64 [0, %iter], [%a.next, %price.latch]
+  %rf = load i32* @reprice_flag
+  %rare = icmp ne i32 %rf, 0
+  condbr i1 %rare, %reprice, %normal
+reprice:
+  %rp = load i32* @reprices
+  %rp1 = add i32 %rp, 1
+  store i32 %rp1, i32* @reprices
+  br %price.join
+normal:
+  %sp.n = load f64** @state_ptr
+  %cur.slot.n = gep f64* %sp.n, i64 0
+  %af = sitofp i64 %a to f64
+  store f64 %af, f64* %cur.slot.n
+  br %price.join
+price.join:
+  %sp = load f64** @state_ptr
+  %cur.slot = gep f64* %sp, i64 0
+  %cur = load f64* %cur.slot
+  %costs = load f64** @arc_cost_ptr
+  %heads = load i32** @arc_head_ptr
+  %pots = load f64** @potential_ptr
+  %c.slot = gep f64* %costs, i64 %a
+  %cost = load f64* %c.slot
+  %h.slot = gep i32* %heads, i64 %a
+  %head = load i32* %h.slot
+  %head64 = sext i32 %head to i64
+  %p.slot = gep f64* %pots, i64 %head64
+  %pot = load f64* %p.slot
+  %red = fsub f64 %cost, %pot
+  %p.upd = fmul f64 %pot, 0.999
+  store f64 %p.upd, f64* %p.slot
+  %sum.slot = gep f64* %sp, i64 1
+  %s0 = load f64* %sum.slot
+  %s1 = fadd f64 %s0, %red
+  store f64 %s1, f64* %sum.slot
+  %neg = fcmp olt f64 %red, 0.0
+  condbr i1 %neg, %take, %price.tail
+take:
+  %sp.t = load f64** @state_ptr
+  %best.slot = gep f64* %sp.t, i64 2
+  %a.tf = sitofp i64 %a to f64
+  store f64 %a.tf, f64* %best.slot
+  br %price.tail
+price.tail:
+  %sp3 = load f64** @state_ptr
+  %cur.slot3 = gep f64* %sp3, i64 0
+  %cur2 = fadd f64 %cur, 1.0
+  store f64 %cur2, f64* %cur.slot3
+  br %price.latch
+price.latch:
+  %a.next = add i64 %a, 1
+  %acond = icmp slt i64 %a.next, 64
+  condbr i1 %acond, %price, %iter.latch
+iter.latch:
+  %round.next = add i32 %round, 1
+  %rcond = icmp slt i32 %round.next, 22
+  condbr i1 %rcond, %iter, %done
+done:
+  %spd = load f64** @state_ptr
+  %best.fin = gep f64* %spd, i64 2
+  %best = load f64* %best.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="181.mcf",
+    description="Network-simplex arc pricing over heap arrays.",
+    source=SOURCE,
+    patterns=(
+        "read-only-arc-costs-via-pointer",
+        "data-dependent-potential-updates",
+        "control-spec-kill-flow",
+        "control-spec-dead-reprice",
+    ),
+)

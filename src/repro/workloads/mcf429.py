@@ -1,0 +1,126 @@
+"""429.mcf — minimum-cost flow, CPU2006 edition (basket sorting).
+
+Exercises the quiescent-global collaboration: the basket array
+pointer is loaded repeatedly inside the hot loop and accessed at
+disjoint constant offsets — provable only by unique-access-paths,
+whose quiescence premise (a basket-rebuild store inside the loop) is
+discharged by control speculation (SCAF-only).  Plus read-only depth
+data via points-to, a predictable scale load, and genuine basket
+permutation dependences.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @basket_ptr : f64* = zeroinit
+global @depth_ptr : i32* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @rebuild_flag : i32 = 0
+global @rebuilds : i32 = 0
+const global @scale : f64 = 1.25
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %b.raw = call @malloc(i64 1040)
+  %b.f = bitcast i8* %b.raw to f64*
+  store f64* %b.f, f64** @basket_ptr
+  %d.raw = call @malloc(i64 528)
+  %d.i = bitcast i8* %d.raw to i32*
+  %d.base = gep i32* %d.i, i64 4
+  store i32* %d.base, i32** @depth_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %d.addr = ptrtoint i32** @depth_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %d.addr, i64* %reg0
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill.latch]
+  %fb.slot = gep f64* %b.f, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  store f64 %fif, f64* %fb.slot
+  %fd.ok = icmp slt i64 %fi, 64
+  condbr i1 %fd.ok, %fill.depth, %fill.latch
+fill.depth:
+  %fd.slot = gep i32* %d.base, i64 %fi
+  %fi32 = trunc i64 %fi to i32
+  %fdepth = srem i32 %fi32, 9
+  store i32 %fdepth, i32* %fd.slot
+  br %fill.latch
+fill.latch:
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 128
+  condbr i1 %fc, %fill, %sort.head
+sort.head:
+  br %sort
+sort:
+  %pass = phi i32 [0, %sort.head], [%pass.next, %sort.latch]
+  br %scan
+scan:
+  %i = phi i64 [0, %sort], [%i.next, %scan.latch]
+  %rb = load i32* @rebuild_flag
+  %rare = icmp ne i32 %rb, 0
+  condbr i1 %rare, %rebuild, %scan.body
+rebuild:
+  %bp.old = load f64** @basket_ptr
+  %bp.shift = gep f64* %bp.old, i64 8
+  store f64* %bp.shift, f64** @basket_ptr
+  %rbc = load i32* @rebuilds
+  %rbc1 = add i32 %rbc, 1
+  store i32 %rbc1, i32* @rebuilds
+  br %scan.body
+scan.body:
+  %sc = load f64* @scale
+  %bp1 = load f64** @basket_ptr
+  %lo.slot = gep f64* %bp1, i64 %i
+  %lo = load f64* %lo.slot
+  %bp2 = load f64** @basket_ptr
+  %hi.i = add i64 %i, 64
+  %hi.slot = gep f64* %bp2, i64 %hi.i
+  %scaled = fmul f64 %lo, %sc
+  store f64 %scaled, f64* %hi.slot
+  %dp = load i32** @depth_ptr
+  %d.slot = gep i32* %dp, i64 %i
+  %depth = load i32* %d.slot
+  %d64 = sext i32 %depth to i64
+  %bp3 = load f64** @basket_ptr
+  %perm.slot = gep f64* %bp3, i64 %d64
+  %perm = load f64* %perm.slot
+  %sp = load f64** @state_ptr
+  %ck.slot = gep f64* %sp, i64 0
+  %ck0 = load f64* %ck.slot
+  %ck1 = fadd f64 %ck0, %perm
+  store f64 %ck1, f64* %ck.slot
+  br %scan.latch
+scan.latch:
+  %i.next = add i64 %i, 1
+  %ic = icmp slt i64 %i.next, 64
+  condbr i1 %ic, %scan, %sort.latch
+sort.latch:
+  %pass.next = add i32 %pass, 1
+  %pc = icmp slt i32 %pass.next, 25
+  condbr i1 %pc, %sort, %done
+done:
+  %spd = load f64** @state_ptr
+  %ck.fin = gep f64* %spd, i64 0
+  %final = load f64* %ck.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="429.mcf",
+    description="Basket scan with quiescent pointer global.",
+    source=SOURCE,
+    patterns=(
+        "unique-access-paths-x-control-spec",
+        "read-only-depths-via-pointer",
+        "value-prediction-direct",
+        "data-dependent-basket-reads",
+    ),
+)

@@ -1,0 +1,171 @@
+"""544.nab — molecular dynamics (nonbonded force kernel).
+
+The richest collaboration mix: coordinates are read-only behind an
+interior-offset pointer (read-only × points-to); the cutoff parameter
+global is *captured only in a never-executed debug block*, so the
+no-capture proof needs control speculation to discharge the capture
+(no-capture-global × control-spec); a helper computes pair energies
+(callsite-summary premises); neighbor indices make data-dependent
+force updates (observed / memory-speculation); per-pair scratch is
+short-lived behind a reloaded pointer global.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @coord_ptr : f64* = zeroinit
+global @force_ptr : f64* = zeroinit
+global @nbr_ptr : i32* = zeroinit
+global @pair_tmp_ptr : f64* = zeroinit
+global @debug_slot : f64* = zeroinit
+global @cutoff : f64 = 9.0
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @debug_flag : i32 = 0
+global @debug_hits : i32 = 0
+
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+declare @sqrt(f64) -> f64 [pure]
+
+func @pair_energy(f64 %r2) -> f64 {
+entry:
+  %cut = load f64* @cutoff
+  %inside = fcmp olt f64 %r2, %cut
+  condbr i1 %inside, %compute, %zero
+compute:
+  %r = call @sqrt(f64 %r2)
+  %inv = fdiv f64 1.0, %r
+  %e = fmul f64 %inv, 4.0
+  ret f64 %e
+zero:
+  ret f64 0.0
+}
+
+func @main() -> i32 {
+entry:
+  %c.raw = call @malloc(i64 1040)
+  %c.f = bitcast i8* %c.raw to f64*
+  %c.base = gep f64* %c.f, i64 2
+  store f64* %c.base, f64** @coord_ptr
+  %f.raw = call @malloc(i64 1040)
+  %f.f = bitcast i8* %f.raw to f64*
+  %f.base = gep f64* %f.f, i64 2
+  store f64* %f.base, f64** @force_ptr
+  %n.raw = call @malloc(i64 528)
+  %n.i = bitcast i8* %n.raw to i32*
+  %n.base = gep i32* %n.i, i64 4
+  store i32* %n.base, i32** @nbr_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %c.addr = ptrtoint f64** @coord_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %c.addr, i64* %reg0
+  %f.addr = ptrtoint f64** @force_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %f.addr, i64* %reg1
+  %nb.addr = ptrtoint i32** @nbr_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %nb.addr, i64* %reg2
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill.latch]
+  %fc.slot = gep f64* %c.base, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  %fx = fmul f64 %fif, 0.3
+  store f64 %fx, f64* %fc.slot
+  %ff.slot = gep f64* %f.base, i64 %fi
+  store f64 0.0, f64* %ff.slot
+  %ok.n = icmp slt i64 %fi, 64
+  condbr i1 %ok.n, %fill.n, %fill.latch
+fill.n:
+  %fn.slot = gep i32* %n.base, i64 %fi
+  %fi32 = trunc i64 %fi to i32
+  %fn = mul i32 %fi32, 13
+  %fn.mod = srem i32 %fn, 64
+  store i32 %fn.mod, i32* %fn.slot
+  br %fill.latch
+fill.latch:
+  %fi.next = add i64 %fi, 1
+  %fcond = icmp slt i64 %fi.next, 128
+  condbr i1 %fcond, %fill, %step.head
+step.head:
+  br %step
+step:
+  %s = phi i32 [0, %step.head], [%s.next, %step.latch]
+  br %pairs
+pairs:
+  %i = phi i64 [0, %step], [%i.next, %pairs.latch]
+  %tmp.raw = call @malloc(i64 32)
+  %tmp.f = bitcast i8* %tmp.raw to f64*
+  store f64* %tmp.f, f64** @pair_tmp_ptr
+  %dbg = load i32* @debug_flag
+  %rare = icmp ne i32 %dbg, 0
+  condbr i1 %rare, %debug, %kernel
+debug:
+  store f64* @cutoff, f64** @debug_slot
+  %dh = load i32* @debug_hits
+  %dh1 = add i32 %dh, 1
+  store i32 %dh1, i32* @debug_hits
+  br %kernel
+kernel:
+  %coords = load f64** @coord_ptr
+  %forces = load f64** @force_ptr
+  %nbrs = load i32** @nbr_ptr
+  %xi.slot = gep f64* %coords, i64 %i
+  %xi = load f64* %xi.slot
+  %nb.slot = gep i32* %nbrs, i64 %i
+  %j = load i32* %nb.slot
+  %j64 = sext i32 %j to i64
+  %xj.slot = gep f64* %coords, i64 %j64
+  %xj = load f64* %xj.slot
+  %dx = fsub f64 %xi, %xj
+  %r2 = fmul f64 %dx, %dx
+  %e = call @pair_energy(f64 %r2)
+  %tp = load f64** @pair_tmp_ptr
+  %t0 = gep f64* %tp, i64 0
+  store f64 %e, f64* %t0
+  %e.back = load f64* %t0
+  %fj.slot = gep f64* %forces, i64 %j64
+  %fj = load f64* %fj.slot
+  %fj2 = fadd f64 %fj, %e.back
+  store f64 %fj2, f64* %fj.slot
+  %sp = load f64** @state_ptr
+  %en.slot = gep f64* %sp, i64 0
+  %en0 = load f64* %en.slot
+  %en1 = fadd f64 %en0, %e.back
+  store f64 %en1, f64* %en.slot
+  %tp2 = load f64** @pair_tmp_ptr
+  %tp2.i8 = bitcast f64* %tp2 to i8*
+  call @free(i8* %tp2.i8)
+  br %pairs.latch
+pairs.latch:
+  %i.next = add i64 %i, 1
+  %ic = icmp slt i64 %i.next, 64
+  condbr i1 %ic, %pairs, %step.latch
+step.latch:
+  %s.next = add i32 %s, 1
+  %sc = icmp slt i32 %s.next, 20
+  condbr i1 %sc, %step, %done
+done:
+  %spd = load f64** @state_ptr
+  %en.fin = gep f64* %spd, i64 0
+  %total = load f64* %en.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="544.nab",
+    description="Nonbonded pair forces with helper energy kernel.",
+    source=SOURCE,
+    patterns=(
+        "read-only-coordinates",
+        "no-capture-global-x-control-spec",
+        "callsite-summary-helper",
+        "short-lived-pair-scratch",
+        "neighbor-scatter-observed",
+    ),
+)

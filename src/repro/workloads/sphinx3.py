@@ -1,0 +1,135 @@
+"""482.sphinx3 — continuous speech recognition (GMM scoring).
+
+Acoustic-model means are read-only behind an interior-offset pointer
+(read-only × points-to), the per-frame senone score buffer is
+short-lived behind a reloaded pointer global (short-lived ×
+points-to), a predictable feature-count load feeds the scoring, the
+never-taken empty-beam path reproduces the kill pattern on the best
+score, and the active-list histogram carries observed dependences.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @means_ptr : f64* = zeroinit
+global @scores_ptr : f64* = zeroinit
+global @active : [32 x i32] = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @beam_empty : i32 = 0
+global @beam_resets : i32 = 0
+global @n_feat : i32 = 13
+
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+
+func @main() -> i32 {
+entry:
+  %m.raw = call @malloc(i64 1040)
+  %m.f = bitcast i8* %m.raw to f64*
+  %m.base = gep f64* %m.f, i64 2
+  store f64* %m.base, f64** @means_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %m.addr = ptrtoint f64** @means_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %m.addr, i64* %reg0
+  %sc.addr = ptrtoint f64** @scores_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %sc.addr, i64* %reg1
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fm.slot = gep f64* %m.base, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  %fm = fmul f64 %fif, 0.2
+  store f64 %fm, f64* %fm.slot
+  %fi.next = add i64 %fi, 1
+  %fc = icmp slt i64 %fi.next, 128
+  condbr i1 %fc, %fill, %frame.head
+frame.head:
+  br %frame
+frame:
+  %f = phi i32 [0, %frame.head], [%f.next, %frame.latch]
+  br %senone
+senone:
+  %s = phi i64 [0, %frame], [%s.next, %senone.latch]
+  %sc.raw = call @malloc(i64 48)
+  %sc.f = bitcast i8* %sc.raw to f64*
+  store f64* %sc.f, f64** @scores_ptr
+  %be = load i32* @beam_empty
+  %rare = icmp ne i32 %be, 0
+  condbr i1 %rare, %reset, %score
+reset:
+  %br0 = load i32* @beam_resets
+  %br1 = add i32 %br0, 1
+  store i32 %br1, i32* @beam_resets
+  br %score.join
+score:
+  %sp.s = load f64** @state_ptr
+  %bs.slot.s = gep f64* %sp.s, i64 0
+  %sf = sitofp i64 %s to f64
+  %neg = fsub f64 0.0, %sf
+  store f64 %neg, f64* %bs.slot.s
+  br %score.join
+score.join:
+  %sp = load f64** @state_ptr
+  %bs.slot = gep f64* %sp, i64 0
+  %bs = load f64* %bs.slot
+  %nf = load i32* @n_feat
+  store i32 %nf, i32* @n_feat
+  %nff = sitofp i32 %nf to f64
+  %means = load f64** @means_ptr
+  %mean.slot = gep f64* %means, i64 %s
+  %mean = load f64* %mean.slot
+  %diff = fsub f64 %mean, %nff
+  %dist = fmul f64 %diff, %diff
+  %scores = load f64** @scores_ptr
+  %s0 = gep f64* %scores, i64 0
+  store f64 %dist, f64* %s0
+  %s1 = gep f64* %scores, i64 1
+  store f64 %bs, f64* %s1
+  %d.back = load f64* %s0
+  %sp2 = load f64** @state_ptr
+  %bs.slot2 = gep f64* %sp2, i64 0
+  %score.v = fadd f64 %d.back, %bs
+  store f64 %score.v, f64* %bs.slot2
+  %bucket = srem i64 %s, 32
+  %a.slot = gep [32 x i32]* @active, i64 0, i64 %bucket
+  %a0 = load i32* %a.slot
+  %a1 = add i32 %a0, 1
+  store i32 %a1, i32* %a.slot
+  %scores2 = load f64** @scores_ptr
+  %scores2.i8 = bitcast f64* %scores2 to i8*
+  call @free(i8* %scores2.i8)
+  br %senone.latch
+senone.latch:
+  %s.next = add i64 %s, 1
+  %scond = icmp slt i64 %s.next, 64
+  condbr i1 %scond, %senone, %frame.latch
+frame.latch:
+  %f.next = add i32 %f, 1
+  %fcond = icmp slt i32 %f.next, 20
+  condbr i1 %fcond, %frame, %done
+done:
+  %spd = load f64** @state_ptr
+  %bs.fin = gep f64* %spd, i64 0
+  %final = load f64* %bs.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="482.sphinx3",
+    description="GMM senone scoring with per-frame scratch buffers.",
+    source=SOURCE,
+    patterns=(
+        "read-only-model-means",
+        "short-lived-score-buffer",
+        "value-prediction-direct",
+        "control-spec-kill-flow",
+        "active-histogram-observed",
+    ),
+)

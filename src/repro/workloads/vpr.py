@@ -1,0 +1,154 @@
+"""175.vpr — FPGA placement (simulated annealing flavour).
+
+Strong SCAF gains: every array lives on the heap behind pointer
+globals (stored at interior offsets, defeating static points-to), so
+CAF resolves little.  The net coordinates are read-only during the
+annealing loop (read-only × points-to collaboration), the
+per-iteration delta buffer is short-lived behind a reloaded pointer
+global (short-lived × points-to), and a rare recompute path recreates
+the motivating kill pattern (control-spec × kill-flow).
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @xcoord_ptr : f64* = zeroinit
+global @ycoord_ptr : f64* = zeroinit
+global @cost_ptr : f64* = zeroinit
+global @tmp_ptr : f64* = zeroinit
+global @state_ptr : f64* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @overflow : i32 = 0
+global @recomputes : i32 = 0
+
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+
+func @main() -> i32 {
+entry:
+  %x.raw = call @malloc(i64 544)
+  %x.f = bitcast i8* %x.raw to f64*
+  %x.base = gep f64* %x.f, i64 2
+  store f64* %x.base, f64** @xcoord_ptr
+  %y.raw = call @malloc(i64 544)
+  %y.f = bitcast i8* %y.raw to f64*
+  %y.base = gep f64* %y.f, i64 2
+  store f64* %y.base, f64** @ycoord_ptr
+  %c.raw = call @malloc(i64 544)
+  %c.f = bitcast i8* %c.raw to f64*
+  %c.base = gep f64* %c.f, i64 2
+  store f64* %c.base, f64** @cost_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.f = bitcast i8* %st.raw to f64*
+  %st.base = gep f64* %st.f, i64 2
+  store f64* %st.base, f64** @state_ptr
+  %x.addr = ptrtoint f64** @xcoord_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %x.addr, i64* %reg0
+  %y.addr = ptrtoint f64** @ycoord_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %y.addr, i64* %reg1
+  %c.addr = ptrtoint f64** @cost_ptr to i64
+  %reg2 = gep [4 x i64]* @registry, i64 0, i64 2
+  store i64 %c.addr, i64* %reg2
+  %t.addr = ptrtoint f64** @tmp_ptr to i64
+  %reg3 = gep [4 x i64]* @registry, i64 0, i64 3
+  store i64 %t.addr, i64* %reg3
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fif = sitofp i64 %fi to f64
+  %fx.slot = gep f64* %x.base, i64 %fi
+  store f64 %fif, f64* %fx.slot
+  %fy.slot = gep f64* %y.base, i64 %fi
+  %fy = fmul f64 %fif, 1.5
+  store f64 %fy, f64* %fy.slot
+  %fc.slot = gep f64* %c.base, i64 %fi
+  store f64 0.0, f64* %fc.slot
+  %fi.next = add i64 %fi, 1
+  %fcond = icmp slt i64 %fi.next, 64
+  condbr i1 %fcond, %fill, %anneal.head
+anneal.head:
+  br %anneal
+anneal:
+  %t = phi i32 [0, %anneal.head], [%t.next, %anneal.latch]
+  br %moves
+moves:
+  %m = phi i64 [0, %anneal], [%m.next, %moves.latch]
+  %tmp.raw = call @malloc(i64 64)
+  %tmp.f = bitcast i8* %tmp.raw to f64*
+  store f64* %tmp.f, f64** @tmp_ptr
+  %ov = load i32* @overflow
+  %rare = icmp ne i32 %ov, 0
+  condbr i1 %rare, %recompute, %fastpath
+recompute:
+  %rc = load i32* @recomputes
+  %rc1 = add i32 %rc, 1
+  store i32 %rc1, i32* @recomputes
+  br %moves.join
+fastpath:
+  %sp.f = load f64** @state_ptr
+  %bb.slot.f = gep f64* %sp.f, i64 0
+  %mf = sitofp i64 %m to f64
+  store f64 %mf, f64* %bb.slot.f
+  br %moves.join
+moves.join:
+  %sp = load f64** @state_ptr
+  %bb.slot = gep f64* %sp, i64 0
+  %bb = load f64* %bb.slot
+  %xs = load f64** @xcoord_ptr
+  %ys = load f64** @ycoord_ptr
+  %cs = load f64** @cost_ptr
+  %x.slot = gep f64* %xs, i64 %m
+  %xv = load f64* %x.slot
+  %y.slot = gep f64* %ys, i64 %m
+  %yv = load f64* %y.slot
+  %wire = fadd f64 %xv, %yv
+  %delta = fsub f64 %wire, %bb
+  %tp = load f64** @tmp_ptr
+  %t0.slot = gep f64* %tp, i64 0
+  store f64 %delta, f64* %t0.slot
+  %t1.slot = gep f64* %tp, i64 1
+  store f64 %wire, f64* %t1.slot
+  %d.back = load f64* %t0.slot
+  %c.slot = gep f64* %cs, i64 %m
+  %c.old = load f64* %c.slot
+  %c.new = fadd f64 %c.old, %d.back
+  store f64 %c.new, f64* %c.slot
+  %tot.slot = gep f64* %sp, i64 1
+  %tot0 = load f64* %tot.slot
+  %tot1 = fadd f64 %tot0, %c.new
+  store f64 %tot1, f64* %tot.slot
+  %sp2 = load f64** @state_ptr
+  %bb.slot2 = gep f64* %sp2, i64 0
+  %next.bb = fadd f64 %bb, 1.0
+  store f64 %next.bb, f64* %bb.slot2
+  call @free(i8* %tmp.raw)
+  br %moves.latch
+moves.latch:
+  %m.next = add i64 %m, 1
+  %mc = icmp slt i64 %m.next, 64
+  condbr i1 %mc, %moves, %anneal.latch
+anneal.latch:
+  %t.next = add i32 %t, 1
+  %tc = icmp slt i32 %t.next, 20
+  condbr i1 %tc, %anneal, %done
+done:
+  %spd = load f64** @state_ptr
+  %fin.slot = gep f64* %spd, i64 1
+  %final = load f64* %fin.slot
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="175.vpr",
+    description="Simulated-annealing placement with heap net data.",
+    source=SOURCE,
+    patterns=(
+        "read-only-heap-via-pointer-global",
+        "short-lived-via-reloaded-pointer",
+        "control-spec-kill-flow",
+        "accumulator-recurrence",
+    ),
+)

@@ -1,0 +1,145 @@
+"""525.x264 — video encoding (motion estimation flavour).
+
+The current-frame plane is read-only behind an interior-offset
+pointer (read-only × points-to); the reference frame is a clean
+identified heap object (CAF); chroma u/v samples interleave in one
+buffer and are separated by pointer-residue speculation (isolated);
+SAD accumulation goes through a helper whose footprint summary
+requires callsite-summary premises; and a never-taken denoise path
+supplies dead stores.
+"""
+
+from .base import Workload
+
+SOURCE = r"""
+global @cur_ptr : i8* = zeroinit
+global @chroma_ptr : i8* = zeroinit
+global @istate_ptr : i32* = zeroinit
+global @registry : [4 x i64] = zeroinit
+global @denoise_flag : i32 = 0
+global @denoised : i32 = 0
+const global @range : i32 = 16
+
+declare @malloc(i64) -> i8*
+
+func @sad16(i8* %ref, i64 %off) -> i32 {
+entry:
+  %slot = gep i8* %ref, i64 %off
+  %a = load i8* %slot
+  %off2 = add i64 %off, 1
+  %slot2 = gep i8* %ref, i64 %off2
+  %b = load i8* %slot2
+  %a32 = sext i8 %a to i32
+  %b32 = sext i8 %b to i32
+  %d = sub i32 %a32, %b32
+  %neg = icmp slt i32 %d, 0
+  %dn = sub i32 0, %d
+  %abs = select i1 %neg, i32 %dn, i32 %d
+  ret i32 %abs
+}
+
+func @main() -> i32 {
+entry:
+  %c.raw = call @malloc(i64 272)
+  %c.base = gep i8* %c.raw, i64 16
+  store i8* %c.base, i8** @cur_ptr
+  %r.raw = call @malloc(i64 256)
+  %u.raw = call @malloc(i64 272)
+  %u.base = gep i8* %u.raw, i64 16
+  store i8* %u.base, i8** @chroma_ptr
+  %st.raw = call @malloc(i64 48)
+  %st.i = bitcast i8* %st.raw to i32*
+  %st.base = gep i32* %st.i, i64 2
+  store i32* %st.base, i32** @istate_ptr
+  %c.addr = ptrtoint i8** @cur_ptr to i64
+  %reg0 = gep [4 x i64]* @registry, i64 0, i64 0
+  store i64 %c.addr, i64* %reg0
+  %u.addr = ptrtoint i8** @chroma_ptr to i64
+  %reg1 = gep [4 x i64]* @registry, i64 0, i64 1
+  store i64 %u.addr, i64* %reg1
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi.next, %fill]
+  %fc.slot = gep i8* %c.base, i64 %fi
+  %fv = trunc i64 %fi to i8
+  store i8 %fv, i8* %fc.slot
+  %fr.slot = gep i8* %r.raw, i64 %fi
+  %fr = mul i8 %fv, 3
+  store i8 %fr, i8* %fr.slot
+  %fu.slot = gep i8* %u.base, i64 %fi
+  store i8 %fv, i8* %fu.slot
+  %fi.next = add i64 %fi, 1
+  %fcond = icmp slt i64 %fi.next, 256
+  condbr i1 %fcond, %fill, %mb.head
+mb.head:
+  br %mb
+mb:
+  %macro = phi i32 [0, %mb.head], [%macro.next, %mb.latch]
+  br %search
+search:
+  %mv = phi i64 [0, %mb], [%mv.next, %search.latch]
+  %df = load i32* @denoise_flag
+  %rare = icmp ne i32 %df, 0
+  condbr i1 %rare, %denoise, %estimate
+denoise:
+  %dn0 = load i32* @denoised
+  %dn1 = add i32 %dn0, 1
+  store i32 %dn1, i32* @denoised
+  br %estimate
+estimate:
+  %rg = load i32* @range
+  %cur = load i8** @cur_ptr
+  %c.slot = gep i8* %cur, i64 %mv
+  %cv = load i8* %c.slot
+  %cv32 = sext i8 %cv to i32
+  %cost = call @sad16(i8* %r.raw, i64 %mv)
+  %diff = sub i32 %cost, %cv32
+  %sp = load i32** @istate_ptr
+  %sad.slot = gep i32* %sp, i64 0
+  %s0 = load i32* %sad.slot
+  %s1 = add i32 %s0, %diff
+  store i32 %s1, i32* %sad.slot
+  %uv = load i8** @chroma_ptr
+  %u.i = mul i64 %mv, 2
+  %v.i = add i64 %u.i, 1
+  %u.slot = gep i8* %uv, i64 %u.i
+  %usamp = load i8* %u.slot
+  %v.slot = gep i8* %uv, i64 %v.i
+  %vnew = add i8 %usamp, 1
+  store i8 %vnew, i8* %v.slot
+  %better = icmp slt i32 %diff, %rg
+  condbr i1 %better, %take, %search.latch
+take:
+  %sp.t = load i32** @istate_ptr
+  %mv.slot = gep i32* %sp.t, i64 1
+  %mv32 = trunc i64 %mv to i32
+  store i32 %mv32, i32* %mv.slot
+  br %search.latch
+search.latch:
+  %mv.next = add i64 %mv, 1
+  %mvc = icmp slt i64 %mv.next, 64
+  condbr i1 %mvc, %search, %mb.latch
+mb.latch:
+  %macro.next = add i32 %macro, 1
+  %mc = icmp slt i32 %macro.next, 22
+  condbr i1 %mc, %mb, %done
+done:
+  %spd = load i32** @istate_ptr
+  %mv.fin = gep i32* %spd, i64 1
+  %best = load i32* %mv.fin
+  ret i32 0
+}
+"""
+
+WORKLOAD = Workload(
+    name="525.x264",
+    description="Block motion search with helper SAD kernel.",
+    source=SOURCE,
+    patterns=(
+        "read-only-current-frame",
+        "identified-reference-frame",
+        "residue-chroma-interleave",
+        "callsite-summary-helper",
+        "control-spec-dead-denoise",
+    ),
+)

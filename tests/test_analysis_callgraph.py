@@ -1,0 +1,81 @@
+"""Tests for call graph construction and traversal order."""
+
+from repro.analysis import CallGraph
+from repro.ir import parse_module
+
+
+SOURCE = """
+declare @malloc(i64) -> i8*
+
+func @leaf() -> i32 {
+entry:
+  ret i32 1
+}
+
+func @mid() -> i32 {
+entry:
+  %a = call @leaf()
+  %m = call @malloc(i64 8)
+  ret i32 %a
+}
+
+func @rec(i32 %n) -> i32 {
+entry:
+  %c = icmp sgt i32 %n, 0
+  condbr i1 %c, %again, %out
+again:
+  %n2 = sub i32 %n, 1
+  %r = call @rec(i32 %n2)
+  br %out
+out:
+  %v = phi i32 [0, %entry], [%r, %again]
+  ret i32 %v
+}
+
+func @main() -> i32 {
+entry:
+  %a = call @mid()
+  %b = call @rec(i32 3)
+  ret i32 %a
+}
+"""
+
+
+def _cg():
+    m = parse_module(SOURCE)
+    return m, CallGraph(m)
+
+
+class TestCallGraph:
+    def test_callees(self):
+        m, cg = _cg()
+        main = m.get_function("main")
+        names = {f.name for f in cg.callees_of(main)}
+        assert names == {"mid", "rec"}
+        mid = m.get_function("mid")
+        assert {f.name for f in cg.callees_of(mid)} == {"leaf", "malloc"}
+
+    def test_callers(self):
+        m, cg = _cg()
+        leaf = m.get_function("leaf")
+        assert {f.name for f in cg.callers_of(leaf)} == {"mid"}
+
+    def test_callsites(self):
+        m, cg = _cg()
+        rec = m.get_function("rec")
+        # called once from main, once from itself
+        assert len(cg.callsites_of(rec)) == 2
+
+    def test_recursion_detection(self):
+        m, cg = _cg()
+        assert cg.is_recursive(m.get_function("rec"))
+        assert not cg.is_recursive(m.get_function("mid"))
+        assert not cg.is_recursive(m.get_function("main"))
+
+    def test_bottom_up_order(self):
+        m, cg = _cg()
+        order = [f.name for f in cg.bottom_up()]
+        assert order.index("leaf") < order.index("mid")
+        assert order.index("mid") < order.index("main")
+        assert order.index("rec") < order.index("main")
+        assert set(order) == {"leaf", "mid", "rec", "main", "malloc"}

@@ -1,0 +1,117 @@
+"""Tests for CFG utilities: orderings, reachability, back edges."""
+
+import pytest
+
+from repro.analysis import (
+    back_edges,
+    is_reachable,
+    reachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import parse_module
+
+
+DIAMOND = """
+func @f(i1 %c) -> i32 {
+entry:
+  condbr i1 %c, %left, %right
+left:
+  br %join
+right:
+  br %join
+join:
+  ret i32 0
+}
+"""
+
+LOOP = """
+func @f() -> i32 {
+entry:
+  br %header
+header:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %c = icmp slt i32 %i, 10
+  condbr i1 %c, %body, %exit
+body:
+  %i2 = add i32 %i, 1
+  br %header
+exit:
+  ret i32 %i
+}
+"""
+
+
+def _fn(text):
+    return next(iter(parse_module(text).defined_functions))
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        fn = _fn(DIAMOND)
+        order = reverse_postorder(fn)
+        assert order[0].name == "entry"
+        assert order[-1].name == "join"
+
+    def test_all_reachable_blocks_present(self):
+        fn = _fn(DIAMOND)
+        assert len(reverse_postorder(fn)) == 4
+
+    def test_ignore_set_prunes(self):
+        fn = _fn(DIAMOND)
+        left = fn.get_block("left")
+        order = reverse_postorder(fn, ignore=frozenset({left}))
+        names = [b.name for b in order]
+        assert "left" not in names
+        assert "join" in names  # still reachable via right
+
+    def test_loop_order(self):
+        fn = _fn(LOOP)
+        order = [b.name for b in reverse_postorder(fn)]
+        assert order.index("entry") < order.index("header")
+        assert order.index("header") < order.index("exit")
+
+
+class TestReachability:
+    def test_forward(self):
+        fn = _fn(DIAMOND)
+        assert is_reachable(fn.get_block("entry"), fn.get_block("join"))
+        assert not is_reachable(fn.get_block("left"), fn.get_block("right"))
+
+    def test_reflexive_by_default(self):
+        fn = _fn(DIAMOND)
+        e = fn.get_block("entry")
+        assert is_reachable(e, e)
+        assert not is_reachable(e, e, exclude_start=True)
+
+    def test_cycle_with_exclude_start(self):
+        fn = _fn(LOOP)
+        h = fn.get_block("header")
+        assert is_reachable(h, h, exclude_start=True)
+
+    def test_ignore_blocks_path(self):
+        fn = _fn(DIAMOND)
+        left = fn.get_block("left")
+        right = fn.get_block("right")
+        entry = fn.get_block("entry")
+        join = fn.get_block("join")
+        assert not is_reachable(entry, join,
+                                ignore=frozenset({left, right}))
+
+    def test_reachable_blocks(self):
+        fn = _fn(LOOP)
+        blocks = {b.name for b in reachable_blocks(fn)}
+        assert blocks == {"entry", "header", "body", "exit"}
+
+
+class TestBackEdges:
+    def test_loop_back_edge(self):
+        fn = _fn(LOOP)
+        edges = back_edges(fn)
+        assert len(edges) == 1
+        tail, head = edges[0]
+        assert tail.name == "body"
+        assert head.name == "header"
+
+    def test_acyclic_has_none(self):
+        fn = _fn(DIAMOND)
+        assert back_edges(fn) == []

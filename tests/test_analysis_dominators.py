@@ -1,0 +1,152 @@
+"""Tests for dominator and post-dominator trees, including pruned CFGs."""
+
+import pytest
+
+from repro.analysis import DominatorTree
+from repro.ir import parse_module
+
+
+SOURCE = """
+func @f(i1 %c) -> i32 {
+entry:
+  condbr i1 %c, %left, %right
+left:
+  br %join
+right:
+  br %join
+join:
+  condbr i1 %c, %tail, %other
+tail:
+  br %exit
+other:
+  br %exit
+exit:
+  ret i32 0
+}
+"""
+
+LOOP = """
+func @g() -> i32 {
+entry:
+  br %header
+header:
+  %i = phi i32 [0, %entry], [%i2, %latch]
+  %c = icmp slt i32 %i, 10
+  condbr i1 %c, %body, %exit
+body:
+  condbr i1 %c, %then, %els
+then:
+  br %latch
+els:
+  br %latch
+latch:
+  %i2 = add i32 %i, 1
+  br %header
+exit:
+  ret i32 %i
+}
+"""
+
+
+def _fn(text):
+    return next(iter(parse_module(text).defined_functions))
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn = _fn(SOURCE)
+        dt = DominatorTree.compute(fn)
+        entry = fn.get_block("entry")
+        for bb in fn.blocks:
+            assert dt.dominates(entry, bb)
+
+    def test_branch_sides_do_not_dominate_join(self):
+        fn = _fn(SOURCE)
+        dt = DominatorTree.compute(fn)
+        assert not dt.dominates(fn.get_block("left"), fn.get_block("join"))
+        assert not dt.dominates(fn.get_block("right"), fn.get_block("join"))
+        assert dt.dominates(fn.get_block("entry"), fn.get_block("join"))
+
+    def test_reflexive(self):
+        fn = _fn(SOURCE)
+        dt = DominatorTree.compute(fn)
+        j = fn.get_block("join")
+        assert dt.dominates(j, j)
+        assert not dt.strictly_dominates(j, j)
+
+    def test_idom_chain(self):
+        fn = _fn(SOURCE)
+        dt = DominatorTree.compute(fn)
+        assert dt.idom[fn.get_block("join")] is fn.get_block("entry")
+        assert dt.idom[fn.get_block("exit")] is fn.get_block("join")
+
+    def test_loop_header_dominates_body(self):
+        fn = _fn(LOOP)
+        dt = DominatorTree.compute(fn)
+        h = fn.get_block("header")
+        for name in ("body", "then", "els", "latch", "exit"):
+            assert dt.dominates(h, fn.get_block(name))
+
+    def test_pruned_cfg_changes_dominance(self):
+        """The motivating-example effect: removing one branch side makes
+        the other side dominate the join."""
+        fn = _fn(SOURCE)
+        left = fn.get_block("left")
+        right = fn.get_block("right")
+        join = fn.get_block("join")
+        dt_static = DominatorTree.compute(fn)
+        assert not dt_static.dominates(right, join)
+        dt_spec = DominatorTree.compute(fn, ignore=frozenset({left}))
+        assert dt_spec.dominates(right, join)
+        assert not dt_spec.contains(left)
+
+
+class TestPostDominators:
+    def test_exit_post_dominates_all(self):
+        fn = _fn(SOURCE)
+        pdt = DominatorTree.compute(fn, post=True)
+        exit_bb = fn.get_block("exit")
+        for bb in fn.blocks:
+            assert pdt.dominates(exit_bb, bb)
+
+    def test_sides_do_not_post_dominate_entry(self):
+        fn = _fn(SOURCE)
+        pdt = DominatorTree.compute(fn, post=True)
+        assert not pdt.dominates(fn.get_block("left"), fn.get_block("entry"))
+        assert pdt.dominates(fn.get_block("join"), fn.get_block("entry"))
+
+    def test_pruned_post_dominance(self):
+        fn = _fn(SOURCE)
+        left = fn.get_block("left")
+        pdt = DominatorTree.compute(fn, post=True,
+                                    ignore=frozenset({left}))
+        # With 'left' pruned, 'right' post-dominates 'entry'.
+        assert pdt.dominates(fn.get_block("right"), fn.get_block("entry"))
+
+    def test_loop_latch_post_dominates_body(self):
+        fn = _fn(LOOP)
+        pdt = DominatorTree.compute(fn, post=True)
+        latch = fn.get_block("latch")
+        assert pdt.dominates(latch, fn.get_block("body"))
+        assert pdt.dominates(latch, fn.get_block("then"))
+
+
+class TestInstructionLevel:
+    def test_same_block_ordering(self):
+        fn = _fn(LOOP)
+        dt = DominatorTree.compute(fn)
+        pdt = DominatorTree.compute(fn, post=True)
+        latch = fn.get_block("latch")
+        first, second = latch.instructions[0], latch.instructions[1]
+        assert dt.dominates_instruction(first, second)
+        assert not dt.dominates_instruction(second, first)
+        assert pdt.dominates_instruction(second, first)
+        assert not pdt.dominates_instruction(first, second)
+
+    def test_cross_block(self):
+        fn = _fn(LOOP)
+        dt = DominatorTree.compute(fn)
+        header_inst = fn.get_block("header").instructions[0]
+        latch_inst = fn.get_block("latch").instructions[0]
+        assert dt.dominates_instruction(header_inst, latch_inst)
+        assert not dt.dominates_instruction(latch_inst, header_inst)

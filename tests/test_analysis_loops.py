@@ -1,0 +1,128 @@
+"""Tests for natural-loop detection and nesting."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.ir import parse_module
+
+
+NESTED = """
+func @f() -> i32 {
+entry:
+  br %outer
+outer:
+  %i = phi i32 [0, %entry], [%i2, %outer.latch]
+  br %inner
+inner:
+  %j = phi i32 [0, %outer], [%j2, %inner]
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 4
+  condbr i1 %jc, %inner, %outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  %ic = icmp slt i32 %i2, 4
+  condbr i1 %ic, %outer, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+def _fn(text):
+    return next(iter(parse_module(text).defined_functions))
+
+
+class TestLoopDetection:
+    def test_finds_both_loops(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        assert len(info.loops) == 2
+
+    def test_headers(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        headers = {l.header.name for l in info.loops}
+        assert headers == {"outer", "inner"}
+
+    def test_nesting(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        inner = info.loop_with_header(fn.get_block("inner"))
+        outer = info.loop_with_header(fn.get_block("outer"))
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.parent is None
+        assert inner.depth == 2
+        assert outer.depth == 1
+
+    def test_blocks(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        outer = info.loop_with_header(fn.get_block("outer"))
+        names = {b.name for b in outer.blocks}
+        assert names == {"outer", "inner", "outer.latch"}
+        inner = info.loop_with_header(fn.get_block("inner"))
+        assert {b.name for b in inner.blocks} == {"inner"}
+
+    def test_innermost_loop_of(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        inner = info.loop_with_header(fn.get_block("inner"))
+        outer = info.loop_with_header(fn.get_block("outer"))
+        assert info.innermost_loop_of(fn.get_block("inner")) is inner
+        assert info.innermost_loop_of(fn.get_block("outer.latch")) is outer
+        assert info.innermost_loop_of(fn.get_block("exit")) is None
+
+    def test_latches_and_exits(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        outer = info.loop_with_header(fn.get_block("outer"))
+        assert [b.name for b in outer.latches] == ["outer.latch"]
+        assert [b.name for b in outer.exit_blocks] == ["exit"]
+
+    def test_preheader(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        outer = info.loop_with_header(fn.get_block("outer"))
+        assert outer.preheader.name == "entry"
+
+    def test_contains_instruction(self):
+        fn = _fn(NESTED)
+        info = LoopInfo.compute(fn)
+        inner = info.loop_with_header(fn.get_block("inner"))
+        j2 = next(i for i in fn.instructions() if i.name == "j2")
+        i2 = next(i for i in fn.instructions() if i.name == "i2")
+        assert inner.contains(j2)
+        assert not inner.contains(i2)
+
+    def test_no_loops(self):
+        fn = _fn("""
+func @g() -> i32 {
+entry:
+  ret i32 0
+}
+""")
+        info = LoopInfo.compute(fn)
+        assert info.loops == []
+        assert info.top_level == []
+
+    def test_memory_instructions(self):
+        fn = _fn("""
+global @x : i32 = 0
+func @g() -> i32 {
+entry:
+  br %loop
+loop:
+  %v = load i32* @x
+  %v2 = add i32 %v, 1
+  store i32 %v2, i32* @x
+  %c = icmp slt i32 %v2, 10
+  condbr i1 %c, %loop, %out
+out:
+  ret i32 0
+}
+""")
+        info = LoopInfo.compute(fn)
+        loop = info.loops[0]
+        mem = loop.memory_instructions()
+        assert len(mem) == 2  # one load, one store

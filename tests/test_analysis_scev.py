@@ -1,0 +1,132 @@
+"""Tests for scalar evolution: add-recurrences and pointer offsets."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVUnknown,
+    affine_parts,
+    scev_add,
+    scev_mul,
+    scev_neg,
+)
+from repro.ir import parse_module
+
+
+SOURCE = """
+global @arr : [100 x i32] = zeroinit
+global @mat : [10 x [10 x f64]] = zeroinit
+
+func @f(i64 %base) -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i.next, %loop]
+  %j = phi i64 [5, %entry], [%j.next, %loop]
+  %k = phi i64 [%base, %entry], [%k.next, %loop]
+  %i2 = mul i64 %i, 2
+  %i3 = add i64 %i2, 7
+  %p = gep [100 x i32]* @arr, i64 0, i64 %i
+  %v = load i32* %p
+  %q = gep [100 x i32]* @arr, i64 0, i64 %i3
+  %w = load i32* %q
+  %i.next = add i64 %i, 1
+  %j.next = add i64 %j, 3
+  %k.next = sub i64 %k, 2
+  %c = icmp slt i64 %i.next, 50
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 %v
+}
+"""
+
+
+@pytest.fixture
+def setup():
+    m = parse_module(SOURCE)
+    fn = m.get_function("f")
+    ctx = AnalysisContext(m)
+    scev = ctx.scalar_evolution(fn)
+    loop = ctx.loop_info(fn).loops[0]
+    values = {i.name: i for i in fn.instructions() if i.name}
+    return m, fn, scev, loop, values
+
+
+class TestAlgebra:
+    def test_constant_folding(self):
+        assert scev_add(SCEVConstant(2), SCEVConstant(3)) == SCEVConstant(5)
+        assert scev_mul(SCEVConstant(2), SCEVConstant(3)) == SCEVConstant(6)
+        assert scev_neg(SCEVConstant(4)) == SCEVConstant(-4)
+
+    def test_identities(self):
+        u = SCEVUnknown(None)
+        assert scev_add(SCEVConstant(0), u) is u
+        assert scev_mul(SCEVConstant(1), u) is u
+        assert scev_mul(SCEVConstant(0), u) == SCEVConstant(0)
+
+
+class TestRecurrences:
+    def test_basic_iv(self, setup):
+        _, _, scev, loop, values = setup
+        rec = scev.analyze(values["i"], loop)
+        assert isinstance(rec, SCEVAddRec)
+        assert affine_parts(rec, loop) == (0, 1)
+
+    def test_stride_and_start(self, setup):
+        _, _, scev, loop, values = setup
+        rec = scev.analyze(values["j"], loop)
+        assert affine_parts(rec, loop) == (5, 3)
+
+    def test_negative_stride_via_sub(self, setup):
+        _, _, scev, loop, values = setup
+        rec = scev.analyze(values["k"], loop)
+        assert isinstance(rec, SCEVAddRec)
+        assert rec.step.constant_value() == -2
+        # Start is symbolic (%base), so affine_parts refuses.
+        assert affine_parts(rec, loop) is None
+
+    def test_derived_affine(self, setup):
+        _, _, scev, loop, values = setup
+        rec = scev.analyze(values["i3"], loop)  # 2*i + 7
+        assert affine_parts(rec, loop) == (7, 2)
+
+    def test_invariant_value(self, setup):
+        _, fn, scev, loop, _ = setup
+        base = fn.args[0]
+        result = scev.analyze(base, loop)
+        assert isinstance(result, SCEVUnknown)
+        assert affine_parts(result, loop) is None
+
+
+class TestPointerOffsets:
+    def test_array_gep(self, setup):
+        m, _, scev, loop, values = setup
+        base, offset = scev.pointer_offset(values["p"], loop)
+        assert base is m.get_global("arr")
+        assert affine_parts(offset, loop) == (0, 4)  # i32 stride
+
+    def test_scaled_gep(self, setup):
+        m, _, scev, loop, values = setup
+        base, offset = scev.pointer_offset(values["q"], loop)
+        assert base is m.get_global("arr")
+        assert affine_parts(offset, loop) == (28, 8)  # (2i+7)*4
+
+    def test_constant_only(self):
+        m = parse_module("""
+global @g : [4 x i64] = zeroinit
+func @f() -> i64 {
+entry:
+  %p = gep [4 x i64]* @g, i64 0, i64 2
+  %v = load i64* %p
+  ret i64 %v
+}
+""")
+        ctx = AnalysisContext(m)
+        fn = m.get_function("f")
+        scev = ctx.scalar_evolution(fn)
+        p = next(i for i in fn.instructions() if i.name == "p")
+        base, offset = scev.pointer_offset(p, None)
+        assert base is m.get_global("g")
+        assert offset.constant_value() == 16

@@ -1,0 +1,157 @@
+"""Unit tests for metrics, hot loops, and the CFGView abstraction."""
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.clients import hot_loops
+from repro.clients.hotloops import HotLoop
+from repro.clients.metrics import geometric_mean, weighted_no_dep
+from repro.clients.pdg import LoopPDG
+from repro.interp import LoopStats
+from repro.ir import parse_module
+from repro.profiling import run_profilers
+from repro.query import CFGView
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([4.0, 16.0]) == pytest.approx(8.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_zero_floored(self):
+        assert geometric_mean([0.0, 100.0]) > 0.0
+
+    def test_no_underflow_on_long_small_sequences(self):
+        values = [1e-5] * 10_000
+        assert geometric_mean(values) == pytest.approx(1e-5)
+
+
+class _FakeLoop:
+    def __init__(self, name):
+        self.name = name
+
+
+def _hot(loop, fraction):
+    stats = LoopStats()
+    stats.invocations = 1
+    stats.iterations = 100
+    return HotLoop(loop, fraction, stats)
+
+
+def _pdg(loop, removed, total):
+    pdg = LoopPDG(loop)
+
+    class _R:
+        def __init__(self, is_removed):
+            self.removed = is_removed
+            self.validation_cost = 0.0
+
+    pdg.records = [_R(i < removed) for i in range(total)]
+    return pdg
+
+
+class TestWeightedNoDep:
+    def test_single_loop(self):
+        loop = _FakeLoop("l")
+        assert weighted_no_dep([_hot(loop, 0.5)],
+                               [_pdg(loop, 50, 100)]) == 50.0
+
+    def test_weighting(self):
+        l1, l2 = _FakeLoop("a"), _FakeLoop("b")
+        result = weighted_no_dep(
+            [_hot(l1, 0.9), _hot(l2, 0.1)],
+            [_pdg(l1, 100, 100), _pdg(l2, 0, 100)])
+        assert result == pytest.approx(90.0)
+
+    def test_empty(self):
+        assert weighted_no_dep([], []) == 0.0
+
+    def test_missing_pdg_skipped(self):
+        l1, l2 = _FakeLoop("a"), _FakeLoop("b")
+        result = weighted_no_dep([_hot(l1, 0.5), _hot(l2, 0.5)],
+                                 [_pdg(l1, 100, 100)])
+        assert result == pytest.approx(100.0)
+
+
+NESTED = """
+global @x : i32 = 0
+func @main() -> i32 {
+entry:
+  br %outer
+outer:
+  %i = phi i32 [0, %entry], [%i2, %outer.latch]
+  br %inner
+inner:
+  %j = phi i32 [0, %outer], [%j2, %inner]
+  %v = load i32* @x
+  store i32 %j, i32* @x
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 80
+  condbr i1 %jc, %inner, %outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  %ic = icmp slt i32 %i2, 3
+  condbr i1 %ic, %outer, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestHotLoopSelection:
+    def test_nested_selection(self):
+        m = parse_module(NESTED)
+        ctx = AnalysisContext(m)
+        profiles = run_profilers(m, ctx)
+        hot = hot_loops(profiles)
+        names = {h.loop.header.name for h in hot}
+        # Inner: 80 iters/invocation, ~all the time -> hot.
+        assert "inner" in names
+        # Outer: only 3 iterations/invocation -> excluded.
+        assert "outer" not in names
+
+    def test_sorted_by_weight(self):
+        m = parse_module(NESTED)
+        ctx = AnalysisContext(m)
+        profiles = run_profilers(m, ctx)
+        hot = hot_loops(profiles, min_time_fraction=0.0,
+                        min_average_trip_count=0.0)
+        fractions = [h.time_fraction for h in hot]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestCFGView:
+    def test_static_view(self):
+        m = parse_module(NESTED)
+        ctx = AnalysisContext(m)
+        fn = m.get_function("main")
+        view = CFGView.static(ctx, fn)
+        assert not view.is_speculative
+        for bb in fn.blocks:
+            assert view.is_live(bb)
+
+    def test_speculative_view_hides_dead(self):
+        m = parse_module(NESTED)
+        ctx = AnalysisContext(m)
+        fn = m.get_function("main")
+        inner = fn.get_block("inner")
+        dead = frozenset({fn.get_block("outer.latch")})
+        view = CFGView(fn, ctx.dominator_tree(fn, ignore=dead),
+                       ctx.dominator_tree(fn, ignore=dead, post=True),
+                       dead)
+        assert view.is_speculative
+        assert not view.is_live(fn.get_block("outer.latch"))
+        assert view.is_live(inner)
+
+    def test_reachability_respects_dead(self):
+        m = parse_module(NESTED)
+        ctx = AnalysisContext(m)
+        fn = m.get_function("main")
+        dead = frozenset({fn.get_block("inner")})
+        view = CFGView(fn, ctx.dominator_tree(fn, ignore=dead),
+                       ctx.dominator_tree(fn, ignore=dead, post=True),
+                       dead)
+        assert not view.reachable(fn.get_block("entry"),
+                                  fn.get_block("exit"))

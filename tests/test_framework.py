@@ -1,0 +1,172 @@
+"""Integration tests for the system builders and the PDG client."""
+
+import pytest
+
+from repro import (
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from repro.analysis import AnalysisContext
+from repro.clients import PDGClient, hot_loops, weighted_no_dep
+from repro.ir import parse_module
+from repro.profiling import run_profilers
+from repro.query import ModRefResult
+
+
+SOURCE = """
+global @flag : i32 = 0
+global @a : i32 = 0
+global @b : i32 = 0
+global @hits : i32 = 0
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %latch]
+  %f = load i32* @flag
+  %c = icmp ne i32 %f, 0
+  condbr i1 %c, %rare, %common
+rare:
+  store i32 1, i32* @hits
+  br %join
+common:
+  store i32 %i, i32* @a
+  br %join
+join:
+  %av = load i32* @a
+  store i32 %av, i32* @b
+  %i2 = add i32 %i, 1
+  store i32 %i2, i32* @a
+  br %latch
+latch:
+  %lc = icmp slt i32 %i2, 60
+  condbr i1 %lc, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    m = parse_module(SOURCE)
+    ctx = AnalysisContext(m)
+    profiles = run_profilers(m, ctx)
+    return m, ctx, profiles
+
+
+class TestBuilders:
+    def test_all_four_systems_build(self, world):
+        m, ctx, profiles = world
+        for builder in (build_caf, build_confluence, build_scaf,
+                        build_memory_speculation):
+            if builder is build_caf:
+                system = builder(m, ctx, profiles)
+            else:
+                system = builder(m, profiles, ctx)
+            assert system.coordinator is not None
+
+    def test_scaf_has_19_modules(self, world):
+        m, ctx, profiles = world
+        scaf = build_scaf(m, profiles, ctx)
+        assert len(scaf.coordinator.modules) == 19  # 13 memory + 6 spec
+
+    def test_memory_modules_ordered_first(self, world):
+        m, ctx, profiles = world
+        scaf = build_scaf(m, profiles, ctx)
+        kinds = [mod.is_speculative for mod in scaf.coordinator.modules]
+        assert kinds == sorted(kinds)  # all False before all True
+
+
+class TestHotLoops:
+    def test_selection_criteria(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)
+        assert len(hot) == 1
+        assert hot[0].loop.header.name == "loop"
+        assert hot[0].time_fraction >= 0.10
+        assert hot[0].stats.average_trip_count >= 50
+
+    def test_thresholds_exclude(self, world):
+        m, ctx, profiles = world
+        assert hot_loops(profiles, min_average_trip_count=1000) == []
+        assert hot_loops(profiles, min_time_fraction=1.01) == []
+
+
+class TestPDGClient:
+    def test_monotonicity(self, world):
+        """CAF <= confluence <= SCAF <= memory speculation (%NoDep)."""
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)
+        results = {}
+        systems = [
+            ("caf", build_caf(m, ctx, profiles)),
+            ("conf", build_confluence(m, profiles, ctx)),
+            ("scaf", build_scaf(m, profiles, ctx)),
+            ("memspec", build_memory_speculation(m, profiles, ctx)),
+        ]
+        for name, system in systems:
+            pdgs = [PDGClient(system).analyze_loop(h.loop) for h in hot]
+            results[name] = weighted_no_dep(hot, pdgs)
+        assert results["caf"] <= results["conf"] <= results["scaf"]
+
+    def test_scaf_beats_confluence_here(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        scaf = PDGClient(build_scaf(m, profiles, ctx)).analyze_loop(hot.loop)
+        conf = PDGClient(
+            build_confluence(m, profiles, ctx)).analyze_loop(hot.loop)
+        assert scaf.no_dep_count > conf.no_dep_count
+
+    def test_pairs_without_writer_skipped(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        pdg = PDGClient(build_caf(m, ctx, profiles)).analyze_loop(hot.loop)
+        for record in pdg.records:
+            assert record.src.writes_memory or record.dst.writes_memory
+
+    def test_prohibitive_options_discarded(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        pdg = PDGClient(build_scaf(m, profiles, ctx),
+                        discard_prohibitive=True).analyze_loop(hot.loop)
+        for record in pdg.records:
+            if record.removed:
+                assert record.validation_cost < 1e9
+
+    def test_to_networkx(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        pdg = PDGClient(build_caf(m, ctx, profiles)).analyze_loop(hot.loop)
+        graph = pdg.to_networkx()
+        assert graph.number_of_nodes() == len(
+            [i for i in hot.loop.instructions() if i.accesses_memory])
+        assert graph.number_of_edges() == len(pdg.dependences)
+
+    def test_metrics(self, world):
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        pdg = PDGClient(build_caf(m, ctx, profiles)).analyze_loop(hot.loop)
+        assert 0.0 <= pdg.no_dep_percent <= 100.0
+        assert pdg.no_dep_count + len(pdg.dependences) == pdg.total_queries
+
+
+class TestSoundnessInvariant:
+    def test_no_removed_dependence_was_observed(self, world):
+        """High-confidence speculation never removes a dependence that
+        manifested during the training run."""
+        m, ctx, profiles = world
+        hot = hot_loops(profiles)[0]
+        for builder in (lambda: build_caf(m, ctx, profiles),
+                        lambda: build_confluence(m, profiles, ctx),
+                        lambda: build_scaf(m, profiles, ctx),
+                        lambda: build_memory_speculation(m, profiles, ctx)):
+            pdg = PDGClient(builder()).analyze_loop(hot.loop)
+            observed = profiles.memdep.observed_pairs(hot.loop)
+            for record in pdg.records:
+                if record.removed:
+                    key = (record.src, record.dst, record.cross_iteration)
+                    assert key not in observed

@@ -1,0 +1,422 @@
+"""Tests for the IR interpreter: semantics, memory model, loop tracking."""
+
+import pytest
+
+from repro.interp import Interpreter, InterpreterError, MemoryFault
+from repro.ir import parse_module
+
+
+def run(text, entry="main", args=()):
+    m = parse_module(text)
+    interp = Interpreter(m)
+    result = interp.run(entry, args)
+    return result, interp
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %a = add i32 10, 5
+  %b = mul i32 %a, 3
+  %c = sub i32 %b, 1
+  %d = sdiv i32 %c, 2
+  ret i32 %d
+}
+""")
+        assert result == 22
+
+    def test_wrapping(self):
+        result, _ = run("""
+func @main() -> i8 {
+entry:
+  %a = add i8 127, 1
+  ret i8 %a
+}
+""")
+        assert result == -128
+
+    def test_signed_division_truncates_toward_zero(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %a = sdiv i32 -7, 2
+  ret i32 %a
+}
+""")
+        assert result == -3
+
+    def test_srem(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %a = srem i32 -7, 3
+  ret i32 %a
+}
+""")
+        assert result == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError, match="division"):
+            run("""
+func @main() -> i32 {
+entry:
+  %a = sdiv i32 1, 0
+  ret i32 %a
+}
+""")
+
+    def test_float_math(self):
+        result, _ = run("""
+func @main() -> f64 {
+entry:
+  %a = fadd f64 1.5, 2.5
+  %b = fmul f64 %a, 2.0
+  ret f64 %b
+}
+""")
+        assert result == 8.0
+
+    def test_shifts(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %a = shl i32 1, 10
+  %b = ashr i32 %a, 2
+  ret i32 %b
+}
+""")
+        assert result == 256
+
+    def test_select(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %c = icmp slt i32 1, 2
+  %v = select i1 %c, i32 10, i32 20
+  ret i32 %v
+}
+""")
+        assert result == 10
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  %p = alloca i32
+  store i32 99, i32* %p
+  %v = load i32* %p
+  ret i32 %v
+}
+""")
+        assert result == 99
+
+    def test_global_initializers(self):
+        result, _ = run("""
+global @x : i32 = 7
+const global @tab : [3 x i32] = [10, 20, 30]
+func @main() -> i32 {
+entry:
+  %a = load i32* @x
+  %p = gep [3 x i32]* @tab, i64 0, i64 2
+  %b = load i32* %p
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+""")
+        assert result == 37
+
+    def test_struct_fields(self):
+        result, _ = run("""
+struct %pair { i32, i64 }
+func @main() -> i64 {
+entry:
+  %p = alloca %pair
+  %f0 = gep %pair* %p, i64 0, i64 0
+  store i32 3, i32* %f0
+  %f1 = gep %pair* %p, i64 0, i64 1
+  store i64 1000, i64* %f1
+  %v = load i64* %f1
+  ret i64 %v
+}
+""")
+        assert result == 1000
+
+    def test_malloc_free(self):
+        result, _ = run("""
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+func @main() -> i32 {
+entry:
+  %raw = call @malloc(i64 8)
+  %p = bitcast i8* %raw to i32*
+  store i32 5, i32* %p
+  %v = load i32* %p
+  call @free(i8* %raw)
+  ret i32 %v
+}
+""")
+        assert result == 5
+
+    def test_use_after_free_faults(self):
+        with pytest.raises(MemoryFault):
+            run("""
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+func @main() -> i32 {
+entry:
+  %raw = call @malloc(i64 8)
+  %p = bitcast i8* %raw to i32*
+  call @free(i8* %raw)
+  %v = load i32* %p
+  ret i32 %v
+}
+""")
+
+    def test_double_free_faults(self):
+        with pytest.raises(MemoryFault, match="double free"):
+            run("""
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+func @main() -> i32 {
+entry:
+  %raw = call @malloc(i64 8)
+  call @free(i8* %raw)
+  call @free(i8* %raw)
+  ret i32 0
+}
+""")
+
+    def test_out_of_bounds_faults(self):
+        with pytest.raises(MemoryFault):
+            run("""
+declare @malloc(i64) -> i8*
+func @main() -> i32 {
+entry:
+  %raw = call @malloc(i64 4)
+  %p = bitcast i8* %raw to i32*
+  %q = gep i32* %p, i64 1
+  %v = load i32* %q
+  ret i32 %v
+}
+""")
+
+    def test_memcpy_memset(self):
+        result, _ = run("""
+declare @malloc(i64) -> i8*
+declare @memcpy(i8*, i8*, i64) -> i8*
+declare @memset(i8*, i32, i64) -> i8*
+func @main() -> i32 {
+entry:
+  %a = call @malloc(i64 8)
+  %b = call @malloc(i64 8)
+  %r = call @memset(i8* %a, i32 65, i64 8)
+  %r2 = call @memcpy(i8* %b, i8* %a, i64 8)
+  %bp = bitcast i8* %b to i8*
+  %v = load i8* %bp
+  %v32 = sext i8 %v to i32
+  ret i32 %v32
+}
+""")
+        assert result == 65
+
+    def test_stack_released_on_return(self):
+        _, interp = run("""
+func @helper() -> i32* {
+entry:
+  %p = alloca i32
+  store i32 1, i32* %p
+  ret i32* %p
+}
+func @main() -> i32 {
+entry:
+  %p = call @helper()
+  ret i32 0
+}
+""")
+        # The helper's alloca must be dead after return.
+        dead = [o for b, o in interp.memory._objects.items()
+                if o.kind == "stack"]
+        assert dead and all(not o.live for o in dead)
+
+
+class TestControlFlowAndCalls:
+    def test_loop_sum(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %acc = phi i32 [0, %entry], [%acc2, %loop]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 10
+  condbr i1 %c, %loop, %out
+out:
+  ret i32 %acc2
+}
+""")
+        assert result == sum(range(10))
+
+    def test_parallel_phi_copy(self):
+        """Classic swap through phis must read old values."""
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %a = phi i32 [1, %entry], [%b, %loop]
+  %b = phi i32 [2, %entry], [%a, %loop]
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 3
+  condbr i1 %c, %loop, %out
+out:
+  %r = mul i32 %a, 10
+  %r2 = add i32 %r, %b
+  ret i32 %r2
+}
+""")
+        # Two back edges swap (a,b): (1,2)->(2,1)->(1,2).  A sequential
+        # (non-parallel) phi copy would collapse both to the same value.
+        assert result == 12
+
+    def test_switch(self):
+        result, _ = run("""
+func @main() -> i32 {
+entry:
+  switch i32 2, %dflt [1: %one, 2: %two]
+one:
+  ret i32 100
+two:
+  ret i32 200
+dflt:
+  ret i32 300
+}
+""")
+        assert result == 200
+
+    def test_recursion(self):
+        result, _ = run("""
+func @fact(i32 %n) -> i32 {
+entry:
+  %c = icmp sle i32 %n, 1
+  condbr i1 %c, %base, %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call @fact(i32 %n1)
+  %p = mul i32 %n, %r
+  ret i32 %p
+}
+func @main() -> i32 {
+entry:
+  %r = call @fact(i32 6)
+  ret i32 %r
+}
+""")
+        assert result == 720
+
+    def test_unreachable_raises(self):
+        with pytest.raises(InterpreterError, match="unreachable"):
+            run("""
+func @main() -> i32 {
+entry:
+  unreachable
+}
+""")
+
+    def test_step_limit(self):
+        m = parse_module("""
+func @main() -> i32 {
+entry:
+  br %spin
+spin:
+  br %spin
+}
+""")
+        interp = Interpreter(m, max_steps=1000)
+        with pytest.raises(InterpreterError, match="step limit"):
+            interp.run()
+
+    def test_missing_entry(self):
+        m = parse_module(SIMPLE_EMPTY)
+        interp = Interpreter(m)
+        with pytest.raises(InterpreterError, match="no function"):
+            interp.run("nope")
+
+    def test_exit_builtin(self):
+        result, interp = run("""
+declare @exit(i32) -> void
+func @main() -> i32 {
+entry:
+  call @exit(i32 3)
+  ret i32 0
+}
+""")
+        assert result == 3
+        assert interp.exit_code == 3
+
+
+SIMPLE_EMPTY = """
+func @main() -> i32 {
+entry:
+  ret i32 0
+}
+"""
+
+
+class TestLoopTracking:
+    def test_stats(self):
+        _, interp = run("""
+func @main() -> i32 {
+entry:
+  br %outer
+outer:
+  %i = phi i32 [0, %entry], [%i2, %outer.latch]
+  br %inner
+inner:
+  %j = phi i32 [0, %outer], [%j2, %inner]
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 5
+  condbr i1 %jc, %inner, %outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  %ic = icmp slt i32 %i2, 3
+  condbr i1 %ic, %outer, %exit
+exit:
+  ret i32 0
+}
+""")
+        stats = {l.header.name: s for l, s in interp.loop_stats.items()}
+        assert stats["outer"].invocations == 1
+        assert stats["outer"].iterations == 3
+        assert stats["inner"].invocations == 3
+        assert stats["inner"].iterations == 15
+        assert stats["inner"].average_trip_count == 5.0
+        assert stats["inner"].dynamic_insts > 0
+
+    def test_instruction_attribution(self):
+        _, interp = run("""
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 10
+  condbr i1 %c, %loop, %out
+out:
+  ret i32 0
+}
+""")
+        loop_stats = next(iter(interp.loop_stats.values()))
+        # Loop body is 3 executed instructions (phi is not re-executed)
+        # per iteration after the first, plus the first iteration.
+        assert loop_stats.dynamic_insts >= 30
+        assert loop_stats.dynamic_insts <= interp.total_instructions()

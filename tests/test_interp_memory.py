@@ -1,0 +1,141 @@
+"""Unit tests for the simulated memory model."""
+
+import pytest
+
+from repro.interp import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    MemoryFault,
+    STACK_BASE,
+    SimulatedMemory,
+)
+from repro.ir import ArrayType, F32, F64, I16, I32, I64, I8, StructType, \
+    pointer_to
+
+
+@pytest.fixture
+def mem():
+    return SimulatedMemory()
+
+
+class TestAllocation:
+    def test_segments(self, mem):
+        g = mem.allocate(16, "global")
+        s = mem.allocate(16, "stack")
+        h = mem.allocate(16, "heap")
+        assert GLOBAL_BASE <= g.base < STACK_BASE
+        assert STACK_BASE <= s.base < HEAP_BASE
+        assert h.base >= HEAP_BASE
+
+    def test_alignment(self, mem):
+        for _ in range(5):
+            obj = mem.allocate(3, "heap")
+            assert obj.base % 16 == 0
+
+    def test_zero_size_clamped(self, mem):
+        obj = mem.allocate(0, "heap")
+        assert obj.size == 1
+
+    def test_negative_size_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.allocate(-1, "heap")
+
+    def test_serials_monotonic(self, mem):
+        a = mem.allocate(8, "heap")
+        b = mem.allocate(8, "heap")
+        assert b.serial > a.serial
+
+
+class TestObjectLookup:
+    def test_object_at_interior(self, mem):
+        obj = mem.allocate(64, "heap")
+        assert mem.object_at(obj.base) is obj
+        assert mem.object_at(obj.base + 63) is obj
+        assert mem.object_at(obj.base + 64) is not obj
+
+    def test_object_at_unmapped(self, mem):
+        assert mem.object_at(0x1234) is None
+
+    def test_dead_object_not_found(self, mem):
+        obj = mem.allocate(8, "heap")
+        mem.free(obj.base)
+        assert mem.object_at(obj.base) is None
+
+    def test_free_requires_base(self, mem):
+        obj = mem.allocate(8, "heap")
+        with pytest.raises(MemoryFault):
+            mem.free(obj.base + 4)
+
+    def test_free_of_stack_faults(self, mem):
+        obj = mem.allocate(8, "stack")
+        with pytest.raises(MemoryFault):
+            mem.free(obj.base)
+
+
+class TestTypedAccess:
+    def test_integer_round_trip(self, mem):
+        obj = mem.allocate(32, "heap")
+        for ty, value in ((I8, -5), (I16, 1000), (I32, -70000),
+                          (I64, 2**40)):
+            mem.write_value(obj.base, ty, value)
+            assert mem.read_value(obj.base, ty) == value
+
+    def test_float_round_trip(self, mem):
+        obj = mem.allocate(16, "heap")
+        mem.write_value(obj.base, F64, 3.25)
+        assert mem.read_value(obj.base, F64) == 3.25
+        mem.write_value(obj.base + 8, F32, 1.5)
+        assert mem.read_value(obj.base + 8, F32) == 1.5
+
+    def test_pointer_round_trip(self, mem):
+        obj = mem.allocate(8, "heap")
+        ptr_ty = pointer_to(I32)
+        mem.write_value(obj.base, ptr_ty, 0x40001234)
+        assert mem.read_value(obj.base, ptr_ty) == 0x40001234
+
+    def test_little_endian_layout(self, mem):
+        obj = mem.allocate(4, "heap")
+        mem.write_value(obj.base, I32, 0x01020304)
+        assert mem.read_bytes(obj.base, 4) == b"\x04\x03\x02\x01"
+
+    def test_out_of_bounds_read_faults(self, mem):
+        obj = mem.allocate(4, "heap")
+        with pytest.raises(MemoryFault):
+            mem.read_value(obj.base + 1, I32)
+
+    def test_negative_int_wraps_on_store(self, mem):
+        obj = mem.allocate(1, "heap")
+        mem.write_value(obj.base, I8, -1)
+        assert mem.read_bytes(obj.base, 1) == b"\xff"
+
+
+class TestInitializers:
+    def test_scalar(self, mem):
+        obj = mem.allocate(4, "global")
+        mem.initialize(obj, I32, 42)
+        assert mem.read_value(obj.base, I32) == 42
+
+    def test_array(self, mem):
+        ty = ArrayType(I32, 3)
+        obj = mem.allocate(ty.size, "global")
+        mem.initialize(obj, ty, [1, 2, 3])
+        for i, expected in enumerate((1, 2, 3)):
+            assert mem.read_value(obj.base + 4 * i, I32) == expected
+
+    def test_string(self, mem):
+        ty = ArrayType(I8, 6)
+        obj = mem.allocate(ty.size, "global")
+        mem.initialize(obj, ty, "hey")
+        assert mem.read_bytes(obj.base, 4) == b"hey\x00"
+
+    def test_struct(self, mem):
+        st = StructType("p", [I32, F64])
+        obj = mem.allocate(st.size, "global")
+        mem.initialize(obj, st, [7, 1.5])
+        assert mem.read_value(obj.base, I32) == 7
+        assert mem.read_value(obj.base + 4, F64) == 1.5
+
+    def test_zero_init_default(self, mem):
+        obj = mem.allocate(8, "global")
+        mem.initialize(obj, I64, None)
+        assert mem.read_value(obj.base, I64) == 0

@@ -1,0 +1,192 @@
+"""Tests for instruction construction and classification."""
+
+import pytest
+
+from repro.ir import (
+    AllocaInst,
+    ArrayType,
+    BasicBlock,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    Constant,
+    F64,
+    Function,
+    FunctionType,
+    GEPInst,
+    GlobalVariable,
+    I1,
+    I32,
+    I64,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    PointerType,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    StructType,
+    SwitchInst,
+    UnreachableInst,
+    VOID,
+    const_int,
+    pointer_to,
+)
+
+
+def _ptr(name="p", ty=I32):
+    g = GlobalVariable(name, ty)
+    return g
+
+
+class TestMemoryInstructions:
+    def test_alloca_type(self):
+        a = AllocaInst(I64)
+        assert a.type == pointer_to(I64)
+        assert a.allocated_type == I64
+        assert not a.accesses_memory  # allocation itself is not an access
+
+    def test_load(self):
+        ld = LoadInst(_ptr())
+        assert ld.type == I32
+        assert ld.reads_memory and not ld.writes_memory
+        assert ld.access_size == 4
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            LoadInst(const_int(0))
+
+    def test_store(self):
+        st = StoreInst(const_int(1), _ptr())
+        assert st.type.is_void
+        assert st.writes_memory and not st.reads_memory
+        assert st.access_size == 4
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(TypeError):
+            StoreInst(const_int(1), const_int(2))
+
+
+class TestGEP:
+    def test_through_array(self):
+        g = GlobalVariable("arr", ArrayType(I32, 10))
+        gep = GEPInst(g, [const_int(0, 64), const_int(3, 64)])
+        assert gep.type == pointer_to(I32)
+        assert gep.constant_offset() == 12
+
+    def test_through_struct(self):
+        st = StructType("s", [I32, F64])
+        g = GlobalVariable("g", st)
+        gep = GEPInst(g, [const_int(0, 64), const_int(1, 32)])
+        assert gep.type == pointer_to(F64)
+        assert gep.constant_offset() == 4
+
+    def test_leading_index_scales_by_pointee(self):
+        g = GlobalVariable("d", F64)
+        gep = GEPInst(g, [const_int(5, 64)])
+        assert gep.constant_offset() == 40
+
+    def test_non_constant_offset_is_none(self):
+        g = GlobalVariable("arr", ArrayType(I32, 10))
+        idx = LoadInst(GlobalVariable("i", I64))
+        gep = GEPInst(g, [const_int(0, 64), idx])
+        assert gep.constant_offset() is None
+
+    def test_struct_index_must_be_constant(self):
+        st = StructType("s2", [I32, I32])
+        g = GlobalVariable("g2", st)
+        idx = LoadInst(GlobalVariable("i", I32))
+        with pytest.raises(TypeError):
+            GEPInst(g, [const_int(0, 64), idx])
+
+    def test_requires_index(self):
+        with pytest.raises(ValueError):
+            GEPInst(_ptr(), [])
+
+
+class TestArithmetic:
+    def test_binary_result_type(self):
+        add = BinaryInst("add", const_int(1), const_int(2))
+        assert add.type == I32
+        assert add.opcode == "add"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("bogus", const_int(1), const_int(2))
+
+    def test_icmp_returns_i1(self):
+        cmp = ICmpInst("slt", const_int(1), const_int(2))
+        assert cmp.type == I1
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmpInst("lt", const_int(1), const_int(2))
+
+    def test_cast(self):
+        c = CastInst("sext", const_int(1), I64)
+        assert c.type == I64
+        with pytest.raises(ValueError):
+            CastInst("resize", const_int(1), I64)
+
+    def test_select_type_follows_arms(self):
+        s = SelectInst(Constant(I1, 1), const_int(1, 64), const_int(2, 64))
+        assert s.type == I64
+
+
+class TestControlFlow:
+    def test_branch_successors(self):
+        bb = BasicBlock("target")
+        br = BranchInst(bb)
+        assert br.is_terminator
+        assert br.successors == [bb]
+
+    def test_condbr_successors(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        br = CondBranchInst(Constant(I1, 1), t, f)
+        assert br.successors == [t, f]
+
+    def test_switch_successors(self):
+        d, a, b = BasicBlock("d"), BasicBlock("a"), BasicBlock("b")
+        sw = SwitchInst(const_int(1), d, [(1, a), (2, b)])
+        assert sw.successors == [d, a, b]
+
+    def test_return(self):
+        r = ReturnInst(const_int(0))
+        assert r.is_terminator
+        assert r.successors == []
+        assert ReturnInst().value is None
+
+    def test_unreachable(self):
+        assert UnreachableInst().is_terminator
+
+    def test_phi_incoming(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        phi = PhiInst(I32, "x")
+        phi.add_incoming(const_int(1), bb1)
+        phi.add_incoming(const_int(2), bb2)
+        assert phi.incoming_for(bb1).value == 1
+        assert phi.incoming_for(bb2).value == 2
+        with pytest.raises(KeyError):
+            phi.incoming_for(BasicBlock("c"))
+
+
+class TestCalls:
+    def test_call_type_and_memory_effects(self):
+        callee = Function("f", FunctionType(I32, [I32]))
+        call = CallInst(callee, [const_int(1)])
+        assert call.type == I32
+        assert call.reads_memory and call.writes_memory
+
+    def test_pure_callee(self):
+        callee = Function("g", FunctionType(F64, []))
+        callee.attributes.add("pure")
+        call = CallInst(callee, [])
+        assert not call.reads_memory and not call.writes_memory
+
+    def test_readonly_callee(self):
+        callee = Function("h", FunctionType(I32, []))
+        callee.attributes.add("readonly")
+        call = CallInst(callee, [])
+        assert call.reads_memory and not call.writes_memory

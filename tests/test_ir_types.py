@@ -1,0 +1,149 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    I8,
+    IntType,
+    POINTER_SIZE,
+    PointerType,
+    StructType,
+    VOID,
+    pointer_to,
+)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert I1.size == 1
+        assert I8.size == 1
+        assert I32.size == 4
+        assert I64.size == 8
+
+    def test_equality_is_structural(self):
+        assert IntType(32) == I32
+        assert IntType(32) != IntType(64)
+        assert hash(IntType(32)) == hash(I32)
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(128)
+
+    def test_repr(self):
+        assert repr(I32) == "i32"
+
+
+class TestFloatType:
+    def test_sizes(self):
+        assert F32.size == 4
+        assert F64.size == 8
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_equality(self):
+        assert FloatType(64) == F64
+        assert F32 != F64
+
+
+class TestPointerType:
+    def test_size_is_machine_word(self):
+        assert pointer_to(I32).size == POINTER_SIZE
+        assert pointer_to(ArrayType(F64, 100)).size == POINTER_SIZE
+
+    def test_structural_equality(self):
+        assert pointer_to(I32) == PointerType(I32)
+        assert pointer_to(I32) != pointer_to(I64)
+
+    def test_nested(self):
+        pp = pointer_to(pointer_to(I8))
+        assert pp.pointee == pointer_to(I8)
+
+    def test_classification(self):
+        assert pointer_to(I32).is_pointer
+        assert not I32.is_pointer
+        assert I32.is_integer
+        assert F64.is_float
+        assert VOID.is_void
+
+
+class TestArrayType:
+    def test_size(self):
+        assert ArrayType(I32, 10).size == 40
+        assert ArrayType(ArrayType(I8, 4), 3).size == 12
+
+    def test_zero_length(self):
+        assert ArrayType(I64, 0).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ArrayType(I32, -1)
+
+    def test_equality(self):
+        assert ArrayType(I32, 4) == ArrayType(I32, 4)
+        assert ArrayType(I32, 4) != ArrayType(I32, 5)
+        assert ArrayType(I32, 4) != ArrayType(I64, 4)
+
+
+class TestStructType:
+    def test_field_offsets_no_padding(self):
+        st = StructType("pair", [I32, F64, I8])
+        assert st.field_offset(0) == 0
+        assert st.field_offset(1) == 4
+        assert st.field_offset(2) == 12
+        assert st.size == 13
+
+    def test_offset_out_of_range(self):
+        st = StructType("s", [I32])
+        with pytest.raises(IndexError):
+            st.field_offset(1)
+
+    def test_named_equality(self):
+        a = StructType("node", [I32])
+        b = StructType("node", [I64])  # same name, different body
+        assert a == b
+        assert a != StructType("other", [I32])
+
+    def test_opaque_then_set_body(self):
+        st = StructType("fwd")
+        assert st.is_opaque
+        st.set_body([I32, pointer_to(st)])
+        assert not st.is_opaque
+        assert st.size == 4 + POINTER_SIZE
+
+    def test_set_body_twice_rejected(self):
+        st = StructType("once", [I32])
+        with pytest.raises(ValueError):
+            st.set_body([I64])
+
+    def test_recursive_struct_size(self):
+        node = StructType("list")
+        node.set_body([I64, pointer_to(node)])
+        assert node.size == 16
+
+
+class TestFunctionType:
+    def test_equality(self):
+        a = FunctionType(I32, [I64, F64])
+        b = FunctionType(I32, [I64, F64])
+        assert a == b
+        assert a != FunctionType(I32, [I64])
+        assert a != FunctionType(VOID, [I64, F64])
+
+    def test_vararg_distinct(self):
+        assert FunctionType(I32, [], vararg=True) != FunctionType(I32, [])
+
+    def test_has_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(VOID, []).size

@@ -1,0 +1,94 @@
+"""Tests for IR values: constants, globals, null, undef."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    Constant,
+    F64,
+    GlobalVariable,
+    I1,
+    I32,
+    I8,
+    NullPointer,
+    PointerType,
+    UndefValue,
+    const_float,
+    const_int,
+    null,
+)
+from repro.ir.values import _wrap_int
+
+
+class TestWrapInt:
+    def test_in_range_unchanged(self):
+        assert _wrap_int(5, 32) == 5
+        assert _wrap_int(-5, 32) == -5
+
+    def test_wraps_overflow(self):
+        assert _wrap_int(2**31, 32) == -(2**31)
+        assert _wrap_int(2**32, 32) == 0
+        assert _wrap_int(255, 8) == -1
+        assert _wrap_int(128, 8) == -128
+
+    def test_i1(self):
+        assert _wrap_int(1, 1) == 1
+        assert _wrap_int(2, 1) == 0
+        assert _wrap_int(3, 1) == 1
+
+
+class TestConstant:
+    def test_int_wrapping_at_construction(self):
+        assert Constant(I8, 300).value == 44
+        assert Constant(I32, -1).value == -1
+
+    def test_float(self):
+        c = const_float(2.5)
+        assert c.value == 2.5
+        assert c.type == F64
+
+    def test_int_to_float_type_coerces(self):
+        assert Constant(F64, 3).value == 3.0
+
+    def test_rejects_aggregate(self):
+        with pytest.raises(TypeError):
+            Constant(ArrayType(I32, 2), 0)
+
+    def test_ref_is_literal(self):
+        assert const_int(42).ref == "42"
+        assert const_float(1.5).ref == "1.5"
+
+    def test_equality_and_hash(self):
+        assert const_int(7) == const_int(7)
+        assert const_int(7) != const_int(8)
+        assert const_int(7, 32) != const_int(7, 64)
+        assert hash(const_int(7)) == hash(const_int(7))
+
+
+class TestNullAndUndef:
+    def test_null_ref(self):
+        n = null(I32)
+        assert n.ref == "null"
+        assert n.type == PointerType(I32)
+
+    def test_null_equality(self):
+        assert null(I32) == null(I32)
+        assert null(I32) != null(I8)
+
+    def test_undef_ref(self):
+        assert UndefValue(I32, "").ref == "undef"
+
+
+class TestGlobalVariable:
+    def test_type_is_pointer_to_storage(self):
+        g = GlobalVariable("g", I32, 5)
+        assert g.type == PointerType(I32)
+        assert g.value_type == I32
+        assert g.initializer == 5
+
+    def test_ref(self):
+        assert GlobalVariable("counter", I32).ref == "@counter"
+
+    def test_const_flag(self):
+        assert GlobalVariable("t", I32, 0, is_constant=True).is_constant
+        assert not GlobalVariable("t2", I32).is_constant

@@ -1,0 +1,218 @@
+"""Tests for the Orchestrator: ordering, bailout, premises, caching."""
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.core import (
+    AnalysisModule,
+    BailoutPolicy,
+    NullResolver,
+    Orchestrator,
+    OrchestratorConfig,
+)
+from repro.ir import GlobalVariable, I32, Module, parse_module
+from repro.query import (
+    AliasQuery,
+    AliasResult,
+    JoinPolicy,
+    MemoryLocation,
+    OptionSet,
+    QueryResponse,
+    SpeculativeAssertion,
+    TemporalRelation,
+)
+
+
+def make_query():
+    g1 = GlobalVariable("a", I32)
+    g2 = GlobalVariable("b", I32)
+    return AliasQuery(MemoryLocation(g1, 4), TemporalRelation.SAME,
+                      MemoryLocation(g2, 4), None)
+
+
+class _Stub(AnalysisModule):
+    """Records evaluation order; returns a canned response."""
+
+    def __init__(self, name, response, log, speculative=False, cost=0.0):
+        super().__init__(AnalysisContext(Module("t")), None)
+        self.name = name
+        self._response = response
+        self._log = log
+        self.is_speculative = speculative
+        self.average_assertion_cost = cost
+
+    def alias(self, query, resolver):
+        self._log.append(self.name)
+        return self._response
+
+
+class _PremiseAsker(AnalysisModule):
+    """Resolves by asking a premise and forwarding the answer."""
+
+    name = "asker"
+
+    def __init__(self, log):
+        super().__init__(AnalysisContext(Module("t")), None)
+        self._log = log
+
+    def alias(self, query, resolver):
+        self._log.append("asker")
+        answer = resolver.premise(query.with_desired(AliasResult.NO_ALIAS))
+        return answer
+
+
+class TestOrdering:
+    def test_memory_modules_before_speculation(self):
+        log = []
+        may = QueryResponse.may_alias()
+        modules = [
+            _Stub("spec-cheap", may, log, speculative=True, cost=1.0),
+            _Stub("mem", may, log),
+            _Stub("spec-costly", may, log, speculative=True, cost=9.0),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        orch.handle(make_query())
+        assert log == ["mem", "spec-cheap", "spec-costly"]
+
+
+class TestBailout:
+    def test_base_policy_stops_at_free_definite(self):
+        log = []
+        modules = [
+            _Stub("m1", QueryResponse.no_alias(), log),
+            _Stub("m2", QueryResponse.no_alias(), log),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        orch.handle(make_query())
+        assert log == ["m1"]
+
+    def test_base_policy_continues_past_speculative_definite(self):
+        log = []
+        spec = QueryResponse(
+            AliasResult.NO_ALIAS,
+            OptionSet.single(SpeculativeAssertion("s", cost=1.0)))
+        modules = [
+            _Stub("m1", spec, log),
+            _Stub("m2", QueryResponse.may_alias(), log),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        r = orch.handle(make_query())
+        assert log == ["m1", "m2"]
+        assert r.result is AliasResult.NO_ALIAS
+
+    def test_definite_policy_stops_at_any_definite(self):
+        log = []
+        spec = QueryResponse(
+            AliasResult.NO_ALIAS,
+            OptionSet.single(SpeculativeAssertion("s", cost=1.0)))
+        modules = [
+            _Stub("m1", spec, log),
+            _Stub("m2", QueryResponse.may_alias(), log),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(
+            use_cache=False, bailout_policy=BailoutPolicy.DEFINITE))
+        orch.handle(make_query())
+        assert log == ["m1"]
+
+    def test_exhaustive_policy_never_stops(self):
+        log = []
+        modules = [
+            _Stub("m1", QueryResponse.no_alias(), log),
+            _Stub("m2", QueryResponse.no_alias(), log),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(
+            use_cache=False, bailout_policy=BailoutPolicy.EXHAUSTIVE))
+        orch.handle(make_query())
+        assert log == ["m1", "m2"]
+
+
+class TestPremises:
+    def test_premise_routed_to_other_modules(self):
+        log = []
+        modules = [
+            _PremiseAsker(log),
+            _Stub("answerer", QueryResponse.no_alias(), log,
+                  speculative=True),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        r = orch.handle(make_query())
+        assert r.result is AliasResult.NO_ALIAS
+        # asker (top) -> asker (premise eval) happens via orchestrator:
+        assert "answerer" in log
+
+    def test_contributors_tracked_through_premises(self):
+        log = []
+        modules = [
+            _PremiseAsker(log),
+            _Stub("answerer", QueryResponse.no_alias(), log,
+                  speculative=True),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        orch.handle(make_query())
+        assert "asker" in orch.last_contributors
+        assert "answerer" in orch.last_contributors
+
+    def test_desired_result_mismatch_normalized(self):
+        log = []
+        modules = [
+            _PremiseAsker(log),
+            _Stub("answerer", QueryResponse.must_alias(), log,
+                  speculative=True),
+        ]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=False))
+        r = orch.handle(make_query())
+        # asker wanted NoAlias, got MustAlias -> conservative premise,
+        # and the final result is the answerer's own MustAlias at the
+        # top level.
+        assert orch.stats.desired_result_bails >= 1
+        assert r.result is AliasResult.MUST_ALIAS
+
+    def test_depth_limit_cuts_recursion(self):
+        log = []
+        modules = [_PremiseAsker(log)]
+        orch = Orchestrator(modules, OrchestratorConfig(
+            use_cache=False, max_premise_depth=3))
+        r = orch.handle(make_query())
+        assert r.result is AliasResult.MAY_ALIAS
+
+    def test_cycle_guard(self):
+        class _SelfAsker(AnalysisModule):
+            name = "selfish"
+
+            def alias(self, query, resolver):
+                return resolver.premise(query)  # identical query
+
+        orch = Orchestrator(
+            [_SelfAsker(AnalysisContext(Module("t")), None)],
+            OrchestratorConfig(use_cache=False))
+        r = orch.handle(make_query())
+        assert r.result is AliasResult.MAY_ALIAS
+        assert orch.stats.cycles_cut >= 1
+
+
+class TestCache:
+    def test_cache_hits(self):
+        log = []
+        modules = [_Stub("m", QueryResponse.no_alias(), log)]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=True))
+        q = make_query()
+        orch.handle(q)
+        orch.handle(q)
+        assert log == ["m"]
+        assert orch.stats.cache_hits == 1
+
+    def test_clear_cache(self):
+        log = []
+        modules = [_Stub("m", QueryResponse.no_alias(), log)]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=True))
+        q = make_query()
+        orch.handle(q)
+        orch.clear_cache()
+        orch.handle(q)
+        assert log == ["m", "m"]
+
+
+class TestNullResolver:
+    def test_always_conservative(self):
+        r = NullResolver().premise(make_query())
+        assert r.result is AliasResult.MAY_ALIAS

@@ -1,0 +1,208 @@
+"""Tests for the speculative DOALL planner (§3.4 global reasoning)."""
+
+import pytest
+
+from repro import build_caf, build_scaf
+from repro.analysis import AnalysisContext
+from repro.clients import DoallPlanner, hot_loops, plan_hot_loops
+from repro.ir import parse_module
+from repro.profiling import run_profilers
+from repro.query import OptionSet, SpeculativeAssertion
+from repro.clients.pdg import DependenceRecord
+from repro.query import ModRefResult, QueryResponse
+
+
+DOALL_SOURCE = """
+global @in_ptr : f64* = zeroinit
+global @out_ptr : f64* = zeroinit
+global @clamp_flag : i32 = 0
+global @clamps : i32 = 0
+
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %in.raw = call @malloc(i64 1040)
+  %in.f = bitcast i8* %in.raw to f64*
+  %in.base = gep f64* %in.f, i64 2
+  store f64* %in.base, f64** @in_ptr
+  %out.raw = call @malloc(i64 1040)
+  %out.f = bitcast i8* %out.raw to f64*
+  %out.base = gep f64* %out.f, i64 2
+  store f64* %out.base, f64** @out_ptr
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi2, %fill]
+  %f.slot = gep f64* %in.base, i64 %fi
+  %fv = sitofp i64 %fi to f64
+  store f64 %fv, f64* %f.slot
+  %fi2 = add i64 %fi, 1
+  %fc = icmp slt i64 %fi2, 128
+  condbr i1 %fc, %fill, %head
+head:
+  br %map
+map:
+  %i = phi i64 [0, %head], [%i2, %map.latch]
+  %cf = load i32* @clamp_flag
+  %rare = icmp ne i32 %cf, 0
+  condbr i1 %rare, %clamp, %map.body
+clamp:
+  %cl = load i32* @clamps
+  %cl2 = add i32 %cl, 1
+  store i32 %cl2, i32* @clamps
+  br %map.body
+map.body:
+  %in = load f64** @in_ptr
+  %out = load f64** @out_ptr
+  %src = gep f64* %in, i64 %i
+  %x = load f64* %src
+  %y = fmul f64 %x, 2.0
+  %dst = gep f64* %out, i64 %i
+  store f64 %y, f64* %dst
+  br %map.latch
+map.latch:
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 128
+  condbr i1 %c, %map, %exit
+exit:
+  ret i32 0
+}
+"""
+
+REDUCTION_SOURCE = """
+global @acc : f64 = 0.0
+global @data : [64 x f64] = zeroinit
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i2, %loop]
+  %slot = gep [64 x f64]* @data, i64 0, i64 %i
+  %v = load f64* %slot
+  %a0 = load f64* @acc
+  %a1 = fadd f64 %a0, %v
+  store f64 %a1, f64* @acc
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 64
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+def _prepare(text):
+    module = parse_module(text)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context)
+    return module, context, profiles
+
+
+class TestDoallPlanner:
+    def test_speculatively_doall_loop(self):
+        module, context, profiles = _prepare(DOALL_SOURCE)
+        scaf = build_scaf(module, profiles, context)
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loop_with_header(fn.get_block("map"))
+        plan = DoallPlanner(scaf).plan(loop)
+        assert plan.doall
+        assert plan.blockers == []
+        assert plan.assertions  # speculation was required
+        assert plan.validation_cost > 0
+        assert "DOALL-able" in plan.summary()
+
+    def test_same_loop_blocked_without_speculation(self):
+        module, context, profiles = _prepare(DOALL_SOURCE)
+        caf = build_caf(module, context, profiles)
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loop_with_header(fn.get_block("map"))
+        plan = DoallPlanner(caf).plan(loop)
+        assert not plan.doall
+        assert plan.blockers
+        assert plan.assertions == []
+
+    def test_reduction_blocks_doall(self):
+        module, context, profiles = _prepare(REDUCTION_SOURCE)
+        scaf = build_scaf(module, profiles, context)
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loops[0]
+        plan = DoallPlanner(scaf).plan(loop)
+        assert not plan.doall
+        # The accumulator recurrence is a genuine blocker.
+        names = {r.src.opcode for r in plan.blockers} | \
+            {r.dst.opcode for r in plan.blockers}
+        assert "store" in names
+
+    def test_cost_budget_rejects_expensive_plans(self):
+        module, context, profiles = _prepare(DOALL_SOURCE)
+        scaf = build_scaf(module, profiles, context)
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loop_with_header(fn.get_block("map"))
+        plan = DoallPlanner(scaf, cost_budget=0.0).plan(loop)
+        assert not plan.doall
+
+    def test_shared_assertions_counted_once(self):
+        """One control-spec assertion discharges several dependences
+        but appears once in the plan."""
+        module, context, profiles = _prepare(DOALL_SOURCE)
+        scaf = build_scaf(module, profiles, context)
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loop_with_header(fn.get_block("map"))
+        plan = DoallPlanner(scaf).plan(loop)
+        control = [a for a in plan.assertions
+                   if a.module_id == "control-spec"]
+        assert len(control) <= 1
+
+    def test_plan_hot_loops_convenience(self):
+        module, context, profiles = _prepare(DOALL_SOURCE)
+        scaf = build_scaf(module, profiles, context)
+        plans = plan_hot_loops(scaf, hot_loops(profiles))
+        assert plans
+        assert any(p.doall for p in plans
+                   if p.loop.header.name == "map")
+
+
+class TestOptionSelection:
+    def _record(self, options):
+        from repro.query import ModRefResult, OptionSet, QueryResponse
+        from repro.ir import GlobalVariable, I32, LoadInst, StoreInst, \
+            const_int
+        g = GlobalVariable("g", I32)
+        src = StoreInst(const_int(1), g)
+        dst = LoadInst(g, "v")
+        response = QueryResponse(ModRefResult.NO_MOD_REF, options)
+        return DependenceRecord(src, dst, True, response, options,
+                                frozenset())
+
+    def test_conflicting_option_avoided(self):
+        a = SpeculativeAssertion("read-only", cost=1.0,
+                                 conflict_points=frozenset({"site"}))
+        b = SpeculativeAssertion("short-lived", cost=5.0,
+                                 conflict_points=frozenset({"site"}))
+        cheap_but_conflicting = OptionSet.single(a)
+        expensive_but_fine = OptionSet.single(b)
+
+        from repro.core.framework import DependenceAnalysis
+        planner = DoallPlanner.__new__(DoallPlanner)
+        planner.cost_budget = None
+        selected = {a}
+        # record whose only options are {a} (conflict-free w/ selected)
+        # and {b} (conflicts with a):
+        record = self._record(cheap_but_conflicting | expensive_but_fine)
+        option = planner._select_option(record, {b})
+        # with b selected, {b} is free and {a} conflicts -> choose {b}
+        assert option == frozenset({b})
+
+    def test_marginal_cost_prefers_shared(self):
+        shared = SpeculativeAssertion("control-spec", cost=10.0)
+        fresh = SpeculativeAssertion("value-prediction", cost=1.0)
+        record = self._record(OptionSet.single(shared)
+                              | OptionSet.single(fresh))
+        planner = DoallPlanner.__new__(DoallPlanner)
+        planner.cost_budget = None
+        # Nothing selected: the 1.0 option wins.
+        assert planner._select_option(record, set()) == frozenset({fresh})
+        # With the expensive assertion already selected, it is free.
+        assert planner._select_option(record, {shared}) == \
+            frozenset({shared})

@@ -1,0 +1,360 @@
+"""Property-based tests (hypothesis) for the arithmetic and algebraic
+cores: affine disjointness, interval aliasing, assertion-option
+algebra, integer wrapping, dominators, and the memory model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DominatorTree
+from repro.ir import I16, I32, I8, IntType
+from repro.ir.values import _wrap_int
+from repro.modules.memory import interval_alias
+from repro.modules.memory.scev_aa import affine_disjoint
+from repro.query import (
+    AliasResult,
+    JoinPolicy,
+    ModRefResult,
+    OptionSet,
+    QueryResponse,
+    SpeculativeAssertion,
+    TemporalRelation,
+    join,
+    option_consistent,
+    precision,
+)
+
+
+# ---------------------------------------------------------------------------
+# affine_disjoint vs brute force
+# ---------------------------------------------------------------------------
+
+_small = st.integers(min_value=-24, max_value=24)
+_size = st.integers(min_value=1, max_value=8)
+_relation = st.sampled_from(list(TemporalRelation))
+
+
+def _overlaps(dc, s1, s2, size1, size2, relation, bound=40):
+    """Brute-force: do the accesses overlap for some allowed (i, j)?"""
+    for i in range(bound):
+        for j in range(bound):
+            if relation is TemporalRelation.SAME and i != j:
+                continue
+            if relation is TemporalRelation.BEFORE and not i < j:
+                continue
+            if relation is TemporalRelation.AFTER and not i > j:
+                continue
+            d = dc + s1 * i - s2 * j
+            if -size2 < d < size1:
+                return True
+    return False
+
+
+class TestAffineDisjoint:
+    @given(dc=_small, s1=_small, s2=_small, size1=_size, size2=_size,
+           relation=_relation)
+    @settings(max_examples=400, deadline=None)
+    def test_never_claims_disjoint_when_overlap_exists(
+            self, dc, s1, s2, size1, size2, relation):
+        """Soundness: affine_disjoint == True implies no overlap for
+        any iterations (checked on a bounded window)."""
+        if affine_disjoint(dc, s1, s2, size1, size2, relation):
+            assert not _overlaps(dc, s1, s2, size1, size2, relation)
+
+    @given(dc=_small, size1=_size, size2=_size)
+    @settings(max_examples=200, deadline=None)
+    def test_zero_stride_same_iteration_exact(self, dc, size1, size2):
+        """With no strides, disjointness is exactly interval math."""
+        disjoint = affine_disjoint(dc, 0, 0, size1, size2,
+                                   TemporalRelation.SAME)
+        assert disjoint == (dc >= size1 or dc <= -size2) == \
+            (not (-size2 < dc < size1))
+
+    @given(s=st.integers(min_value=1, max_value=16), size=_size)
+    @settings(max_examples=200, deadline=None)
+    def test_unit_pointer_stride_rule(self, s, size):
+        """Same affine function, cross-iteration: disjoint iff the
+        stride clears the access size."""
+        disjoint = affine_disjoint(0, s, s, size, size,
+                                   TemporalRelation.BEFORE)
+        assert disjoint == (s >= size)
+
+    @given(dc=_small, s1=_small, s2=_small, size1=_size, size2=_size)
+    @settings(max_examples=200, deadline=None)
+    def test_before_after_symmetry(self, dc, s1, s2, size1, size2):
+        fwd = affine_disjoint(dc, s1, s2, size1, size2,
+                              TemporalRelation.BEFORE)
+        rev = affine_disjoint(-dc, s2, s1, size2, size1,
+                              TemporalRelation.AFTER)
+        assert fwd == rev
+
+    def test_unknown_sizes_conservative(self):
+        assert not affine_disjoint(100, 0, 0, 0, 4, TemporalRelation.SAME)
+        assert not affine_disjoint(100, 0, 0, 4, 0, TemporalRelation.SAME)
+
+
+class TestIntervalAlias:
+    @given(o1=_small, s1=_size, o2=_small, s2=_size)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_byte_sets(self, o1, s1, o2, s2):
+        bytes1 = set(range(o1, o1 + s1))
+        bytes2 = set(range(o2, o2 + s2))
+        result = interval_alias(o1, s1, o2, s2)
+        if result is AliasResult.NO_ALIAS:
+            assert not (bytes1 & bytes2)
+        elif result is AliasResult.MUST_ALIAS:
+            assert bytes1 == bytes2
+        elif result is AliasResult.SUB_ALIAS:
+            assert bytes1 < bytes2 or bytes2 < bytes1 or bytes1 == bytes2
+        else:
+            assert bytes1 & bytes2  # partial overlap
+
+    @given(o=_small, s=_size)
+    @settings(max_examples=50, deadline=None)
+    def test_self_must_alias(self, o, s):
+        assert interval_alias(o, s, o, s) is AliasResult.MUST_ALIAS
+
+
+# ---------------------------------------------------------------------------
+# OptionSet algebra
+# ---------------------------------------------------------------------------
+
+_assertion = st.builds(
+    SpeculativeAssertion,
+    module_id=st.sampled_from(["a", "b", "c", "d"]),
+    cost=st.floats(min_value=0, max_value=100, allow_nan=False),
+    conflict_points=st.sets(st.sampled_from(["p", "q", "r"]),
+                            max_size=2).map(frozenset),
+)
+
+_option = st.frozensets(_assertion, max_size=3)
+_option_set = st.builds(OptionSet, st.lists(_option, max_size=3))
+
+
+class TestOptionSetAlgebra:
+    @given(s1=_option_set, s2=_option_set)
+    @settings(max_examples=200, deadline=None)
+    def test_union_commutative(self, s1, s2):
+        assert (s1 | s2) == (s2 | s1)
+
+    @given(s1=_option_set, s2=_option_set)
+    @settings(max_examples=200, deadline=None)
+    def test_cross_commutative(self, s1, s2):
+        assert (s1 * s2) == (s2 * s1)
+
+    @given(s1=_option_set, s2=_option_set, s3=_option_set)
+    @settings(max_examples=100, deadline=None)
+    def test_union_associative(self, s1, s2, s3):
+        assert ((s1 | s2) | s3) == (s1 | (s2 | s3))
+
+    @given(s=_option_set)
+    @settings(max_examples=100, deadline=None)
+    def test_free_is_cross_identity(self, s):
+        crossed = s * OptionSet.free()
+        # Options already consistent survive unchanged; inconsistent
+        # input options are filtered by the cross.
+        expected = OptionSet(o for o in s.options if option_consistent(o))
+        assert crossed == expected
+
+    @given(s1=_option_set, s2=_option_set)
+    @settings(max_examples=200, deadline=None)
+    def test_cross_options_always_consistent(self, s1, s2):
+        for option in (s1 * s2).options:
+            assert option_consistent(option)
+
+    @given(s=_option_set)
+    @settings(max_examples=100, deadline=None)
+    def test_cheapest_is_minimum(self, s):
+        if not s.is_empty:
+            from repro.query import option_cost
+            assert s.cheapest_cost() == min(option_cost(o)
+                                            for o in s.options)
+
+
+# ---------------------------------------------------------------------------
+# join properties (Algorithm 2)
+# ---------------------------------------------------------------------------
+
+_alias_result = st.sampled_from(list(AliasResult))
+_modref_result = st.sampled_from(list(ModRefResult))
+
+
+def _response(result, options):
+    return QueryResponse(result, options)
+
+
+class TestJoinProperties:
+    @given(r1=_alias_result, r2=_alias_result, s1=_option_set,
+           s2=_option_set)
+    @settings(max_examples=300, deadline=None)
+    def test_alias_join_never_loses_precision(self, r1, r2, s1, s2):
+        a = _response(r1, s1 | OptionSet.free())
+        b = _response(r2, s2 | OptionSet.free())
+        joined = join(JoinPolicy.CHEAPEST, a, b)
+        assert precision(joined.result) >= max(precision(r1), precision(r2))
+
+    @given(r1=_modref_result, r2=_modref_result)
+    @settings(max_examples=100, deadline=None)
+    def test_modref_join_never_loses_precision(self, r1, r2):
+        a = QueryResponse.free(r1)
+        b = QueryResponse.free(r2)
+        joined = join(JoinPolicy.CHEAPEST, a, b)
+        assert precision(joined.result) >= max(precision(r1), precision(r2))
+
+    @given(r=_modref_result)
+    @settings(max_examples=20, deadline=None)
+    def test_join_with_conservative_is_identity(self, r):
+        a = QueryResponse.free(r)
+        conservative = QueryResponse.mod_ref()
+        assert join(JoinPolicy.CHEAPEST, a, conservative).result == r
+        assert join(JoinPolicy.CHEAPEST, conservative, a).result == r
+
+
+# ---------------------------------------------------------------------------
+# integer wrapping
+# ---------------------------------------------------------------------------
+
+class TestWrapIntProperties:
+    @given(v=st.integers(min_value=-2**70, max_value=2**70),
+           bits=st.sampled_from([1, 8, 16, 32, 64]))
+    @settings(max_examples=300, deadline=None)
+    def test_range(self, v, bits):
+        w = _wrap_int(v, bits)
+        if bits == 1:
+            assert w in (0, 1)
+        else:
+            assert -(2 ** (bits - 1)) <= w < 2 ** (bits - 1)
+
+    @given(v=st.integers(min_value=-2**70, max_value=2**70),
+           bits=st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=300, deadline=None)
+    def test_congruence(self, v, bits):
+        assert (_wrap_int(v, bits) - v) % (2 ** bits) == 0
+
+    @given(v=st.integers(), bits=st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, v, bits):
+        once = _wrap_int(v, bits)
+        assert _wrap_int(once, bits) == once
+
+
+# ---------------------------------------------------------------------------
+# dominators on random structured CFGs
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _random_cfg(draw):
+    """A random single-entry CFG as textual IR with diamonds/loops."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edges = []
+    for i in range(1, n):
+        # Each block gets an edge from some earlier block (connected DAG),
+        src = draw(st.integers(min_value=0, max_value=i - 1))
+        edges.append((src, i))
+    extra = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=n - 1),
+                  st.integers(min_value=0, max_value=n - 1)),
+        max_size=4))
+    for s, d in extra:
+        if d != 0:  # keep the entry predecessor-free
+            edges.append((s, d))
+    return n, sorted(set(edges))
+
+
+def _build_cfg_module(n, edges):
+    from repro.ir import (FunctionType, I32, IRBuilder, Module)
+    m = Module("rand")
+    fn = m.add_function("f", FunctionType(I32, []))
+    blocks = [fn.add_block(f"b{i}") for i in range(n)]
+    succs = {i: sorted({d for s, d in edges if s == i}) for i in range(n)}
+    from repro.ir import Constant, I1
+    for i, bb in enumerate(blocks):
+        b = IRBuilder(bb)
+        out = succs[i]
+        if not out:
+            b.ret(0)
+        elif len(out) == 1:
+            b.br(blocks[out[0]])
+        elif len(out) == 2:
+            cond = Constant(I1, 1)
+            b.condbr(cond, blocks[out[0]], blocks[out[1]])
+        else:
+            b.switch(Constant(I32, 0), blocks[out[0]],
+                     [(k, blocks[d]) for k, d in enumerate(out[1:])])
+    return fn, blocks, succs
+
+
+def _paths_all_pass(fn, blocks, succs, target_idx, through_idx):
+    """Brute force: does every entry->target path pass 'through'?"""
+    import itertools
+    # DFS with cycle cut: enumerate simple paths.
+    stack = [(0, {0})]
+    while stack:
+        node, seen = stack.pop()
+        if node == target_idx:
+            if through_idx not in seen:
+                return False
+            continue
+        for nxt in succs[node]:
+            if nxt not in seen:
+                stack.append((nxt, seen | {nxt}))
+    return True
+
+
+class TestDominatorProperties:
+    @given(cfg=_random_cfg())
+    @settings(max_examples=60, deadline=None)
+    def test_dominance_matches_path_enumeration(self, cfg):
+        n, edges = cfg
+        fn, blocks, succs = _build_cfg_module(n, edges)
+        dt = DominatorTree.compute(fn)
+        from repro.analysis import reachable_blocks
+        reachable = reachable_blocks(fn)
+        for ti, target in enumerate(blocks):
+            if target not in reachable:
+                continue
+            for di, dom in enumerate(blocks):
+                if dom not in reachable:
+                    continue
+                claimed = dt.dominates(dom, target)
+                actual = _paths_all_pass(fn, blocks, succs, ti, di)
+                assert claimed == actual, (edges, di, ti)
+
+    @given(cfg=_random_cfg())
+    @settings(max_examples=60, deadline=None)
+    def test_entry_dominates_reachable(self, cfg):
+        n, edges = cfg
+        fn, blocks, succs = _build_cfg_module(n, edges)
+        dt = DominatorTree.compute(fn)
+        from repro.analysis import reachable_blocks
+        for bb in reachable_blocks(fn):
+            assert dt.dominates(blocks[0], bb)
+
+
+# ---------------------------------------------------------------------------
+# simulated memory
+# ---------------------------------------------------------------------------
+
+class TestMemoryProperties:
+    @given(data=st.lists(st.tuples(st.integers(0, 63),
+                                   st.integers(-2**31, 2**31 - 1)),
+                         min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_read_back_last_write(self, data):
+        from repro.interp import SimulatedMemory
+        mem = SimulatedMemory()
+        obj = mem.allocate(256, "heap")
+        shadow = {}
+        for slot, value in data:
+            mem.write_value(obj.base + slot * 4, I32, value)
+            shadow[slot] = value
+        for slot, value in shadow.items():
+            assert mem.read_value(obj.base + slot * 4, I32) == value
+
+    @given(sizes=st.lists(st.integers(1, 64), min_size=2, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_disjoint(self, sizes):
+        from repro.interp import SimulatedMemory
+        mem = SimulatedMemory()
+        objs = [mem.allocate(s, "heap") for s in sizes]
+        for i, a in enumerate(objs):
+            for b in objs[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base

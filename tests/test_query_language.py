@@ -1,0 +1,216 @@
+"""Tests for the query language: assertions algebra, responses, joins."""
+
+import pytest
+
+from repro.query import (
+    AliasQuery,
+    AliasResult,
+    JoinPolicy,
+    MemoryLocation,
+    ModRefResult,
+    OptionSet,
+    PROHIBITIVE_COST,
+    QueryResponse,
+    SpeculativeAssertion,
+    TemporalRelation,
+    join,
+    option_consistent,
+    option_cost,
+    precision,
+)
+
+
+def A(mid, cost=1.0, conflicts=()):
+    return SpeculativeAssertion(module_id=mid, cost=cost,
+                                conflict_points=frozenset(conflicts))
+
+
+class TestTemporalRelation:
+    def test_cross_iteration(self):
+        assert TemporalRelation.BEFORE.is_cross_iteration
+        assert TemporalRelation.AFTER.is_cross_iteration
+        assert not TemporalRelation.SAME.is_cross_iteration
+
+    def test_flip(self):
+        assert TemporalRelation.BEFORE.flipped() is TemporalRelation.AFTER
+        assert TemporalRelation.AFTER.flipped() is TemporalRelation.BEFORE
+        assert TemporalRelation.SAME.flipped() is TemporalRelation.SAME
+
+
+class TestPrecision:
+    def test_alias_ordering(self):
+        assert precision(AliasResult.NO_ALIAS) == \
+            precision(AliasResult.MUST_ALIAS)
+        assert precision(AliasResult.NO_ALIAS) > \
+            precision(AliasResult.SUB_ALIAS)
+        assert precision(AliasResult.SUB_ALIAS) > \
+            precision(AliasResult.PARTIAL_ALIAS)
+        assert precision(AliasResult.PARTIAL_ALIAS) > \
+            precision(AliasResult.MAY_ALIAS)
+
+    def test_modref_ordering(self):
+        assert precision(ModRefResult.NO_MOD_REF) > \
+            precision(ModRefResult.MOD)
+        assert precision(ModRefResult.MOD) == precision(ModRefResult.REF)
+        assert precision(ModRefResult.REF) > \
+            precision(ModRefResult.MOD_REF)
+
+
+class TestOptionSet:
+    def test_free_is_empty_option(self):
+        free = OptionSet.free()
+        assert free.is_free
+        assert not free.is_empty
+        assert free.cheapest_cost() == 0.0
+
+    def test_union_is_alternatives(self):
+        s1 = OptionSet.single(A("a", 1.0))
+        s2 = OptionSet.single(A("b", 2.0))
+        u = s1 | s2
+        assert len(u.options) == 2
+        assert u.cheapest_cost() == 1.0
+
+    def test_cross_combines_requirements(self):
+        s1 = OptionSet.single(A("a", 1.0))
+        s2 = OptionSet.single(A("b", 2.0))
+        x = s1 * s2
+        assert len(x.options) == 1
+        assert x.cheapest_cost() == 3.0
+
+    def test_cross_with_free_is_identity(self):
+        s = OptionSet.single(A("a", 1.0))
+        assert (s * OptionSet.free()).options == s.options
+        assert (OptionSet.free() * s).options == s.options
+
+    def test_cross_drops_conflicting_combinations(self):
+        a = A("read-only", 1.0, conflicts=("site1",))
+        b = A("short-lived", 1.0, conflicts=("site1",))
+        x = OptionSet.single(a) * OptionSet.single(b)
+        assert x.is_empty
+
+    def test_cross_keeps_compatible_alternatives(self):
+        a = A("read-only", 1.0, conflicts=("site1",))
+        b = A("short-lived", 1.0, conflicts=("site1",))
+        c = A("residue", 5.0)
+        left = OptionSet.single(a) | OptionSet.single(c)
+        right = OptionSet.single(b)
+        x = left * right
+        # (a,b) conflicts; (c,b) survives.
+        assert len(x.options) == 1
+        assert x.cheapest_cost() == 6.0
+
+    def test_keep_cheapest(self):
+        s = OptionSet.single(A("a", 5.0)) | OptionSet.single(A("b", 2.0))
+        kept = s.keep_cheapest()
+        assert len(kept.options) == 1
+        assert kept.cheapest_cost() == 2.0
+
+    def test_without_prohibitive(self):
+        s = OptionSet.single(A("points-to", PROHIBITIVE_COST)) | \
+            OptionSet.single(A("cheap", 1.0))
+        filtered = s.without_prohibitive()
+        assert len(filtered.options) == 1
+        assert filtered.cheapest_cost() == 1.0
+
+    def test_all_prohibitive_becomes_empty(self):
+        s = OptionSet.single(A("points-to", PROHIBITIVE_COST))
+        assert s.without_prohibitive().is_empty
+
+    def test_option_cost_and_consistency(self):
+        opt = frozenset({A("a", 1.0), A("b", 2.0)})
+        assert option_cost(opt) == 3.0
+        assert option_consistent(opt)
+        bad = frozenset({A("a", 1.0, ("p",)), A("b", 1.0, ("p",))})
+        assert not option_consistent(bad)
+
+    def test_same_assertion_does_not_self_conflict(self):
+        a = A("read-only", 1.0, conflicts=("site",))
+        assert not a.conflicts_with(a)
+
+    def test_modules_involved(self):
+        s = OptionSet.single(A("x"), A("y")) | OptionSet.single(A("z"))
+        assert s.modules_involved() == frozenset({"x", "y", "z"})
+
+
+class TestJoin:
+    def _free(self, result):
+        return QueryResponse.free(result)
+
+    def _spec(self, result, *assertions):
+        return QueryResponse(result, OptionSet.single(*assertions))
+
+    def test_precision_wins(self):
+        r = join(JoinPolicy.CHEAPEST,
+                 self._free(AliasResult.MAY_ALIAS),
+                 self._free(AliasResult.NO_ALIAS))
+        assert r.result is AliasResult.NO_ALIAS
+
+    def test_free_beats_speculative_on_equal_result(self):
+        free = self._free(ModRefResult.NO_MOD_REF)
+        spec = self._spec(ModRefResult.NO_MOD_REF, A("a", 10.0))
+        r = join(JoinPolicy.CHEAPEST, spec, free)
+        assert r.options.is_free
+
+    def test_all_policy_keeps_both_options(self):
+        r1 = self._spec(ModRefResult.NO_MOD_REF, A("a", 1.0))
+        r2 = self._spec(ModRefResult.NO_MOD_REF, A("b", 2.0))
+        r = join(JoinPolicy.ALL, r1, r2)
+        assert len(r.options.options) == 2
+
+    def test_cheapest_policy_keeps_one(self):
+        r1 = self._spec(ModRefResult.NO_MOD_REF, A("a", 3.0))
+        r2 = self._spec(ModRefResult.NO_MOD_REF, A("b", 2.0))
+        r = join(JoinPolicy.CHEAPEST, r1, r2)
+        assert len(r.options.options) == 1
+        assert r.cost() == 2.0
+
+    def test_mod_ref_composition(self):
+        """Mod ⋈ Ref = NoModRef with crossed assertions (Algorithm 2)."""
+        r1 = self._spec(ModRefResult.MOD, A("a", 1.0))
+        r2 = self._spec(ModRefResult.REF, A("b", 2.0))
+        r = join(JoinPolicy.CHEAPEST, r1, r2)
+        assert r.result is ModRefResult.NO_MOD_REF
+        assert r.cost() == 3.0
+
+    def test_mod_ref_with_conflicting_assertions(self):
+        r1 = self._spec(ModRefResult.MOD, A("a", 1.0, ("p",)))
+        r2 = self._spec(ModRefResult.REF, A("b", 5.0, ("p",)))
+        r = join(JoinPolicy.CHEAPEST, r1, r2)
+        # Cannot compose; the cheaper side is kept.
+        assert r.result is ModRefResult.MOD
+        assert r.cost() == 1.0
+
+    def test_conflicting_results_prefer_free(self):
+        r1 = self._spec(AliasResult.NO_ALIAS, A("spec", 1.0))
+        r2 = self._free(AliasResult.MUST_ALIAS)
+        r = join(JoinPolicy.CHEAPEST, r1, r2)
+        assert r.result is AliasResult.MUST_ALIAS
+
+    def test_unrealizable_side_ignored(self):
+        dead = QueryResponse(ModRefResult.NO_MOD_REF, OptionSet())
+        live = self._free(ModRefResult.MOD)
+        assert join(JoinPolicy.CHEAPEST, dead, live).result \
+            is ModRefResult.MOD
+        assert join(JoinPolicy.CHEAPEST, live, dead).result \
+            is ModRefResult.MOD
+
+
+class TestQueryKeys:
+    def test_alias_key_stable_and_desired_sensitive(self):
+        from repro.ir import GlobalVariable, I32
+        g1 = GlobalVariable("a", I32)
+        g2 = GlobalVariable("b", I32)
+        q = AliasQuery(MemoryLocation(g1, 4), TemporalRelation.SAME,
+                       MemoryLocation(g2, 4), None)
+        assert q.key() == q.key()
+        assert q.key() != q.with_desired(AliasResult.NO_ALIAS).key()
+
+    def test_flipped(self):
+        from repro.ir import GlobalVariable, I32
+        g1 = GlobalVariable("a", I32)
+        g2 = GlobalVariable("b", I32)
+        q = AliasQuery(MemoryLocation(g1, 4), TemporalRelation.BEFORE,
+                       MemoryLocation(g2, 8), None)
+        f = q.flipped()
+        assert f.loc1.pointer is g2
+        assert f.relation is TemporalRelation.AFTER

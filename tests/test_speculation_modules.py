@@ -1,0 +1,439 @@
+"""Tests for the speculation modules (§4.2) on profiled crafted IR."""
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.core import NullResolver, Orchestrator, OrchestratorConfig
+from repro.ir import parse_module
+from repro.modules.memory import BasicAA, KillFlowAA, default_memory_modules
+from repro.modules.speculation import (
+    ControlSpeculation,
+    MemorySpeculation,
+    MODULE_CONTROL,
+    MODULE_POINTS_TO,
+    MODULE_READ_ONLY,
+    MODULE_RESIDUE,
+    MODULE_SHORT_LIVED,
+    MODULE_VALUE_PRED,
+    MemorySpeculation,
+    PointerResidue,
+    PointsToSpeculation,
+    ReadOnly,
+    ShortLived,
+    ValuePrediction,
+    replace_points_to_assertions,
+)
+from repro.profiling import run_profilers
+from repro.query import (
+    AliasQuery,
+    AliasResult,
+    CFGView,
+    MemoryLocation,
+    ModRefQuery,
+    ModRefResult,
+    OptionSet,
+    PROHIBITIVE_COST,
+    SpeculativeAssertion,
+    TemporalRelation,
+)
+
+NULL = NullResolver()
+
+
+def setup(text):
+    m = parse_module(text)
+    ctx = AnalysisContext(m)
+    profiles = run_profilers(m, ctx)
+    fn = m.get_function("main")
+    values = {i.name: i for f in m.defined_functions
+              for i in f.instructions() if i.name}
+    loops = ctx.loop_info(fn)
+    return m, ctx, profiles, fn, values, loops
+
+
+BIASED = """
+global @flag : i32 = 0
+global @a : i32 = 0
+global @b : i32 = 0
+global @hits : i32 = 0
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %latch]
+  %f = load i32* @flag
+  %c = icmp ne i32 %f, 0
+  condbr i1 %c, %rare, %common
+rare:
+  store i32 1, i32* @hits
+  br %join
+common:
+  store i32 %i, i32* @a
+  br %join
+join:
+  %av = load i32* @a
+  store i32 %av, i32* @b
+  %i2 = add i32 %i, 1
+  store i32 %i2, i32* @a
+  br %latch
+latch:
+  %lc = icmp slt i32 %i2, 30
+  condbr i1 %lc, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestControlSpeculation:
+    def test_dead_endpoint_resolves(self):
+        m, ctx, p, fn, v, loops = setup(BIASED)
+        cs = ControlSpeculation(ctx, p)
+        loop = loops.loops[0]
+        dead_store = next(i for i in fn.get_block("rare").instructions
+                          if i.opcode == "store")
+        live_load = v["av"]
+        q = ModRefQuery(dead_store, TemporalRelation.SAME, live_load,
+                        loop, (), CFGView.static(ctx, fn))
+        r = cs.modref(q, NULL)
+        assert r.result is ModRefResult.NO_MOD_REF
+        assert r.options.modules_involved() == {MODULE_CONTROL}
+        assert r.cost() == 0.0
+
+    def test_speculative_view_prunes_dead_blocks(self):
+        m, ctx, p, fn, v, loops = setup(BIASED)
+        cs = ControlSpeculation(ctx, p)
+        view = cs.speculative_view(fn)
+        assert view is not None
+        assert view.is_speculative
+        assert not view.is_live(fn.get_block("rare"))
+        # In the pruned CFG, 'common' dominates 'join'.
+        common_store = next(i for i in fn.get_block("common").instructions
+                            if i.opcode == "store")
+        assert view.dominates(common_store, v["av"])
+
+    def test_collaboration_with_killflow(self):
+        """The full motivating-example flow (Figure 6)."""
+        m, ctx, p, fn, v, loops = setup(BIASED)
+        loop = loops.loops[0]
+        orch = Orchestrator(
+            [BasicAA(ctx, p), KillFlowAA(ctx, p),
+             ControlSpeculation(ctx, p)],
+            OrchestratorConfig(use_cache=False))
+        i3 = [i for i in fn.get_block("join").instructions
+              if i.opcode == "store"][-1]
+        q = ModRefQuery(i3, TemporalRelation.BEFORE, v["av"], loop, (),
+                        CFGView.static(ctx, fn))
+        r = orch.handle(q)
+        assert r.result is ModRefResult.NO_MOD_REF
+        assert MODULE_CONTROL in r.options.modules_involved()
+        assert {"control-spec", "kill-flow-aa"} <= orch.last_contributors
+
+    def test_no_dead_blocks_no_view(self):
+        m, ctx, p, fn, v, loops = setup("""
+global @x : i32 = 0
+func @main() -> i32 {
+entry:
+  store i32 1, i32* @x
+  ret i32 0
+}
+""")
+        cs = ControlSpeculation(ctx, p)
+        assert cs.speculative_view(fn) is None
+
+
+class TestValuePrediction:
+    SOURCE = """
+global @cfg : i32 = 7
+global @data : i32 = 0
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %c = load i32* @cfg
+  %d = load i32* @data
+  %sum = add i32 %d, %c
+  store i32 %sum, i32* @data
+  %i2 = add i32 %i, 1
+  %lc = icmp slt i32 %i2, 10
+  condbr i1 %lc, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+    def test_predictable_endpoint_removed(self):
+        m, ctx, p, fn, v, loops = setup(self.SOURCE)
+        vp = ValuePrediction(ctx, p)
+        loop = loops.loops[0]
+        store = next(i for i in fn.instructions() if i.opcode == "store")
+        q = ModRefQuery(store, TemporalRelation.BEFORE, v["c"], loop, ())
+        r = vp.modref(q, NULL)
+        assert r.result is ModRefResult.NO_MOD_REF
+        assert r.options.modules_involved() == {MODULE_VALUE_PRED}
+        assert 0 < r.cost() < PROHIBITIVE_COST
+
+    def test_unpredictable_endpoint_kept(self):
+        m, ctx, p, fn, v, loops = setup(self.SOURCE)
+        vp = ValuePrediction(ctx, p)
+        loop = loops.loops[0]
+        store = next(i for i in fn.instructions() if i.opcode == "store")
+        q = ModRefQuery(store, TemporalRelation.BEFORE, v["d"], loop, ())
+        r = vp.modref(q, NULL)
+        assert r.result is ModRefResult.MOD_REF
+
+
+class TestPointerResidue:
+    SOURCE = """
+declare @malloc(i64) -> i8*
+global @pairs : f64* = zeroinit
+func @main() -> i32 {
+entry:
+  %raw = call @malloc(i64 256)
+  %base = bitcast i8* %raw to f64*
+  store f64* %base, f64** @pairs
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i2, %loop]
+  %p = load f64** @pairs
+  %e.i = mul i64 %i, 2
+  %o.i = add i64 %e.i, 1
+  %e.slot = gep f64* %p, i64 %e.i
+  %ev = load f64* %e.slot
+  %o.slot = gep f64* %p, i64 %o.i
+  store f64 %ev, f64* %o.slot
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 16
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+    def test_disjoint_residues_no_alias(self):
+        m, ctx, p, fn, v, loops = setup(self.SOURCE)
+        pr = PointerResidue(ctx, p)
+        q = AliasQuery(MemoryLocation(v["ev"].pointer, 8),
+                       TemporalRelation.SAME,
+                       MemoryLocation(v["o.slot"], 8),
+                       loops.loops[0])
+        r = pr.alias(q, NULL)
+        assert r.result is AliasResult.NO_ALIAS
+        assert r.options.modules_involved() == {MODULE_RESIDUE}
+
+    def test_must_alias_desire_bails(self):
+        m, ctx, p, fn, v, loops = setup(self.SOURCE)
+        pr = PointerResidue(ctx, p)
+        q = AliasQuery(MemoryLocation(v["e.slot"], 8),
+                       TemporalRelation.SAME,
+                       MemoryLocation(v["o.slot"], 8),
+                       loops.loops[0], desired=AliasResult.MUST_ALIAS)
+        assert pr.alias(q, NULL).result is AliasResult.MAY_ALIAS
+
+
+SEPARATION = """
+global @ro_ptr : f64* = zeroinit
+global @w_ptr : f64* = zeroinit
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+func @main() -> i32 {
+entry:
+  %ro.raw = call @malloc(i64 544)
+  %ro.f = bitcast i8* %ro.raw to f64*
+  %ro.base = gep f64* %ro.f, i64 2
+  store f64* %ro.base, f64** @ro_ptr
+  %w.raw = call @malloc(i64 544)
+  %w.f = bitcast i8* %w.raw to f64*
+  %w.base = gep f64* %w.f, i64 2
+  store f64* %w.base, f64** @w_ptr
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi2, %fill]
+  %f.slot = gep f64* %ro.base, i64 %fi
+  %fif = sitofp i64 %fi to f64
+  store f64 %fif, f64* %f.slot
+  %fi2 = add i64 %fi, 1
+  %fc = icmp slt i64 %fi2, 64
+  condbr i1 %fc, %fill, %loop.head
+loop.head:
+  br %loop
+loop:
+  %i = phi i64 [0, %loop.head], [%i2, %loop]
+  %tmp.raw = call @malloc(i64 16)
+  %tmp = bitcast i8* %tmp.raw to f64*
+  %ro = load f64** @ro_ptr
+  %r.slot = gep f64* %ro, i64 %i
+  %rv = load f64* %r.slot
+  store f64 %rv, f64* %tmp
+  %tv = load f64* %tmp
+  %w = load f64** @w_ptr
+  %w.slot = gep f64* %w, i64 %i
+  store f64 %tv, f64* %w.slot
+  call @free(i8* %tmp.raw)
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 64
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestPointsToSpeculation:
+    def test_disjoint_sites_prohibitive_no_alias(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        pts = PointsToSpeculation(ctx, p)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        q = AliasQuery(MemoryLocation(v["r.slot"], 8),
+                       TemporalRelation.SAME,
+                       MemoryLocation(v["w.slot"], 8), loop)
+        r = pts.alias(q, NULL)
+        assert r.result is AliasResult.NO_ALIAS
+        assert r.cost() >= PROHIBITIVE_COST
+
+    def test_anchor_containment_subalias(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        pts = PointsToSpeculation(ctx, p)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        q = AliasQuery(MemoryLocation(v["r.slot"], 8),
+                       TemporalRelation.SAME,
+                       MemoryLocation(v["ro.raw"], 544), loop)
+        r = pts.alias(q, NULL)
+        assert r.result is AliasResult.SUB_ALIAS
+
+
+class TestReadOnly:
+    def test_write_vs_read_only_object(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        orch = Orchestrator(
+            [ReadOnly(ctx, p), PointsToSpeculation(ctx, p)],
+            OrchestratorConfig(use_cache=False))
+        w_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store" and i.pointer.name == "w.slot")
+        q = ModRefQuery(w_store, TemporalRelation.SAME, v["rv"], loop, ())
+        r = orch.handle(q)
+        assert r.result is ModRefResult.NO_MOD_REF
+        # Points-to assertion must have been replaced by the cheap
+        # read-only heap check (§4.2.3).
+        mods = r.options.modules_involved()
+        assert MODULE_READ_ONLY in mods
+        assert MODULE_POINTS_TO not in mods
+        assert r.cost() < PROHIBITIVE_COST
+
+    def test_isolated_read_only_fails_without_points_to(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        ro = ReadOnly(ctx, p)
+        w_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store" and i.pointer.name == "w.slot")
+        q = ModRefQuery(w_store, TemporalRelation.SAME, v["rv"], loop, ())
+        r = ro.modref(q, NULL)
+        assert r.result is ModRefResult.MOD_REF
+
+
+class TestShortLived:
+    def test_cross_iteration_scratch_removed(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        orch = Orchestrator(
+            [ShortLived(ctx, p), PointsToSpeculation(ctx, p)],
+            OrchestratorConfig(use_cache=False))
+        tmp_store = next(i for i in fn.get_block("loop").instructions
+                         if i.opcode == "store" and i.pointer.name == "tmp")
+        q = ModRefQuery(tmp_store, TemporalRelation.BEFORE, v["tv"],
+                        loop, ())
+        r = orch.handle(q)
+        assert r.result is ModRefResult.NO_MOD_REF
+        mods = r.options.modules_involved()
+        assert MODULE_SHORT_LIVED in mods
+        assert MODULE_POINTS_TO not in mods
+
+    def test_intra_iteration_not_removed(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        orch = Orchestrator(
+            [ShortLived(ctx, p), PointsToSpeculation(ctx, p)],
+            OrchestratorConfig(use_cache=False))
+        tmp_store = next(i for i in fn.get_block("loop").instructions
+                         if i.opcode == "store" and i.pointer.name == "tmp")
+        q = ModRefQuery(tmp_store, TemporalRelation.SAME, v["tv"], loop, ())
+        r = orch.handle(q)
+        assert r.result is not ModRefResult.NO_MOD_REF
+
+    def test_conflict_points_are_allocation_sites(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        sl = ShortLived(ctx, p)
+        sites = sl._sites(loop)
+        assert len(sites) == 1
+        site = next(iter(sites))
+        assertion = sl._assertion(site, (), 1.0, "t")
+        assert site.anchor in assertion.conflict_points
+
+
+class TestMemorySpeculation:
+    def test_unobserved_dependence_removed_expensively(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        ms = MemorySpeculation(ctx, p)
+        w_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store" and i.pointer.name == "w.slot")
+        q = ModRefQuery(w_store, TemporalRelation.SAME, v["rv"], loop, ())
+        r = ms.modref(q, NULL)
+        assert r.result is ModRefResult.NO_MOD_REF
+        # Expensive: scales with both instructions' execution counts.
+        assert r.cost() >= 30.0 * 2 * 64
+
+    def test_observed_dependence_kept(self):
+        m, ctx, p, fn, v, loops = setup(SEPARATION)
+        loop = next(l for l in loops.loops if l.header.name == "loop")
+        ms = MemorySpeculation(ctx, p)
+        tmp_store = next(i for i in fn.get_block("loop").instructions
+                         if i.opcode == "store" and i.pointer.name == "tmp")
+        q = ModRefQuery(tmp_store, TemporalRelation.SAME, v["tv"], loop, ())
+        assert ms.modref(q, NULL).result is ModRefResult.MOD_REF
+
+    def test_unexecuted_loop_not_speculated(self):
+        m, ctx, p, fn, v, loops = setup("""
+global @x : i32 = 0
+global @n : i32 = 0
+func @main() -> i32 {
+entry:
+  %n.v = load i32* @n
+  %c = icmp sgt i32 %n.v, 0
+  condbr i1 %c, %loop, %exit
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %v = load i32* @x
+  store i32 %v, i32* @x
+  %i2 = add i32 %i, 1
+  %lc = icmp slt i32 %i2, %n.v
+  condbr i1 %lc, %loop, %exit
+exit:
+  ret i32 0
+}
+""")
+        loop = loops.loops[0]
+        ms = MemorySpeculation(ctx, p)
+        load = v["v"]
+        store = next(i for i in fn.get_block("loop").instructions
+                     if i.opcode == "store")
+        q = ModRefQuery(store, TemporalRelation.BEFORE, load, loop, ())
+        assert ms.modref(q, NULL).result is ModRefResult.MOD_REF
+
+
+class TestAssertionReplacement:
+    def test_replace_points_to(self):
+        pts = SpeculativeAssertion(MODULE_POINTS_TO, cost=PROHIBITIVE_COST)
+        other = SpeculativeAssertion(MODULE_CONTROL, cost=0.0)
+        mine = SpeculativeAssertion(MODULE_READ_ONLY, cost=2.0)
+        options = OptionSet([frozenset({pts, other})])
+        replaced = replace_points_to_assertions(options, mine)
+        assert len(replaced.options) == 1
+        option = next(iter(replaced.options))
+        assert mine in option
+        assert other in option
+        assert pts not in option

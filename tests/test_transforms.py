@@ -1,0 +1,473 @@
+"""End-to-end tests of the transformation side (§4.2.1, §4.2.5):
+validation-code insertion, runtime checks, misspeculation, recovery.
+
+Each test follows the full speculative-compilation story:
+
+1. profile a program on a training input,
+2. obtain a speculative no-dependence response from SCAF,
+3. instrument the program with the response's validation code,
+4. re-run on the training input  -> all checks pass,
+5. flip the input to break the assertion -> misspeculation fires and
+   recovery (non-speculative re-execution) still computes the right
+   answer.
+"""
+
+import pytest
+
+from repro import build_scaf
+from repro.analysis import AnalysisContext
+from repro.ir import parse_module, verify_module
+from repro.profiling import run_profilers
+from repro.query import (
+    CFGView,
+    ModRefQuery,
+    ModRefResult,
+    SpeculativeAssertion,
+    TemporalRelation,
+)
+from repro.transforms import (
+    Misspeculation,
+    SpeculativeInterpreter,
+    ValidationError,
+    execute_validated,
+    harvest_assertions,
+    instrument,
+)
+
+
+def _prepare(text):
+    module = parse_module(text)
+    verify_module(module)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context)
+    return module, context, profiles
+
+
+MOTIVATING = """
+global @a : i32 = 0
+global @b : i32 = 0
+global @rare_flag : i32 = 0
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i.next, %latch]
+  %rare = load i32* @rare_flag
+  %c = icmp ne i32 %rare, 0
+  condbr i1 %c, %rare.path, %els
+rare.path:
+  br %join
+els:
+  store i32 %i, i32* @a
+  br %join
+join:
+  %av = load i32* @a
+  %bv = add i32 %av, 1
+  store i32 %bv, i32* @b
+  %i.next = add i32 %i, 1
+  store i32 %i.next, i32* @a
+  br %latch
+latch:
+  %cond = icmp slt i32 %i.next, 50
+  condbr i1 %cond, %loop, %exit
+exit:
+  %r = load i32* @b
+  ret i32 %r
+}
+"""
+
+
+class TestControlSpeculationValidation:
+    def _assertions(self, module, context, profiles):
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loops[0]
+        join = fn.get_block("join")
+        i3 = [i for i in join.instructions if i.opcode == "store"][-1]
+        i2 = next(i for i in join.instructions if i.name == "av")
+        scaf = build_scaf(module, profiles, context)
+        response = scaf.query(ModRefQuery(
+            i3, TemporalRelation.BEFORE, i2, loop, (),
+            CFGView.static(context, fn)))
+        assert response.result is ModRefResult.NO_MOD_REF
+        return list(response.options.cheapest())
+
+    def test_training_input_passes(self):
+        module, context, profiles = _prepare(MOTIVATING)
+        assertions = self._assertions(module, context, profiles)
+        result, misspec, runtime, plan = execute_validated(
+            module, assertions, profiles)
+        assert not misspec
+        assert result == 50  # b = last i + 1
+        assert plan.assertions_applied == len(assertions)
+        assert plan.inserted_checks >= 1
+
+    def test_adversarial_input_misspeculates_and_recovers(self):
+        module, context, profiles = _prepare(MOTIVATING)
+        assertions = self._assertions(module, context, profiles)
+        # Break the "rare path never taken" assertion.
+        module.get_global("rare_flag").initializer = 1
+        result, misspec, runtime, plan = execute_validated(
+            module, assertions, profiles)
+        assert misspec
+        assert runtime.misspeculations == 1
+        # Recovery re-executes non-speculatively and still produces
+        # the program's true result on the new input: the rare path
+        # skips the kill store, so @b = a(stale) + 1 = 50 still.
+        assert result == 50
+
+    def test_misspeculation_propagates_without_recovery(self):
+        module, context, profiles = _prepare(MOTIVATING)
+        assertions = self._assertions(module, context, profiles)
+        module.get_global("rare_flag").initializer = 1
+        with pytest.raises(Misspeculation, match="control-spec"):
+            execute_validated(module, assertions, profiles, recover=False)
+
+
+VALUE_PRED = """
+global @cfg : i32 = 7
+global @cfg_ref : i32* = zeroinit
+global @out : i32 = 0
+global @out_ptr : i32* = zeroinit
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  store i32* @cfg, i32** @cfg_ref
+  %o.raw = call @malloc(i64 528)
+  %o.i = bitcast i8* %o.raw to i32*
+  %o.base = gep i32* %o.i, i64 2
+  store i32* %o.base, i32** @out_ptr
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %c = load i32* @cfg
+  store i32 %c, i32* @cfg
+  %op = load i32** @out_ptr
+  %o.slot = gep i32* %op, i64 0
+  %o = load i32* %o.slot
+  %o2 = add i32 %o, %c
+  store i32 %o2, i32* %o.slot
+  %i2 = add i32 %i, 1
+  %lc = icmp slt i32 %i2, 10
+  condbr i1 %lc, %loop, %exit
+exit:
+  %op2 = load i32** @out_ptr
+  %r.slot = gep i32* %op2, i64 0
+  %r = load i32* %r.slot
+  ret i32 %r
+}
+"""
+
+
+class TestValuePredictionValidation:
+    def _assertion(self, module, context, profiles):
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loops[0]
+        values = {i.name: i for i in fn.instructions() if i.name}
+        store = next(i for i in fn.get_block("loop").instructions
+                     if i.opcode == "store"
+                     and i.pointer.name == "o.slot")
+        scaf = build_scaf(module, profiles, context)
+        response = scaf.query(ModRefQuery(
+            store, TemporalRelation.BEFORE, values["c"], loop, (),
+            CFGView.static(context, fn)))
+        assert response.result is ModRefResult.NO_MOD_REF
+        option = response.options.cheapest()
+        assert any(a.module_id == "value-prediction" for a in option)
+        return list(option)
+
+    def test_training_input_passes(self):
+        module, context, profiles = _prepare(VALUE_PRED)
+        assertions = self._assertion(module, context, profiles)
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert not misspec
+        assert result == 70
+        assert runtime.checks_executed >= 10  # one compare per load
+
+    def test_changed_config_misspeculates(self):
+        module, context, profiles = _prepare(VALUE_PRED)
+        assertions = self._assertion(module, context, profiles)
+        module.get_global("cfg").initializer = 9
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert misspec
+        assert result == 90  # recovery computes the true new result
+
+
+SEPARATION = """
+global @ro_ptr : f64* = zeroinit
+global @w_ptr : f64* = zeroinit
+global @alias_flag : i32 = 0
+global @acc : f64 = 0.0
+declare @malloc(i64) -> i8*
+
+func @main() -> i32 {
+entry:
+  %ro.raw = call @malloc(i64 544)
+  %ro.f = bitcast i8* %ro.raw to f64*
+  %ro.base = gep f64* %ro.f, i64 2
+  store f64* %ro.base, f64** @ro_ptr
+  %w.raw = call @malloc(i64 544)
+  %w.f = bitcast i8* %w.raw to f64*
+  %w.base = gep f64* %w.f, i64 2
+  store f64* %w.base, f64** @w_ptr
+  br %fill
+fill:
+  %fi = phi i64 [0, %entry], [%fi2, %fill]
+  %f.slot = gep f64* %ro.base, i64 %fi
+  %fv = sitofp i64 %fi to f64
+  store f64 %fv, f64* %f.slot
+  %fi2 = add i64 %fi, 1
+  %fc = icmp slt i64 %fi2, 64
+  condbr i1 %fc, %fill, %head
+head:
+  br %loop
+loop:
+  %i = phi i64 [0, %head], [%i2, %loop]
+  %ro = load f64** @ro_ptr
+  %r.slot = gep f64* %ro, i64 %i
+  %rv = load f64* %r.slot
+  %w = load f64** @w_ptr
+  %af = load i32* @alias_flag
+  %aliased = icmp ne i32 %af, 0
+  %w.slot.safe = gep f64* %w, i64 %i
+  %w.slot = select i1 %aliased, f64* %r.slot, f64* %w.slot.safe
+  store f64 %rv, f64* %w.slot
+  %a0 = load f64* @acc
+  %a1 = fadd f64 %a0, %rv
+  store f64 %a1, f64* @acc
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 64
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestReadOnlyValidation:
+    def _assertions(self, module, context, profiles):
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loop_with_header(
+            fn.get_block("loop"))
+        values = {i.name: i for i in fn.instructions() if i.name}
+        w_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store"
+                       and i.pointer.name == "w.slot")
+        scaf = build_scaf(module, profiles, context)
+        response = scaf.query(ModRefQuery(
+            w_store, TemporalRelation.BEFORE, values["rv"], loop, (),
+            CFGView.static(context, fn)))
+        assert response.result is ModRefResult.NO_MOD_REF
+        option = response.options.without_prohibitive().cheapest()
+        assert option is not None
+        assert any(a.module_id == "read-only" for a in option)
+        return list(option)
+
+    def test_training_input_passes(self):
+        module, context, profiles = _prepare(SEPARATION)
+        assertions = self._assertions(module, context, profiles)
+        result, misspec, runtime, plan = execute_validated(
+            module, assertions, profiles)
+        assert not misspec
+        assert len(plan.separated_sites) == 1
+
+    def test_aliased_write_misspeculates(self):
+        module, context, profiles = _prepare(SEPARATION)
+        assertions = self._assertions(module, context, profiles)
+        module.get_global("alias_flag").initializer = 1
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert misspec
+        assert result == 0  # recovery completes the program
+
+
+SHORT_LIVED = """
+global @tmp_ptr : f64* = zeroinit
+global @leak_flag : i32 = 0
+global @acc : f64 = 0.0
+declare @malloc(i64) -> i8*
+declare @free(i8*) -> void
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i2, %latch]
+  %raw = call @malloc(i64 16)
+  %tmp = bitcast i8* %raw to f64*
+  store f64* %tmp, f64** @tmp_ptr
+  %t = load f64** @tmp_ptr
+  %iv = sitofp i64 %i to f64
+  store f64 %iv, f64* %t
+  %tv = load f64* %t
+  %a0 = load f64* @acc
+  %a1 = fadd f64 %a0, %tv
+  store f64 %a1, f64* @acc
+  %lf = load i32* @leak_flag
+  %leak = icmp ne i32 %lf, 0
+  condbr i1 %leak, %latch, %do.free
+do.free:
+  call @free(i8* %raw)
+  br %latch
+latch:
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 60
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestShortLivedValidation:
+    def _assertions(self, module, context, profiles):
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loops[0]
+        values = {i.name: i for i in fn.instructions() if i.name}
+        t_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store" and i.pointer.name == "t")
+        scaf = build_scaf(module, profiles, context)
+        response = scaf.query(ModRefQuery(
+            t_store, TemporalRelation.BEFORE, values["tv"], loop, (),
+            CFGView.static(context, fn)))
+        assert response.result is ModRefResult.NO_MOD_REF
+        option = response.options.without_prohibitive().cheapest()
+        assert option is not None
+        assert any(a.module_id == "short-lived" for a in option)
+        return list(option)
+
+    def test_training_input_passes(self):
+        module, context, profiles = _prepare(SHORT_LIVED)
+        assertions = self._assertions(module, context, profiles)
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert not misspec
+        assert runtime.checks_executed >= 59  # one per iteration end
+
+    def test_leaked_object_misspeculates(self):
+        module, context, profiles = _prepare(SHORT_LIVED)
+        assertions = self._assertions(module, context, profiles)
+        module.get_global("leak_flag").initializer = 1
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert misspec
+
+
+class TestMemorySpeculationValidation:
+    SOURCE = """
+global @data : [128 x i32] = zeroinit
+global @stride : i32 = 2
+global @acc : i32 = 0
+
+func @main() -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i2, %loop]
+  %s = load i32* @stride
+  %s64 = sext i32 %s to i64
+  %w.i = mul i64 %i, %s64
+  %w.wrap = srem i64 %w.i, 64
+  %w.slot = gep [128 x i32]* @data, i64 0, i64 %w.wrap
+  %it = trunc i64 %i to i32
+  store i32 %it, i32* %w.slot
+  %r.2w = mul i64 %w.wrap, 2
+  %r.off = add i64 %r.2w, 65
+  %r.i = srem i64 %r.off, 128
+  %r.slot = gep [128 x i32]* @data, i64 0, i64 %r.i
+  %rv = load i32* %r.slot
+  %a0 = load i32* @acc
+  %a1 = add i32 %a0, %rv
+  store i32 %a1, i32* @acc
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, 60
+  condbr i1 %c, %loop, %exit
+exit:
+  ret i32 0
+}
+"""
+
+    def _assertions(self, module, context, profiles):
+        from repro import build_memory_speculation
+        fn = module.get_function("main")
+        loop = context.loop_info(fn).loops[0]
+        values = {i.name: i for i in fn.instructions() if i.name}
+        w_store = next(i for i in fn.get_block("loop").instructions
+                       if i.opcode == "store"
+                       and i.pointer.name == "w.slot")
+        system = build_memory_speculation(module, profiles, context)
+        response = system.query(ModRefQuery(
+            w_store, TemporalRelation.SAME, values["rv"], loop, (),
+            CFGView.static(context, fn)))
+        assert response.result is ModRefResult.NO_MOD_REF
+        option = response.options.cheapest()
+        assert any(a.module_id == "memory-speculation" for a in option)
+        return list(option)
+
+    def test_training_input_passes(self):
+        module, context, profiles = _prepare(self.SOURCE)
+        assertions = self._assertions(module, context, profiles)
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert not misspec
+        # Shadow tracking is per byte: visibly heavier than the cheap
+        # checks (Figure 7).
+        assert runtime.checks_executed >= 60 * 8
+
+    def test_colliding_stride_misspeculates(self):
+        module, context, profiles = _prepare(self.SOURCE)
+        assertions = self._assertions(module, context, profiles)
+        # stride 3: writes reach slots >= 65, colliding with the reads.
+        module.get_global("stride").initializer = 3
+        result, misspec, runtime, _ = execute_validated(
+            module, assertions, profiles)
+        assert misspec
+
+
+class TestInstrumentMechanics:
+    def test_conflicting_assertions_rejected(self):
+        module, _, profiles = _prepare(MOTIVATING)
+        a = SpeculativeAssertion("read-only", points=("x",),
+                                 conflict_points=frozenset({"site"}))
+        b = SpeculativeAssertion("short-lived", points=("y",),
+                                 conflict_points=frozenset({"site"}))
+        with pytest.raises(ValidationError, match="conflicting"):
+            instrument(module, [a, b], profiles)
+
+    def test_unknown_module_rejected(self):
+        module, _, profiles = _prepare(MOTIVATING)
+        a = SpeculativeAssertion("mystery-module")
+        with pytest.raises(ValidationError, match="no validation"):
+            instrument(module, [a], profiles)
+
+    def test_duplicate_assertions_applied_once(self):
+        module, context, profiles = _prepare(MOTIVATING)
+        fn = module.get_function("main")
+        dead = profiles.edge.dead_blocks(fn)
+        a = SpeculativeAssertion("control-spec", points=tuple(dead))
+        plan = instrument(module, [a, a], profiles)
+        assert plan.assertions_applied == 1
+        assert plan.inserted_checks == len(dead)
+
+    def test_instrumented_module_still_verifies(self):
+        from repro.ir import verify_module
+        module, context, profiles = _prepare(MOTIVATING)
+        fn = module.get_function("main")
+        dead = profiles.edge.dead_blocks(fn)
+        instrument(module, [SpeculativeAssertion("control-spec",
+                                                 points=tuple(dead))],
+                   profiles)
+        verify_module(module)
+
+    def test_harvest_assertions(self):
+        from repro.clients import PDGClient, hot_loops
+        module, context, profiles = _prepare(MOTIVATING)
+        scaf = build_scaf(module, profiles, context)
+        hot = hot_loops(profiles)[0]
+        pdg = PDGClient(scaf).analyze_loop(hot.loop)
+        assertions = harvest_assertions(pdg)
+        assert assertions
+        assert len(set(assertions)) == len(assertions)

@@ -1,0 +1,131 @@
+"""Unit tests for the speculation runtime (§4.2.1 validation checks)."""
+
+import pytest
+
+from repro.interp import SimulatedMemory
+from repro.transforms.runtime import Misspeculation, SpeculationRuntime
+
+
+class _FakeInterp:
+    """Just enough interpreter for object_at-based checks."""
+
+    def __init__(self):
+        self.memory = SimulatedMemory()
+
+
+class TestValueCheck:
+    def test_match_is_silent(self):
+        rt = SpeculationRuntime()
+        rt.check_value(7, 7)
+        assert rt.checks_executed == 1
+        assert rt.misspeculations == 0
+
+    def test_mismatch_triggers(self):
+        rt = SpeculationRuntime()
+        with pytest.raises(Misspeculation, match="value-prediction"):
+            rt.check_value(8, 7)
+        assert rt.misspeculations == 1
+
+    def test_float_values(self):
+        rt = SpeculationRuntime()
+        rt.check_value(2.5, 2.5)
+        with pytest.raises(Misspeculation):
+            rt.check_value(2.5, 2.6)
+
+
+class TestResidueCheck:
+    def test_allowed_residues(self):
+        rt = SpeculationRuntime()
+        mask = (1 << 0) | (1 << 8)
+        rt.check_residue(0x1000, mask)      # residue 0
+        rt.check_residue(0x1008, mask)      # residue 8
+        assert rt.misspeculations == 0
+
+    def test_disallowed_residue_triggers(self):
+        rt = SpeculationRuntime()
+        mask = 1 << 0
+        with pytest.raises(Misspeculation, match="pointer-residue"):
+            rt.check_residue(0x1004, mask)  # residue 4
+
+
+class TestSeparationChecks:
+    def _setup(self):
+        rt = SpeculationRuntime()
+        interp = _FakeInterp()
+        anchor = object()
+        obj = interp.memory.allocate(64, "heap", site=anchor)
+        rt.separated_sites[1] = anchor
+        rt.note_alloc(obj)
+        return rt, interp, obj
+
+    def test_member_check(self):
+        rt, interp, obj = self._setup()
+        rt.check_separated(interp, obj.base + 8, 1)   # inside: fine
+        with pytest.raises(Misspeculation, match="separation"):
+            other = interp.memory.allocate(8, "heap", site=object())
+            rt.check_separated(interp, other.base, 1)
+
+    def test_foreign_check(self):
+        rt, interp, obj = self._setup()
+        other = interp.memory.allocate(8, "heap", site=object())
+        rt.check_not_separated(interp, other.base, 1)  # outside: fine
+        with pytest.raises(Misspeculation, match="separation"):
+            rt.check_not_separated(interp, obj.base, 1)
+
+    def test_iteration_empty(self):
+        rt, interp, obj = self._setup()
+        with pytest.raises(Misspeculation, match="short-lived"):
+            rt.check_iteration_empty(1)
+        rt.misspeculations = 0
+        rt.note_free(obj)
+        rt.check_iteration_empty(1)  # freed: silent
+        assert rt.misspeculations == 0
+
+    def test_untracked_site_objects_ignored(self):
+        rt, interp, obj = self._setup()
+        stray = interp.memory.allocate(8, "heap", site=object())
+        rt.note_alloc(stray)  # not a registered anchor
+        assert stray.serial not in rt.separated_live.get(1, set())
+
+
+class TestShadowChecks:
+    def test_intra_iteration_overlap(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(1, 100, 4)
+        with pytest.raises(Misspeculation, match="memory-speculation"):
+            rt.shadow_sink(1, 102, 4, cross_iteration=False)
+
+    def test_intra_iteration_disjoint(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(1, 100, 4)
+        rt.shadow_sink(1, 104, 4, cross_iteration=False)
+        assert rt.misspeculations == 0
+
+    def test_intra_reset_clears(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(1, 100, 4)
+        rt.shadow_iteration_boundary(1, cross_iteration=False)
+        rt.shadow_sink(1, 100, 4, cross_iteration=False)
+        assert rt.misspeculations == 0
+
+    def test_cross_iteration_requires_epoch(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(2, 200, 8)
+        # Same iteration: a cross-iteration assertion ignores it.
+        rt.shadow_sink(2, 200, 8, cross_iteration=True)
+        assert rt.misspeculations == 0
+        # After the back edge the source bytes become "earlier".
+        rt.shadow_iteration_boundary(2, cross_iteration=True)
+        with pytest.raises(Misspeculation):
+            rt.shadow_sink(2, 200, 8, cross_iteration=True)
+
+    def test_assertions_have_independent_shadows(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(1, 100, 4)
+        rt.shadow_sink(2, 100, 4, cross_iteration=False)
+        assert rt.misspeculations == 0
+
+    def test_shadow_cost_scales_with_size(self):
+        rt = SpeculationRuntime()
+        rt.shadow_source(1, 0, 64)
+        assert rt.checks_executed == 64  # per-byte work (Figure 7b)

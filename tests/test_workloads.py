@@ -1,0 +1,148 @@
+"""Integration tests over the 16 synthetic SPEC-like workloads.
+
+These are the heavyweight tests: every workload is parsed, verified,
+profiled, and analyzed by all four systems, checking the paper's
+structural claims (§5.1) and the high-confidence soundness invariant.
+"""
+
+import pytest
+
+from repro import (
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from repro.clients import PDGClient, hot_loops, weighted_no_dep
+from repro.workloads import (
+    ALL_WORKLOADS,
+    CONFLUENCE_SATURATED,
+    WORKLOADS,
+    get_workload,
+    prepare,
+)
+
+
+@pytest.fixture(scope="module", params=[w.name for w in ALL_WORKLOADS])
+def prepared(request):
+    return prepare(get_workload(request.param))
+
+
+class TestWorkloadStructure:
+    def test_registry_complete(self):
+        assert len(ALL_WORKLOADS) == 16
+        assert len(WORKLOADS) == 16
+        assert CONFLUENCE_SATURATED <= set(WORKLOADS)
+
+    def test_builds_and_verifies(self, prepared):
+        assert prepared.module.defined_functions
+
+    def test_executes_to_completion(self, prepared):
+        assert prepared.profiles.exit_value == 0
+        assert prepared.profiles.total_instructions > 1000
+
+    def test_has_hot_loops(self, prepared):
+        hot = hot_loops(prepared.profiles)
+        assert hot, f"{prepared.name} has no hot loops"
+        for h in hot:
+            assert h.time_fraction >= 0.10
+            assert h.stats.average_trip_count >= 50
+
+    def test_has_memory_dependence_queries(self, prepared):
+        hot = hot_loops(prepared.profiles)
+        caf = build_caf(prepared.module, prepared.context, prepared.profiles)
+        pdg = PDGClient(caf).analyze_loop(hot[0].loop)
+        assert pdg.total_queries >= 50
+
+
+class TestPaperStructuralClaims:
+    @pytest.fixture(scope="class")
+    def coverage(self):
+        """%NoDep of every system on every workload (computed once)."""
+        results = {}
+        for wl in ALL_WORKLOADS:
+            p = prepare(wl)
+            hot = hot_loops(p.profiles)
+            per_system = {}
+            for name, system in (
+                ("caf", build_caf(p.module, p.context, p.profiles)),
+                ("conf", build_confluence(p.module, p.profiles, p.context)),
+                ("scaf", build_scaf(p.module, p.profiles, p.context)),
+                ("memspec", build_memory_speculation(
+                    p.module, p.profiles, p.context)),
+            ):
+                client = PDGClient(system)
+                pdgs = [client.analyze_loop(h.loop) for h in hot]
+                per_system[name] = weighted_no_dep(hot, pdgs)
+            results[wl.name] = per_system
+        return results
+
+    def test_speculation_monotonicity(self, coverage):
+        """CAF <= confluence <= SCAF on every benchmark (Figure 8)."""
+        for name, r in coverage.items():
+            assert r["caf"] <= r["conf"] + 1e-9, name
+            assert r["conf"] <= r["scaf"] + 1e-9, name
+
+    def test_memory_speculation_upper_bounds_scaf(self, coverage):
+        for name, r in coverage.items():
+            assert r["scaf"] <= r["memspec"] + 1e-9, name
+
+    def test_scaf_strictly_better_on_non_saturated(self, coverage):
+        """SCAF outperforms confluence wherever collaboration has room
+        (12 of 16 benchmarks; §5.1)."""
+        for name, r in coverage.items():
+            if name not in CONFLUENCE_SATURATED:
+                assert r["scaf"] > r["conf"], name
+
+    def test_saturated_benchmarks_show_no_gap(self, coverage):
+        for name in CONFLUENCE_SATURATED:
+            r = coverage[name]
+            assert r["scaf"] == pytest.approx(r["conf"], abs=0.5), name
+
+    def test_scaf_shrinks_memory_speculation_residual(self, coverage):
+        """The headline claim: SCAF dramatically reduces what is left
+        for expensive memory speculation."""
+        conf_gap = sum(r["memspec"] - r["conf"] for r in coverage.values())
+        scaf_gap = sum(r["memspec"] - r["scaf"] for r in coverage.values())
+        assert scaf_gap < conf_gap * 0.75
+
+
+class TestSoundness:
+    def test_no_removed_dependence_was_observed(self, prepared):
+        """All four systems only remove dependences that never
+        manifested during the training run."""
+        p = prepared
+        hot = hot_loops(p.profiles)
+        systems = [
+            build_caf(p.module, p.context, p.profiles),
+            build_confluence(p.module, p.profiles, p.context),
+            build_scaf(p.module, p.profiles, p.context),
+            build_memory_speculation(p.module, p.profiles, p.context),
+        ]
+        for system in systems:
+            client = PDGClient(system)
+            for h in hot:
+                observed = p.profiles.memdep.observed_pairs(h.loop)
+                pdg = client.analyze_loop(h.loop)
+                for record in pdg.records:
+                    if record.removed:
+                        key = (record.src, record.dst,
+                               record.cross_iteration)
+                        assert key not in observed, (
+                            f"{system.name} removed an observed dependence "
+                            f"in {h.name}: {record.src} -> {record.dst}")
+
+    def test_free_results_never_observed(self, prepared):
+        """Cost-free (purely static) no-dependence results are sound
+        against the dynamic trace by construction."""
+        p = prepared
+        hot = hot_loops(p.profiles)
+        caf = build_caf(p.module, p.context, p.profiles)
+        client = PDGClient(caf)
+        for h in hot:
+            observed = p.profiles.memdep.observed_pairs(h.loop)
+            pdg = client.analyze_loop(h.loop)
+            for record in pdg.records:
+                if record.removed and record.usable_options.is_free:
+                    key = (record.src, record.dst, record.cross_iteration)
+                    assert key not in observed
