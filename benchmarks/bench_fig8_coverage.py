@@ -9,9 +9,19 @@ paper's two headline aggregates: SCAF's coverage gain over confluence
 and the shrink of the memory-speculation residual.
 """
 
+import os
+
 import pytest
 
-from common import SYSTEMS, analyze_all, emit, format_table, geomean
+from common import (
+    SYSTEMS,
+    analyze_all,
+    analyze_workload,
+    coverage_via_service,
+    emit,
+    format_table,
+    geomean,
+)
 
 
 def _coverage_table(results):
@@ -85,3 +95,28 @@ def test_fig8_dependence_coverage(benchmark, all_results):
         assert wr.coverage("confluence") <= wr.coverage("scaf") + 1e-9
         assert wr.coverage("scaf") <= \
             wr.coverage("memory-speculation") + 1e-9
+
+
+def test_fig8_coverage_via_service():
+    """Figure 8 through the serving layer (repro.service).
+
+    Gated on REPRO_SERVICE_SMOKE (a comma-separated workload list) so
+    the default bench run stays in-process; CI smokes it on two
+    workloads.  The batched, parallel, cached path must reproduce the
+    sequential harness's numbers exactly.
+    """
+    smoke = os.environ.get("REPRO_SERVICE_SMOKE")
+    if not smoke:
+        pytest.skip("set REPRO_SERVICE_SMOKE=<wl1,wl2,...> to serve "
+                    "Figure 8 through repro.service")
+    names = [n.strip() for n in smoke.split(",") if n.strip()]
+    workers = int(os.environ.get("REPRO_SERVICE_WORKERS", "4"))
+
+    from repro.workloads import get_workload
+    served = coverage_via_service(names, workers=workers)
+    for name in names:
+        sequential = analyze_workload(get_workload(name))
+        for system in SYSTEMS:
+            assert abs(served[name][system]
+                       - sequential.coverage(system)) < 1e-9, \
+                (name, system)

@@ -19,8 +19,16 @@ from repro import (
     build_memory_speculation,
     build_scaf,
 )
-from repro.clients import HotLoop, LoopPDG, PDGClient, hot_loops, weighted_no_dep
+from repro.clients import (
+    HotLoop,
+    LoopPDG,
+    PDGClient,
+    hot_loops,
+    weighted_no_dep,
+    weighted_no_dep_answers,
+)
 from repro.core import OrchestratorConfig
+from repro.service import config_fingerprint
 from repro.workloads import ALL_WORKLOADS, PreparedWorkload, prepare
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -77,27 +85,69 @@ class WorkloadResults:
         return acc / total_w if total_w else 0.0
 
 
-_RESULTS_CACHE: Dict[str, WorkloadResults] = {}
+_RESULTS_CACHE: Dict[tuple, WorkloadResults] = {}
 
 
-def analyze_workload(wl) -> WorkloadResults:
-    """Run all four systems' PDG clients over one workload (cached)."""
-    if wl.name in _RESULTS_CACHE:
-        return _RESULTS_CACHE[wl.name]
+def _config_key(config: Optional[OrchestratorConfig]) -> tuple:
+    return tuple(sorted(
+        (k, str(v)) for k, v in config_fingerprint(config).items()))
+
+
+def analyze_workload(wl, config: Optional[OrchestratorConfig] = None
+                     ) -> WorkloadResults:
+    """Run all four systems' PDG clients over one workload (cached).
+
+    ``config`` selects the orchestrator's join/bailout policies for
+    every system — benches and the serving layer pick policies here
+    instead of editing source.
+    """
+    key = (wl.name, _config_key(config))
+    if key in _RESULTS_CACHE:
+        return _RESULTS_CACHE[key]
     p = prepare(wl)
     hot = hot_loops(p.profiles)
     pdgs: Dict[str, List[LoopPDG]] = {}
     for system_name in SYSTEMS:
-        system = build_system(system_name, p)
+        system = build_system(system_name, p, config)
         client = PDGClient(system)
         pdgs[system_name] = [client.analyze_loop(h.loop) for h in hot]
     result = WorkloadResults(p, hot, pdgs)
-    _RESULTS_CACHE[wl.name] = result
+    _RESULTS_CACHE[key] = result
     return result
 
 
-def analyze_all() -> List[WorkloadResults]:
-    return [analyze_workload(wl) for wl in ALL_WORKLOADS]
+def analyze_all(config: Optional[OrchestratorConfig] = None
+                ) -> List[WorkloadResults]:
+    return [analyze_workload(wl, config) for wl in ALL_WORKLOADS]
+
+
+def coverage_via_service(workload_names, systems=SYSTEMS,
+                         workers: int = 4,
+                         executor: str = "process",
+                         cache_dir: Optional[str] = None,
+                         config: Optional[OrchestratorConfig] = None
+                         ) -> Dict[str, Dict[str, float]]:
+    """Time-weighted %NoDep per workload x system, computed through
+    the batched query service (``repro.service``) instead of
+    in-process clients.  Lets Fig. 8/9/10-style benches run against
+    the serving stack: one batch fans every (workload, system) pair
+    across the worker pool and the persistent cache."""
+    from repro.service import (
+        DependenceService,
+        ServiceConfig,
+        request_for_workload,
+    )
+    requests = [request_for_workload(name, system=system, config=config)
+                for name in workload_names for system in systems]
+    service_config = ServiceConfig(workers=workers, executor=executor,
+                                   cache_dir=cache_dir)
+    with DependenceService(service_config) as service:
+        batch = service.run_batch(requests)
+    out: Dict[str, Dict[str, float]] = {}
+    for request, answers in zip(requests, batch.answers):
+        out.setdefault(request.name, {})[request.system] = \
+            weighted_no_dep_answers(answers)
+    return out
 
 
 def removed_keys(pdg: LoopPDG) -> set:

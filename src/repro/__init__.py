@@ -22,7 +22,12 @@ Quickstart::
         print(hot.name, f"{pdg.no_dep_percent:.1f}% NoDep")
 """
 
+# Defined before the subpackage imports: repro.service fingerprints
+# cache keys with the framework version at import time.
+__version__ = "1.1.0"
+
 from . import analysis, clients, core, interp, ir, modules, profiling, query
+from . import service
 from .core import (
     DependenceAnalysis,
     Orchestrator,
@@ -34,11 +39,9 @@ from .core import (
 )
 from .profiling import ProfileBundle, run_profilers
 
-__version__ = "1.0.0"
-
 __all__ = [
     "analysis", "clients", "core", "interp", "ir", "modules",
-    "profiling", "query",
+    "profiling", "query", "service",
     "DependenceAnalysis", "Orchestrator", "OrchestratorConfig",
     "build_caf", "build_confluence", "build_memory_speculation",
     "build_scaf", "ProfileBundle", "run_profilers",

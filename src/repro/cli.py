@@ -6,14 +6,23 @@ Commands
 ``run``      execute a textual-IR program and print its result
 ``fmt``      parse, verify, and pretty-print a program
 ``profile``  run the profilers and summarize what they found
+             (``--json`` for the machine-readable summary)
 ``analyze``  profile, build an analysis system, and report hot-loop
-             dependence coverage (optionally per-dependence detail)
+             dependence coverage (optionally per-dependence detail);
+             ``--workers``/``--cache-dir`` route the request through
+             the serving layer, ``--json`` emits the service schema
+``batch``    answer many workloads through the batched, parallel,
+             cached dependence-query service (``repro.service``)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
+from dataclasses import asdict
 from typing import List, Optional
 
 from .analysis import AnalysisContext
@@ -59,10 +68,49 @@ def cmd_fmt(args) -> int:
     return 0
 
 
+def _profile_document(args, module, profiles) -> dict:
+    """The machine-readable ``profile --json`` schema."""
+    hot = hot_loops(profiles)
+    dead_blocks = {}
+    for fn in module.defined_functions:
+        dead = profiles.edge.dead_blocks(fn)
+        if dead:
+            dead_blocks[fn.name] = sorted(b.name for b in dead)
+    predictable = [
+        {"load": inst.name, "value": profiles.value.predicted_value(inst)}
+        for inst, _count in profiles.value.counts.items()
+        if profiles.value.is_predictable(inst)]
+    separation = {}
+    for h in hot:
+        ro = profiles.points_to.read_only_sites(h.loop)
+        sl = profiles.lifetime.short_lived_sites(h.loop)
+        if ro or sl:
+            separation[h.name] = {"read_only": len(ro),
+                                  "short_lived": len(sl)}
+    return {
+        "file": args.file,
+        "entry": args.entry,
+        "dynamic_instructions": profiles.total_instructions,
+        "exit_value": profiles.exit_value,
+        "hot_loops": [
+            {"name": h.name,
+             "time_fraction": h.time_fraction,
+             "average_trip_count": h.stats.average_trip_count}
+            for h in hot],
+        "profile_dead_blocks": dead_blocks,
+        "predictable_loads": predictable,
+        "separation_candidates": separation,
+    }
+
+
 def cmd_profile(args) -> int:
     module = _load(args.file)
     context = AnalysisContext(module)
     profiles = run_profilers(module, context, entry=args.entry)
+    if args.json:
+        print(json.dumps(_profile_document(args, module, profiles),
+                         indent=2, default=str))
+        return 0
     print(f"dynamic instructions: {profiles.total_instructions}")
     print(f"exit value          : {profiles.exit_value}")
 
@@ -95,7 +143,78 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _snapshot_dict(snap) -> dict:
+    doc = asdict(snap)
+    doc["cache_hit_rate"] = snap.cache_hit_rate
+    doc["worker_utilization"] = snap.worker_utilization
+    return doc
+
+
+def _print_loop_answers(answers, system: str, deps: bool = False,
+                        show_all: bool = False,
+                        prefix: str = "") -> None:
+    """Render service-schema answers in the ``analyze`` line format."""
+    for a in answers:
+        suffix = "" if a.status == "computed" else f" [{a.status}]"
+        print(f"{prefix}{a.loop} [{system}]: "
+              f"%NoDep = {a.no_dep_percent:.2f} "
+              f"({a.no_dep_count}/{a.total_queries} removed, "
+              f"{a.speculative_count} speculatively){suffix}")
+        if deps:
+            for q in a.answers:
+                if q.removed and not show_all:
+                    continue
+                kind = "cross" if q.cross_iteration else "intra"
+                status = "removed" if q.removed else "DEP"
+                mods = ""
+                if q.speculative and q.contributors:
+                    mods = " via " + ",".join(q.contributors)
+                print(f"  [{status:7s}] ({kind}) "
+                      f"{q.src} -> {q.dst}{mods}")
+
+
+def _analyze_via_service(args) -> int:
+    """The ``analyze --workers/--cache-dir`` path: one-request batch."""
+    from .service import (
+        DependenceService,
+        ServiceConfig,
+        loop_answer_to_dict,
+        request_for_file,
+    )
+    workers = args.workers if args.workers is not None else 4
+    config = ServiceConfig(workers=workers, executor=args.executor,
+                           cache_dir=args.cache_dir,
+                           shard_timeout_s=args.timeout)
+    with DependenceService(config) as service:
+        answers = service.analyze(request_for_file(
+            args.file, entry=args.entry, system=args.system))
+        snapshot = service.snapshot()
+    if not answers:
+        print("no hot loops found (>=10% time, >=50 iters/invocation)")
+        return 1
+    from .service import STATUS_FALLBACK
+    degraded = all(a.status == STATUS_FALLBACK for a in answers)
+    if args.json:
+        print(json.dumps({
+            "file": args.file,
+            "entry": args.entry,
+            "system": args.system,
+            "loops": [loop_answer_to_dict(a) for a in answers],
+            "telemetry": _snapshot_dict(snapshot),
+        }, indent=2, default=str))
+    else:
+        _print_loop_answers(answers, args.system, args.deps, args.all)
+    if degraded:
+        print("analyze: every answer is a conservative fallback "
+              "(worker failure or timeout)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_analyze(args) -> int:
+    if args.workers is not None or args.cache_dir:
+        return _analyze_via_service(args)
+
     module = _load(args.file)
     context = AnalysisContext(module)
     profiles = run_profilers(module, context, entry=args.entry)
@@ -106,6 +225,23 @@ def cmd_analyze(args) -> int:
     if not hot:
         print("no hot loops found (>=10% time, >=50 iters/invocation)")
         return 1
+
+    if args.json:
+        from .service import loop_answer_to_dict, summarize_pdg
+        answers = []
+        for h in hot:
+            started = time.perf_counter()
+            pdg = client.analyze_loop(h.loop)
+            answers.append(summarize_pdg(
+                args.file, args.system, pdg, h.time_fraction,
+                time.perf_counter() - started))
+        print(json.dumps({
+            "file": args.file,
+            "entry": args.entry,
+            "system": args.system,
+            "loops": [loop_answer_to_dict(a) for a in answers],
+        }, indent=2, default=str))
+        return 0
 
     for h in hot:
         pdg = client.analyze_loop(h.loop)
@@ -130,6 +266,69 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    """Serve many workloads through the batched query service."""
+    from .service import (
+        DependenceService,
+        ServiceConfig,
+        format_report,
+        loop_answer_to_dict,
+        request_for_file,
+        request_for_workload,
+    )
+    from .workloads import ALL_WORKLOADS, WORKLOADS
+
+    targets = list(args.targets)
+    if args.all:
+        targets = [w.name for w in ALL_WORKLOADS]
+    if not targets:
+        print("batch: no targets (name workloads/.ir files, or --all)",
+              file=sys.stderr)
+        return 2
+
+    requests = []
+    for target in targets:
+        if target in WORKLOADS:
+            requests.append(request_for_workload(target,
+                                                 system=args.system))
+        elif os.path.exists(target):
+            requests.append(request_for_file(target, entry=args.entry,
+                                             system=args.system))
+        else:
+            print(f"batch: unknown target {target!r} — not a workload "
+                  f"name or an IR file (workloads: "
+                  f"{', '.join(sorted(WORKLOADS))})", file=sys.stderr)
+            return 2
+
+    config = ServiceConfig(workers=args.workers, executor=args.executor,
+                           cache_dir=args.cache_dir,
+                           shard_timeout_s=args.timeout)
+    started = time.perf_counter()
+    with DependenceService(config) as service:
+        batch = service.run_batch(requests)
+    wall_s = time.perf_counter() - started
+
+    if args.json:
+        print(json.dumps({
+            "system": args.system,
+            "wall_s": wall_s,
+            "loops": [loop_answer_to_dict(a) for a in batch.flat()],
+            "telemetry": _snapshot_dict(batch.telemetry),
+        }, indent=2, default=str))
+        return 0
+
+    for request, answers in zip(requests, batch.answers):
+        if not answers:
+            print(f"{request.name}: no hot loops")
+            continue
+        _print_loop_answers(answers, request.system,
+                            prefix=f"{request.name}/")
+    print()
+    print(format_report(batch.telemetry))
+    print(f"  batch wall-clock {wall_s:.2f}s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -149,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof = sub.add_parser("profile", help="run the profilers")
     p_prof.add_argument("file")
     p_prof.add_argument("--entry", default="main")
+    p_prof.add_argument("--json", action="store_true",
+                        help="machine-readable profiler summary")
     p_prof.set_defaults(func=cmd_profile)
 
     p_an = sub.add_parser("analyze", help="hot-loop dependence coverage")
@@ -160,7 +361,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list residual dependences")
     p_an.add_argument("--all", action="store_true",
                       help="with --deps, also list removed dependences")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the service's LoopAnswer schema")
+    p_an.add_argument("--workers", type=int, default=None,
+                      help="route through the serving layer with this "
+                           "many pool workers")
+    p_an.add_argument("--cache-dir", default=None,
+                      help="persistent result-cache directory "
+                           "(implies the serving layer)")
+    p_an.add_argument("--executor",
+                      choices=("process", "thread", "inline"),
+                      default="process")
+    p_an.add_argument("--timeout", type=float, default=None,
+                      help="per-shard deadline in seconds")
     p_an.set_defaults(func=cmd_analyze)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="batched, parallel, cached dependence-query service")
+    p_batch.add_argument("targets", nargs="*",
+                         help="workload names (see repro.workloads) "
+                              "and/or .ir files")
+    p_batch.add_argument("--all", action="store_true",
+                         help="serve all 16 registered workloads")
+    p_batch.add_argument("--entry", default="main",
+                         help="entry function for .ir file targets")
+    p_batch.add_argument("--system", choices=sorted(SYSTEM_BUILDERS),
+                         default="scaf")
+    p_batch.add_argument("--workers", type=int, default=4)
+    p_batch.add_argument("--executor",
+                         choices=("process", "thread", "inline"),
+                         default="process")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="persistent result-cache directory")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-shard deadline in seconds")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit answers + telemetry as JSON")
+    p_batch.set_defaults(func=cmd_batch)
     return parser
 
 

@@ -6,13 +6,16 @@ from .hotloops import (
     MIN_TIME_FRACTION,
     hot_loops,
 )
-from .metrics import BenchmarkCoverage, coverage, geometric_mean, weighted_no_dep
+from .metrics import (BenchmarkCoverage, coverage, geometric_mean,
+                      policy_labels, weighted_no_dep,
+                      weighted_no_dep_answers)
 from .pdg import DependenceRecord, LoopPDG, PDGClient
 from .planner import DoallPlan, DoallPlanner, plan_hot_loops
 
 __all__ = [
     "HotLoop", "MIN_AVERAGE_TRIP_COUNT", "MIN_TIME_FRACTION", "hot_loops",
-    "BenchmarkCoverage", "coverage", "geometric_mean", "weighted_no_dep",
+    "BenchmarkCoverage", "coverage", "geometric_mean", "policy_labels",
+    "weighted_no_dep", "weighted_no_dep_answers",
     "DependenceRecord", "LoopPDG", "PDGClient",
     "DoallPlan", "DoallPlanner", "plan_hot_loops",
 ]

@@ -6,9 +6,10 @@ execution time, exactly as Figure 8's per-benchmark bars are built.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
+from ..core.orchestrator import OrchestratorConfig
 from .hotloops import HotLoop
 from .pdg import LoopPDG
 
@@ -20,9 +21,20 @@ class BenchmarkCoverage:
     system: str
     per_loop: Dict[str, float]         # loop name -> %NoDep
     weighted_no_dep: float             # time-weighted benchmark %NoDep
+    #: The orchestrator policies the numbers were measured under, so
+    #: policy sweeps (and the serving layer) can label results without
+    #: ambiguity.
+    policies: Dict[str, str] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return f"<{self.system}: %NoDep={self.weighted_no_dep:.1f}>"
+
+
+def policy_labels(config: Optional[OrchestratorConfig]) -> Dict[str, str]:
+    """The join/bailout policy pair a result was produced under."""
+    config = config or OrchestratorConfig()
+    return {"join_policy": config.join_policy,
+            "bailout_policy": config.bailout_policy}
 
 
 def weighted_no_dep(hot: Sequence[HotLoop],
@@ -43,10 +55,26 @@ def weighted_no_dep(hot: Sequence[HotLoop],
 
 
 def coverage(system_name: str, hot: Sequence[HotLoop],
-             pdgs: Sequence[LoopPDG]) -> BenchmarkCoverage:
+             pdgs: Sequence[LoopPDG],
+             config: Optional[OrchestratorConfig] = None
+             ) -> BenchmarkCoverage:
     per_loop = {pdg.loop.name: pdg.no_dep_percent for pdg in pdgs}
     return BenchmarkCoverage(system_name, per_loop,
-                             weighted_no_dep(hot, pdgs))
+                             weighted_no_dep(hot, pdgs),
+                             policy_labels(config))
+
+
+def weighted_no_dep_answers(answers) -> float:
+    """Time-weighted %NoDep over service :class:`LoopAnswer` records
+    (the serving-layer twin of :func:`weighted_no_dep`)."""
+    total_weight = 0.0
+    acc = 0.0
+    for a in answers:
+        total_weight += a.time_fraction
+        acc += a.time_fraction * a.no_dep_percent
+    if total_weight == 0.0:
+        return 0.0
+    return acc / total_weight
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -18,7 +18,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set
 
 from ..query import JoinPolicy, Query, QueryResponse, join, precision
 from .module import AnalysisModule, NullResolver
-from .orchestrator import Orchestrator, OrchestratorConfig
+from .orchestrator import Orchestrator, OrchestratorConfig, OrchestratorStats
 
 
 class ConfluenceComposition:
@@ -33,12 +33,23 @@ class ConfluenceComposition:
         self._null = NullResolver()
         self.last_contributors: FrozenSet[str] = frozenset()
 
+    @property
+    def stats(self) -> OrchestratorStats:
+        """Counters (shared with the inner CAF orchestrator; solo
+        speculation-module evaluations are folded in)."""
+        return self.caf.stats
+
+    def reset_stats(self) -> None:
+        self.caf.reset_stats()
+
     def handle(self, query: Query) -> QueryResponse:
         contributors: Set[str] = set()
         final = self.caf.handle(query)
         if not final.is_conservative:
             contributors.add("caf")
         for module in self.speculation_modules:
+            self.caf.stats.module_evals[module.name] = \
+                self.caf.stats.module_evals.get(module.name, 0) + 1
             response = Orchestrator._eval(module, query, self._null)
             if response.is_conservative or not response.is_realizable:
                 continue

@@ -44,6 +44,14 @@ class DependenceAnalysis:
     def last_contributors(self):
         return self.coordinator.last_contributors
 
+    @property
+    def stats(self):
+        """The coordinator's :class:`OrchestratorStats` counters."""
+        return self.coordinator.stats
+
+    def reset_stats(self) -> None:
+        self.coordinator.reset_stats()
+
     def clear_cache(self) -> None:
         self.coordinator.clear_cache()
 

@@ -10,6 +10,7 @@ module can contribute to any other module's reasoning.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -46,6 +47,11 @@ class OrchestratorConfig:
     bailout_policy: str = BailoutPolicy.BASE
     max_premise_depth: int = 6
     use_cache: bool = True
+    #: Upper bound on memoized responses (LRU eviction); ``None`` keeps
+    #: the historical unbounded behaviour.  Long-lived serving processes
+    #: (see :mod:`repro.service`) should set a bound so the cache cannot
+    #: grow without limit across requests.
+    max_cache_entries: Optional[int] = None
     track_contributors: bool = True
     #: Figure 10 ablation: when False, the Desired Result parameter is
     #: stripped from premise queries, so responders cannot bail out
@@ -60,9 +66,23 @@ class OrchestratorStats:
     queries: int = 0
     premise_queries: int = 0
     cache_hits: int = 0
+    cache_lookups: int = 0
+    cache_evictions: int = 0
+    cache_size: int = 0
     cycles_cut: int = 0
     module_evals: Dict[str, int] = field(default_factory=dict)
     desired_result_bails: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups answered from memo (0 when cold)."""
+        if not self.cache_lookups:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    @property
+    def total_module_evals(self) -> int:
+        return sum(self.module_evals.values())
 
 
 class Orchestrator:
@@ -77,7 +97,8 @@ class Orchestrator:
             modules,
             key=lambda m: (m.is_speculative, m.average_assertion_cost))
         self.stats = OrchestratorStats()
-        self._cache: Dict[tuple, Tuple[QueryResponse, FrozenSet[str]]] = {}
+        self._cache: "OrderedDict[tuple, Tuple[QueryResponse, FrozenSet[str]]]" \
+            = OrderedDict()
         self._inflight: Set[tuple] = set()
         #: Contributor module names of the most recent top-level query.
         self.last_contributors: FrozenSet[str] = frozenset()
@@ -93,23 +114,31 @@ class Orchestrator:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self.stats.cache_size = 0
+
+    def reset_stats(self) -> None:
+        """Zero all counters (the memo cache itself is kept)."""
+        self.stats = OrchestratorStats(cache_size=len(self._cache))
 
     # -- internals -----------------------------------------------------------
 
     def _handle(self, query: Query, depth: int
                 ) -> Tuple[QueryResponse, FrozenSet[str]]:
         key = query.key()
-        if self.config.use_cache and key in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[key]
-        # A fully-evaluated (desired-free) cached answer serves any
-        # desired-result variant of the same query.
-        if self.config.use_cache and isinstance(query, AliasQuery) \
-                and query.desired is not None:
-            stripped_key = query.with_desired(None).key()
-            if stripped_key in self._cache:
+        if self.config.use_cache:
+            self.stats.cache_lookups += 1
+            if key in self._cache:
                 self.stats.cache_hits += 1
-                return self._cache[stripped_key]
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            # A fully-evaluated (desired-free) cached answer serves any
+            # desired-result variant of the same query.
+            if isinstance(query, AliasQuery) and query.desired is not None:
+                stripped_key = query.with_desired(None).key()
+                if stripped_key in self._cache:
+                    self.stats.cache_hits += 1
+                    self._cache.move_to_end(stripped_key)
+                    return self._cache[stripped_key]
         if key in self._inflight:
             # A module is asking (transitively) about its own query;
             # answer conservatively to cut the cycle.
@@ -124,6 +153,12 @@ class Orchestrator:
 
         if self.config.use_cache:
             self._cache[key] = result
+            limit = self.config.max_cache_entries
+            if limit is not None:
+                while len(self._cache) > limit:
+                    self._cache.popitem(last=False)
+                    self.stats.cache_evictions += 1
+            self.stats.cache_size = len(self._cache)
         return result
 
     def _evaluate_modules(self, query: Query, depth: int

@@ -27,24 +27,29 @@ from .scev_aa import InductionVariableAA, ScalarEvolutionAA, affine_disjoint
 from .stdlib import STDLIB_MODELS, StdLibAA
 
 
+#: The full CAF ensemble, in default evaluation order.  Exposed so the
+#: serving layer can fingerprint a system's module roster without
+#: instantiating it (cache versioning in :mod:`repro.service`).
+MEMORY_MODULE_CLASSES = (
+    BasicAA,
+    TypeBasedFieldAA,
+    FieldMallocAA,
+    InductionVariableAA,
+    ScalarEvolutionAA,
+    StdLibAA,
+    ReachabilityAA,
+    NoCaptureGlobalAA,
+    NoCaptureSourceAA,
+    GlobalMallocAA,
+    UniqueAccessPathsAA,
+    CallsiteSummaryAA,
+    KillFlowAA,
+)
+
+
 def default_memory_modules(context, profiles=None):
     """The full CAF ensemble, in default evaluation order."""
-    classes = (
-        BasicAA,
-        TypeBasedFieldAA,
-        FieldMallocAA,
-        InductionVariableAA,
-        ScalarEvolutionAA,
-        StdLibAA,
-        ReachabilityAA,
-        NoCaptureGlobalAA,
-        NoCaptureSourceAA,
-        GlobalMallocAA,
-        UniqueAccessPathsAA,
-        CallsiteSummaryAA,
-        KillFlowAA,
-    )
-    return [cls(context, profiles) for cls in classes]
+    return [cls(context, profiles) for cls in MEMORY_MODULE_CLASSES]
 
 
 __all__ = [
@@ -52,6 +57,7 @@ __all__ = [
     "FieldMallocAA", "TypeBasedFieldAA", "GlobalMallocAA",
     "UniqueAccessPathsAA", "KillFlowAA", "ReachabilityAA",
     "InductionVariableAA", "ScalarEvolutionAA", "StdLibAA",
+    "MEMORY_MODULE_CLASSES",
     "STDLIB_MODELS", "affine_disjoint", "default_memory_modules",
     "capture_instructions", "interval_alias", "is_allocator_call",
     "is_identified_object", "object_size", "premise_unexecutable",

@@ -26,24 +26,29 @@ from .separation import ReadOnly, ShortLived
 from .value_prediction import ValuePrediction
 
 
+#: The six SCAF speculation modules, in default order (memory
+#: speculation excluded, exactly as in §5's evaluation of SCAF and
+#: confluence).  Exposed for the serving layer's cache versioning.
+SPECULATION_MODULE_CLASSES = (
+    ControlSpeculation,
+    ValuePrediction,
+    PointerResidue,
+    ReadOnly,
+    ShortLived,
+    PointsToSpeculation,
+)
+
+
 def default_speculation_modules(context, profiles):
     """The six SCAF speculation modules (memory speculation excluded,
     exactly as in §5's evaluation of SCAF and confluence)."""
-    classes = (
-        ControlSpeculation,
-        ValuePrediction,
-        PointerResidue,
-        ReadOnly,
-        ShortLived,
-        PointsToSpeculation,
-    )
-    return [cls(context, profiles) for cls in classes]
+    return [cls(context, profiles) for cls in SPECULATION_MODULE_CLASSES]
 
 
 __all__ = [
     "ControlSpeculation", "MemorySpeculation", "PointsToSpeculation",
     "PointerResidue", "ReadOnly", "ShortLived", "ValuePrediction",
-    "default_speculation_modules",
+    "SPECULATION_MODULE_CLASSES", "default_speculation_modules",
     "CONTROL_SPEC_CHECK", "HEAP_CHECK", "MEMORY_SPEC_CHECK",
     "MODULE_CONTROL", "MODULE_MEMORY_SPEC", "MODULE_POINTS_TO",
     "MODULE_READ_ONLY", "MODULE_RESIDUE", "MODULE_SHORT_LIVED",

@@ -24,7 +24,7 @@ from typing import Iterable, Optional, Set, Tuple
 
 from ...core.module import AnalysisModule, Resolver
 from ...ir import Instruction
-from ...profiling import AllocationSite
+from ...profiling import AllocationSite, site_order_key
 from ...query import (
     AliasQuery,
     AliasResult,
@@ -76,7 +76,8 @@ class _SeparationBase(AnalysisModule):
         sites.  Fast path: the pointer is statically rooted at the
         site's anchor.  Slow path: a premise query, typically answered
         by the points-to module with Must/SubAlias."""
-        sites = list(self._sites(query.loop))[:MAX_SITES]
+        sites = sorted(self._sites(query.loop),
+                       key=site_order_key)[:MAX_SITES]
         base, _ = strip_pointer(loc.pointer)
         for site in sites:
             if base is site.anchor:

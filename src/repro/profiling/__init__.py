@@ -7,7 +7,8 @@ from .lifetime import LifetimeProfile, LifetimeProfiler
 from .memdep import DepKey, MemDepProfile, MemDepProfiler
 from .points_to import PointsToProfile, PointsToProfiler, SiteAccessCounts
 from .residue import RESIDUE_MOD, ResidueProfile, ResidueProfiler
-from .sites import AllocationSite, site_of, static_site_of_value
+from .sites import (AllocationSite, site_of, site_order_key,
+                    static_site_of_value)
 from .value import ValueProfile, ValueProfiler
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "DepKey", "MemDepProfile", "MemDepProfiler",
     "PointsToProfile", "PointsToProfiler", "SiteAccessCounts",
     "RESIDUE_MOD", "ResidueProfile", "ResidueProfiler",
-    "AllocationSite", "site_of", "static_site_of_value",
+    "AllocationSite", "site_of", "site_order_key",
+    "static_site_of_value",
     "ValueProfile", "ValueProfiler",
 ]

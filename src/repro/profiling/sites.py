@@ -33,6 +33,31 @@ class AllocationSite:
         return f"<Site {self.kind} {where}%{name}{ctx}>"
 
 
+def _value_position(value) -> Tuple[str, str, int, str]:
+    """A stable textual position for a site anchor or context frame."""
+    if isinstance(value, Instruction):
+        fn = value.function
+        bb = value.parent
+        index = bb.instructions.index(value) if bb is not None else -1
+        return (fn.name if fn is not None else "",
+                bb.name if bb is not None else "", index,
+                value.name or "")
+    return ("", "", -1, getattr(value, "name", "") or "")
+
+
+def site_order_key(site: AllocationSite):
+    """Deterministic ordering for allocation sites.
+
+    Site sets are iterated when modules enumerate candidate objects
+    (and truncated to a fixed budget), so the order must not depend on
+    the process's hash seed or object addresses — otherwise the same
+    module text produces differently-attributed (or, past the budget,
+    different) answers in different worker processes.
+    """
+    return (site.kind, _value_position(site.anchor),
+            tuple(_value_position(c) for c in site.context))
+
+
 def site_of(obj: MemoryObject, context_sensitive: bool = True
             ) -> AllocationSite:
     """The allocation site of a simulated memory object."""

@@ -1,0 +1,65 @@
+"""The serving layer: batched, parallel, cached dependence queries.
+
+Turns the SCAF reproduction from a library into a serving stack (see
+DESIGN.md §5, "Serving layer"):
+
+- :mod:`answers` — the flattened wire/JSON schema shared by the
+  service, the persistent cache, and ``repro analyze --json``;
+- :mod:`requests` — self-contained :class:`AnalysisRequest` plus the
+  version-hash cache keying;
+- :mod:`cache` — the on-disk sqlite :class:`ResultCache`;
+- :mod:`scheduler` — deduplication, sharding, worker-pool fan-out,
+  backpressure, timeout/crash degradation;
+- :mod:`worker` — the per-shard evaluation that runs in pool workers;
+- :mod:`telemetry` — latency histograms, cache and utilization
+  counters, printable report;
+- :mod:`service` — the :class:`DependenceService` facade.
+"""
+
+from .answers import (
+    LoopAnswer,
+    QueryAnswer,
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_FALLBACK,
+    fallback_answer,
+    inst_label,
+    loop_answer_from_dict,
+    loop_answer_to_dict,
+    summarize_pdg,
+)
+from .cache import CacheEntryMeta, ResultCache
+from .requests import (
+    AnalysisRequest,
+    config_fingerprint,
+    profile_digest,
+    system_module_roster,
+)
+from .scheduler import BatchScheduler
+from .service import (
+    BatchResult,
+    DependenceService,
+    ServiceConfig,
+    request_for_file,
+    request_for_workload,
+)
+from .telemetry import (
+    LatencyHistogram,
+    ServiceTelemetry,
+    TelemetrySnapshot,
+    format_report,
+)
+from .worker import ShardResult, ShardTask, build_system, run_shard
+
+__all__ = [
+    "AnalysisRequest", "BatchResult", "BatchScheduler", "CacheEntryMeta",
+    "DependenceService", "LatencyHistogram", "LoopAnswer", "QueryAnswer",
+    "ResultCache", "ServiceConfig", "ServiceTelemetry", "ShardResult",
+    "ShardTask", "TelemetrySnapshot",
+    "STATUS_CACHED", "STATUS_COMPUTED", "STATUS_FALLBACK",
+    "build_system", "config_fingerprint", "fallback_answer",
+    "format_report", "inst_label", "loop_answer_from_dict",
+    "loop_answer_to_dict", "profile_digest", "request_for_file",
+    "request_for_workload", "run_shard", "summarize_pdg",
+    "system_module_roster",
+]

@@ -1,0 +1,197 @@
+"""Persistent, versioned result cache (sqlite).
+
+Stores one row per (version key, hot loop) holding the JSON-encoded
+:class:`LoopAnswer`, plus one metadata row per version key recording
+the hot-loop roster, the module roster, and the training profile's
+digest.  The metadata row is what makes a *complete* lookup possible
+before any analysis runs: a request hits only when the meta row and
+every per-loop row are present.
+
+Versioning (see :func:`repro.service.requests.AnalysisRequest.
+version_key`) makes invalidation implicit — a changed module, config,
+or framework version derives a fresh key and never sees stale rows.
+``prune`` deletes rows under other keys; ``invalidate`` removes one
+key explicitly.
+
+The cache is only ever touched from the scheduler process (workers
+stream results back instead of writing), so a single connection with
+a process-level lock suffices; WAL mode keeps concurrent CLI
+invocations sharing one cache directory safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .answers import (
+    LoopAnswer,
+    STATUS_CACHED,
+    loop_answer_from_dict,
+    loop_answer_to_dict,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    version_key    TEXT PRIMARY KEY,
+    workload       TEXT NOT NULL,
+    system         TEXT NOT NULL,
+    entry          TEXT NOT NULL,
+    modules        TEXT NOT NULL,
+    profile_digest TEXT NOT NULL,
+    hot_loops      TEXT NOT NULL,
+    created_at     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS answers (
+    version_key TEXT NOT NULL,
+    loop_name   TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    PRIMARY KEY (version_key, loop_name)
+);
+"""
+
+
+@dataclass(frozen=True)
+class CacheEntryMeta:
+    """What the cache remembers about one version key."""
+
+    version_key: str
+    workload: str
+    system: str
+    entry: str
+    modules: Tuple[str, ...]
+    profile_digest: str
+    hot_loops: Tuple[str, ...]      # every hot loop of the profile
+    created_at: float
+
+
+class ResultCache:
+    """On-disk loop-answer cache under ``cache_dir/results.sqlite``."""
+
+    FILENAME = "results.sqlite"
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        self.path = os.path.join(cache_dir, self.FILENAME)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.DatabaseError:
+                pass  # read-only FS etc.: correctness is unaffected
+            self._conn.commit()
+
+    # -- lookup --------------------------------------------------------------
+
+    def meta(self, version_key: str) -> Optional[CacheEntryMeta]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT workload, system, entry, modules, profile_digest,"
+                " hot_loops, created_at FROM meta WHERE version_key = ?",
+                (version_key,)).fetchone()
+        if row is None:
+            return None
+        return CacheEntryMeta(
+            version_key=version_key,
+            workload=row[0], system=row[1], entry=row[2],
+            modules=tuple(json.loads(row[3])),
+            profile_digest=row[4],
+            hot_loops=tuple(json.loads(row[5])),
+            created_at=row[6],
+        )
+
+    def lookup(self, version_key: str,
+               loops: Sequence[str] = ()) -> Optional[List[LoopAnswer]]:
+        """All cached answers for a key, or ``None`` on a miss.
+
+        A hit requires the meta row *and* an answer row for every
+        requested loop (every hot loop when ``loops`` is empty) — a
+        partially-populated key counts as a miss so callers recompute
+        rather than serve holes.
+        """
+        meta = self.meta(version_key)
+        if meta is None:
+            return None
+        wanted = tuple(loops) or meta.hot_loops
+        with self._lock:
+            rows = dict(self._conn.execute(
+                "SELECT loop_name, payload FROM answers"
+                " WHERE version_key = ?", (version_key,)).fetchall())
+        if any(name not in rows for name in wanted):
+            return None
+        answers = []
+        for name in wanted:
+            doc = json.loads(rows[name])
+            doc["status"] = STATUS_CACHED
+            answers.append(loop_answer_from_dict(doc))
+        return answers
+
+    # -- mutation ------------------------------------------------------------
+
+    def store(self, version_key: str, *, workload: str, system: str,
+              entry: str, modules: Sequence[str], profile_digest: str,
+              hot_loops: Sequence[str],
+              answers: Sequence[LoopAnswer]) -> None:
+        """Insert or refresh one version key's results atomically."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES (?,?,?,?,?,?,?,?)",
+                (version_key, workload, system, entry,
+                 json.dumps(list(modules)), profile_digest,
+                 json.dumps(list(hot_loops)), time.time()))
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO answers VALUES (?,?,?)",
+                [(version_key, a.loop,
+                  json.dumps(loop_answer_to_dict(a), sort_keys=True))
+                 for a in answers])
+            self._conn.commit()
+
+    def invalidate(self, version_key: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM meta WHERE version_key = ?",
+                               (version_key,))
+            self._conn.execute("DELETE FROM answers WHERE version_key = ?",
+                               (version_key,))
+            self._conn.commit()
+
+    def prune(self, keep_keys: Sequence[str]) -> int:
+        """Drop every version key not in ``keep_keys``; returns the
+        number of keys removed (explicit invalidation of superseded
+        versions)."""
+        keep = set(keep_keys)
+        with self._lock:
+            all_keys = [r[0] for r in self._conn.execute(
+                "SELECT version_key FROM meta").fetchall()]
+            doomed = [k for k in all_keys if k not in keep]
+            for key in doomed:
+                self._conn.execute(
+                    "DELETE FROM meta WHERE version_key = ?", (key,))
+                self._conn.execute(
+                    "DELETE FROM answers WHERE version_key = ?", (key,))
+            self._conn.commit()
+        return len(doomed)
+
+    # -- admin ---------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return [r[0] for r in self._conn.execute(
+                "SELECT version_key FROM meta ORDER BY created_at").fetchall()]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

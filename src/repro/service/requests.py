@@ -1,0 +1,115 @@
+"""Service requests and cache versioning.
+
+An :class:`AnalysisRequest` is self-contained — it carries the IR
+*text* (not parsed objects) plus entry point, system name, and the
+orchestrator configuration — so it can be hashed, pickled to worker
+processes, and replayed from a cold start.
+
+``version_key`` derives the persistent cache key from everything that
+determines a request's answers:
+
+- the module IR text and entry point (the training profile is a pure
+  function of these — the interpreter is deterministic — so they
+  subsume the profile bundle; the bundle's own digest is additionally
+  stored alongside cached results for audit),
+- the orchestrator configuration (join/bailout policy, premise depth,
+  desired-result handling, ...),
+- the analysis system's module roster and its order, and
+- the framework version.
+
+Change any ingredient and the key changes, which *is* the cache
+invalidation story: stale entries are simply never looked up again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from .. import __version__
+from ..core.orchestrator import OrchestratorConfig
+from ..modules.memory import MEMORY_MODULE_CLASSES
+from ..modules.speculation import (
+    MemorySpeculation,
+    SPECULATION_MODULE_CLASSES,
+)
+
+#: Analysis systems the service can build, mapped to the classes each
+#: builder instantiates (in evaluation order — order matters to the
+#: greedy bailout policy, so it is part of the version key).
+SYSTEM_ROSTERS = {
+    "caf": tuple(MEMORY_MODULE_CLASSES),
+    "confluence": tuple(MEMORY_MODULE_CLASSES) +
+                  tuple(SPECULATION_MODULE_CLASSES),
+    "scaf": tuple(MEMORY_MODULE_CLASSES) +
+            tuple(SPECULATION_MODULE_CLASSES),
+    "memory-speculation": tuple(MEMORY_MODULE_CLASSES) +
+                          (MemorySpeculation,),
+}
+
+
+def system_module_roster(system: str) -> Tuple[str, ...]:
+    """Class names of the modules ``system`` is built from."""
+    try:
+        return tuple(cls.__name__ for cls in SYSTEM_ROSTERS[system])
+    except KeyError:
+        raise ValueError(f"unknown analysis system: {system!r}") from None
+
+
+def config_fingerprint(config: Optional[OrchestratorConfig]) -> dict:
+    """A stable, JSON-able projection of the orchestrator config."""
+    config = config or OrchestratorConfig()
+    return {f.name: getattr(config, f.name)
+            for f in fields(OrchestratorConfig)}
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One unit of client demand: analyze a module's hot loops.
+
+    ``loops`` narrows the request to specific hot loops by name; empty
+    means "every hot loop the profile selects".
+    """
+
+    name: str                       # display/workload name
+    source: str                     # textual IR
+    entry: str = "main"
+    system: str = "scaf"
+    loops: Tuple[str, ...] = ()
+    config: Optional[OrchestratorConfig] = None
+
+    def version_key(self) -> str:
+        """The persistent-cache key for this request's answers."""
+        payload = json.dumps({
+            "ir": self.source,
+            "entry": self.entry,
+            "system": self.system,
+            "modules": system_module_roster(self.system),
+            "config": config_fingerprint(self.config),
+            "framework": __version__,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def shard_key(self) -> tuple:
+        """Identity for in-flight deduplication: requests that differ
+        only in display name or loop subset share underlying work."""
+        return (self.version_key(),)
+
+
+def profile_digest(profiles) -> str:
+    """Digest of a training run's observable outcome (stored with
+    cached results so a cache entry records which profile produced
+    it; the interpreter's determinism makes this a function of the
+    IR text + entry that ``version_key`` already covers)."""
+    loop_stats = sorted(
+        (loop.name, stats.invocations, stats.iterations,
+         stats.dynamic_insts)
+        for loop, stats in profiles.loop_stats.items())
+    payload = json.dumps({
+        "total_instructions": profiles.total_instructions,
+        "exit_value": profiles.exit_value,
+        "loop_stats": loop_stats,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

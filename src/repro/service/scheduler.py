@@ -1,0 +1,333 @@
+"""The batch scheduler: dedup, shard, fan out, degrade gracefully.
+
+Batches of :class:`AnalysisRequest` flow through four stages:
+
+1. **Deduplication.**  Requests are grouped by version key; identical
+   demand (same IR, entry, system, config) shares one computation no
+   matter how many clients asked, and the loop subsets of duplicates
+   are unioned.
+2. **Cache probe.**  Keys whose every requested loop is already in the
+   persistent :class:`ResultCache` are answered without touching the
+   worker pool.
+3. **Sharding + fan-out.**  Remaining keys become shards.  When the
+   loop roster is known up front (explicit loop subsets, or a cache
+   meta row from an earlier partial run) the loops are chunked across
+   several shards so one big module saturates the pool; otherwise a
+   single discovery shard profiles the module and answers every hot
+   loop.  Shards are dispatched to a ``ProcessPoolExecutor`` (or
+   thread/inline executor) behind a **bounded in-flight window** —
+   submission blocks when the window is full, which is the service's
+   backpressure.
+4. **Degradation.**  A shard that exceeds its deadline or whose
+   worker dies is answered with conservative fallbacks (every
+   dependence kept, %NoDep = 0) instead of failing the batch; the
+   executor is rebuilt after a pool breakage so later shards still
+   run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
+    fallback_answer
+from .cache import ResultCache
+from .requests import AnalysisRequest, system_module_roster
+from .telemetry import ServiceTelemetry
+from .worker import ShardResult, ShardTask, run_shard
+
+#: Loop-name placeholder when a shard degraded before the hot-loop
+#: roster was discovered.
+UNKNOWN_LOOPS = "*"
+
+
+class _InlineExecutor:
+    """A no-concurrency executor for tests and --workers 0 debugging."""
+
+    def submit(self, fn, *args):
+        future: cf.Future = cf.Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # mirror pool behaviour
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        pass
+
+
+def _make_executor(kind: str, workers: int):
+    if kind == "inline" or workers <= 0:
+        return _InlineExecutor()
+    if kind == "thread":
+        return cf.ThreadPoolExecutor(max_workers=workers)
+    if kind == "process":
+        return cf.ProcessPoolExecutor(max_workers=workers)
+    raise ValueError(f"unknown executor kind: {kind!r}")
+
+
+@dataclass
+class _KeyWork:
+    """Scheduler-internal state for one deduplicated version key."""
+
+    request: AnalysisRequest            # representative request
+    loops: Tuple[str, ...]              # () = every hot loop
+    hot_loops: Tuple[str, ...] = ()     # discovered roster
+    profile_digest: str = ""
+    answers: Dict[str, LoopAnswer] = field(default_factory=dict)
+    degraded: bool = False
+
+
+class BatchScheduler:
+    """Executes request batches against a worker pool and cache."""
+
+    def __init__(self,
+                 workers: int = 4,
+                 executor: str = "process",
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[ServiceTelemetry] = None,
+                 shard_timeout_s: Optional[float] = None,
+                 loop_timeout_s: Optional[float] = None,
+                 max_pending_shards: Optional[int] = None,
+                 max_shards_per_request: Optional[int] = None,
+                 shard_runner: Callable[[ShardTask], ShardResult] = run_shard):
+        self.workers = max(0, workers)
+        self.executor_kind = executor
+        self.cache = cache
+        self.telemetry = telemetry or ServiceTelemetry(max(1, self.workers))
+        self.shard_timeout_s = shard_timeout_s
+        self.loop_timeout_s = loop_timeout_s
+        self.max_pending_shards = max_pending_shards or 2 * max(1, workers)
+        self.max_shards_per_request = (max_shards_per_request
+                                       or max(1, workers))
+        self._shard_runner = shard_runner
+        self._executor = None
+
+    # -- public API ----------------------------------------------------------
+
+    def run_batch(self, requests: Sequence[AnalysisRequest]
+                  ) -> List[List[LoopAnswer]]:
+        """Answer every request; the i-th result list matches
+        ``requests[i]`` (one LoopAnswer per requested hot loop)."""
+        started = time.perf_counter()
+        tel = self.telemetry
+        tel.count("requests", len(requests))
+
+        work = self._deduplicate(requests)
+        pending = self._probe_cache(work)
+        if pending:
+            self._fan_out(pending, work)
+        self._store_results(work)
+
+        tel.count("wall_s", time.perf_counter() - started)
+        return [self._answers_for(request, work) for request in requests]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # -- stage 1: dedup ------------------------------------------------------
+
+    def _deduplicate(self, requests: Sequence[AnalysisRequest]
+                     ) -> Dict[str, _KeyWork]:
+        work: Dict[str, _KeyWork] = {}
+        for request in requests:
+            key = request.version_key()
+            entry = work.get(key)
+            if entry is None:
+                work[key] = _KeyWork(request=request,
+                                     loops=tuple(request.loops))
+                continue
+            self.telemetry.count("shards_deduplicated")
+            # Union the loop demand; () means "all" and absorbs subsets.
+            if entry.loops and request.loops:
+                merged = list(entry.loops)
+                merged.extend(l for l in request.loops
+                              if l not in entry.loops)
+                entry.loops = tuple(merged)
+            else:
+                entry.loops = ()
+        return work
+
+    # -- stage 2: cache probe ------------------------------------------------
+
+    def _probe_cache(self, work: Dict[str, _KeyWork]) -> List[str]:
+        pending = []
+        for key, entry in work.items():
+            if self.cache is None:
+                pending.append(key)
+                continue
+            cached = self.cache.lookup(key, entry.loops)
+            if cached is None:
+                self.telemetry.count("cache_misses")
+                pending.append(key)
+                continue
+            self.telemetry.count("cache_hits")
+            self.telemetry.count("loops_from_cache", len(cached))
+            meta = self.cache.meta(key)
+            entry.hot_loops = meta.hot_loops if meta else ()
+            entry.profile_digest = meta.profile_digest if meta else ""
+            entry.answers = {a.loop: a for a in cached}
+        return pending
+
+    # -- stage 3: shard + fan out --------------------------------------------
+
+    def _shards_for(self, key: str, entry: _KeyWork) -> List[ShardTask]:
+        """Split one key's demand into worker assignments."""
+        loops = entry.loops
+        if not loops and self.cache is not None:
+            # A prior run may have recorded the roster even though some
+            # answers are missing; reuse it to shard by loop.
+            meta = self.cache.meta(key)
+            if meta is not None:
+                loops = meta.hot_loops
+        if loops and len(loops) > 1 and self.max_shards_per_request > 1:
+            n = min(self.max_shards_per_request, len(loops))
+            chunks = [loops[i::n] for i in range(n)]
+            return [ShardTask(entry.request, tuple(chunk),
+                              self.loop_timeout_s)
+                    for chunk in chunks if chunk]
+        return [ShardTask(entry.request, tuple(loops),
+                          self.loop_timeout_s)]
+
+    def _fan_out(self, keys: List[str],
+                 work: Dict[str, _KeyWork]) -> None:
+        """Dispatch shards behind a bounded in-flight window."""
+        tel = self.telemetry
+        queue: List[Tuple[str, ShardTask]] = []
+        for key in keys:
+            for task in self._shards_for(key, work[key]):
+                queue.append((key, task))
+
+        if self._executor is None:
+            self._executor = _make_executor(self.executor_kind, self.workers)
+
+        inflight: Dict[cf.Future, Tuple[str, ShardTask, float]] = {}
+        index = 0
+        while index < len(queue) or inflight:
+            # Backpressure: at most max_pending_shards outstanding.
+            while index < len(queue) \
+                    and len(inflight) < self.max_pending_shards:
+                key, task = queue[index]
+                index += 1
+                tel.count("shards_dispatched")
+                tel.enqueue()
+                submitted = time.perf_counter()
+                try:
+                    future = self._executor.submit(self._shard_runner, task)
+                except Exception:
+                    tel.dequeue()
+                    self._degrade(work[key], task, "failure")
+                    continue
+                inflight[future] = (key, task, submitted)
+            if not inflight:
+                continue
+
+            timeout = None
+            if self.shard_timeout_s is not None:
+                now = time.perf_counter()
+                timeout = max(0.0, min(
+                    submitted + self.shard_timeout_s - now
+                    for (_, _, submitted) in inflight.values()))
+            done, _ = cf.wait(list(inflight), timeout=timeout,
+                              return_when=cf.FIRST_COMPLETED)
+
+            if not done and self.shard_timeout_s is not None:
+                # Deadline expired with nothing finished: degrade the
+                # overdue shards.  (Pool workers cannot be interrupted;
+                # their eventual results are discarded.)
+                now = time.perf_counter()
+                for future, (key, task, submitted) in list(inflight.items()):
+                    if now - submitted >= self.shard_timeout_s:
+                        del inflight[future]
+                        tel.dequeue()
+                        future.cancel()
+                        self._degrade(work[key], task, "timeout")
+                continue
+
+            for future in done:
+                key, task, submitted = inflight.pop(future)
+                tel.dequeue()
+                try:
+                    result = future.result()
+                except Exception:
+                    # Worker crash (BrokenProcessPool et al.): degrade
+                    # this shard and rebuild the pool so the remaining
+                    # queue still runs.
+                    self._degrade(work[key], task, "failure")
+                    try:
+                        self._executor.shutdown(wait=False)
+                    except Exception:
+                        pass
+                    self._executor = _make_executor(self.executor_kind,
+                                                    self.workers)
+                    continue
+                self._absorb(work[key], result)
+                tel.request_latency.record(time.perf_counter() - submitted)
+
+    # -- stage 4: collect ----------------------------------------------------
+
+    def _absorb(self, entry: _KeyWork, result: ShardResult) -> None:
+        tel = self.telemetry
+        entry.hot_loops = result.hot_loops or entry.hot_loops
+        entry.profile_digest = result.profile_digest or entry.profile_digest
+        for answer in result.answers:
+            entry.answers[answer.loop] = answer
+            if answer.status == STATUS_FALLBACK:
+                tel.count("loops_fallback")
+                entry.degraded = True
+            else:
+                tel.count("loops_computed")
+                tel.query_latency.record(answer.latency_s)
+        tel.count("module_evals", result.module_evals)
+        tel.count("orchestrator_queries", result.orchestrator_queries)
+        tel.count("busy_s", result.busy_s)
+
+    def _degrade(self, entry: _KeyWork, task: ShardTask,
+                 reason: str) -> None:
+        """Conservative fallback for one shard's loops."""
+        tel = self.telemetry
+        tel.count("shards_timed_out" if reason == "timeout"
+                  else "shards_failed")
+        loops = task.loops or entry.hot_loops or (UNKNOWN_LOOPS,)
+        for name in loops:
+            if name not in entry.answers:
+                entry.answers[name] = fallback_answer(
+                    entry.request.name, entry.request.system, name)
+                tel.count("loops_fallback")
+        entry.degraded = True
+
+    def _store_results(self, work: Dict[str, _KeyWork]) -> None:
+        if self.cache is None:
+            return
+        for key, entry in work.items():
+            if entry.degraded or not entry.hot_loops:
+                continue  # never persist degraded or unknown results
+            computed = [a for a in entry.answers.values()
+                        if a.status == STATUS_COMPUTED]
+            if not computed:
+                continue  # pure cache hit: nothing new to write
+            if not set(entry.hot_loops) <= set(entry.answers):
+                continue  # partial roster: a later run completes it
+            self.cache.store(
+                key,
+                workload=entry.request.name,
+                system=entry.request.system,
+                entry=entry.request.entry,
+                modules=system_module_roster(entry.request.system),
+                profile_digest=entry.profile_digest,
+                hot_loops=entry.hot_loops,
+                answers=[entry.answers[name] for name in entry.hot_loops],
+            )
+
+    def _answers_for(self, request: AnalysisRequest,
+                     work: Dict[str, _KeyWork]) -> List[LoopAnswer]:
+        entry = work[request.version_key()]
+        roster = entry.hot_loops or tuple(entry.answers)
+        wanted = request.loops or roster
+        return [entry.answers[name] for name in wanted
+                if name in entry.answers]

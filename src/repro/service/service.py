@@ -1,0 +1,154 @@
+"""`DependenceService`: the serving facade.
+
+Bundles the batch scheduler, the persistent result cache, and the
+telemetry accumulator behind one object::
+
+    from repro.service import (AnalysisRequest, DependenceService,
+                               ServiceConfig)
+
+    service = DependenceService(ServiceConfig(workers=4,
+                                              cache_dir=".scaf-cache"))
+    requests = [request_for_workload(name) for name in ("181.mcf",
+                                                        "183.equake")]
+    batch = service.run_batch(requests)
+    for answers in batch.answers:
+        for a in answers:
+            print(a.workload, a.loop, f"{a.no_dep_percent:.2f}")
+    print(format_report(batch.telemetry))
+    service.close()
+
+The service is what ``python -m repro batch`` and the benchmark
+harness consume; a single ``analyze`` call with ``--workers``/
+``--cache-dir`` routes through it too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.orchestrator import OrchestratorConfig
+from .answers import LoopAnswer
+from .cache import ResultCache
+from .requests import AnalysisRequest
+from .scheduler import BatchScheduler
+from .telemetry import ServiceTelemetry, TelemetrySnapshot, format_report
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs (orchestrator policy rides on the request)."""
+
+    #: Pool size; 0 forces the inline (no-concurrency) executor.
+    workers: int = 4
+    #: "process" (default), "thread", or "inline".
+    executor: str = "process"
+    #: Directory for the persistent result cache; ``None`` disables it.
+    cache_dir: Optional[str] = None
+    #: Wall-clock deadline for one shard; overdue shards degrade to
+    #: conservative answers.  ``None`` waits indefinitely.
+    shard_timeout_s: Optional[float] = None
+    #: Budget for one loop's analysis inside a worker; an overdue loop
+    #: degrades to a conservative answer without losing its shard.
+    loop_timeout_s: Optional[float] = None
+    #: Bounded in-flight window (backpressure); default 2x workers.
+    max_pending_shards: Optional[int] = None
+    #: Upper bound on shards one request may be split into.
+    max_shards_per_request: Optional[int] = None
+    #: Default orchestrator config stamped onto requests that carry
+    #: none (lets callers pick join/bailout policies service-wide).
+    orchestrator: Optional[OrchestratorConfig] = None
+
+
+@dataclass
+class BatchResult:
+    """Answers (parallel to the submitted requests) plus telemetry."""
+
+    answers: List[List[LoopAnswer]]
+    telemetry: TelemetrySnapshot
+
+    def flat(self) -> List[LoopAnswer]:
+        return [a for group in self.answers for a in group]
+
+    def report(self) -> str:
+        return format_report(self.telemetry)
+
+
+class DependenceService:
+    """A batched, parallel, cached dependence-analysis query service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.cache = (ResultCache(self.config.cache_dir)
+                      if self.config.cache_dir else None)
+        self.telemetry = ServiceTelemetry(max(1, self.config.workers))
+        self.scheduler = BatchScheduler(
+            workers=self.config.workers,
+            executor=self.config.executor,
+            cache=self.cache,
+            telemetry=self.telemetry,
+            shard_timeout_s=self.config.shard_timeout_s,
+            loop_timeout_s=self.config.loop_timeout_s,
+            max_pending_shards=self.config.max_pending_shards,
+            max_shards_per_request=self.config.max_shards_per_request,
+        )
+
+    # -- serving -------------------------------------------------------------
+
+    def run_batch(self, requests: Sequence[AnalysisRequest]) -> BatchResult:
+        requests = [self._with_default_config(r) for r in requests]
+        answers = self.scheduler.run_batch(requests)
+        return BatchResult(answers, self.telemetry.snapshot())
+
+    def analyze(self, request: AnalysisRequest) -> List[LoopAnswer]:
+        """Single-request convenience (used by ``analyze --workers``)."""
+        return self.run_batch([request]).answers[0]
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return self.telemetry.snapshot()
+
+    def close(self) -> None:
+        self.scheduler.close()
+        if self.cache is not None:
+            self.cache.close()
+
+    def __enter__(self) -> "DependenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _with_default_config(self, request: AnalysisRequest
+                             ) -> AnalysisRequest:
+        if request.config is not None or self.config.orchestrator is None:
+            return request
+        return AnalysisRequest(
+            name=request.name, source=request.source, entry=request.entry,
+            system=request.system, loops=request.loops,
+            config=self.config.orchestrator)
+
+
+def request_for_workload(name: str, system: str = "scaf",
+                         loops: Sequence[str] = (),
+                         config: Optional[OrchestratorConfig] = None
+                         ) -> AnalysisRequest:
+    """Build a request from one of the registered §5 workloads."""
+    from ..workloads import get_workload
+    wl = get_workload(name)
+    return AnalysisRequest(name=wl.name, source=wl.source, entry=wl.entry,
+                           system=system, loops=tuple(loops), config=config)
+
+
+def request_for_file(path: str, entry: str = "main", system: str = "scaf",
+                     loops: Sequence[str] = (),
+                     config: Optional[OrchestratorConfig] = None
+                     ) -> AnalysisRequest:
+    """Build a request from a textual-IR file on disk."""
+    with open(path) as f:
+        source = f.read()
+    name = os.path.basename(path)
+    return AnalysisRequest(name=name, source=source, entry=entry,
+                           system=system, loops=tuple(loops), config=config)

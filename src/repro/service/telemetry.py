@@ -1,0 +1,199 @@
+"""Service telemetry: latency histograms, counters, utilization.
+
+Everything the batch scheduler observes funnels into one
+:class:`ServiceTelemetry`, which is snapshotted into an immutable
+:class:`TelemetrySnapshot` dataclass for reporting (the printable
+report of ``python -m repro batch`` and the JSON document of
+``batch --json`` are both renderings of a snapshot).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds in seconds (log-spaced, ~x3.2/decade),
+#: final bucket is open-ended.
+_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-8, 5))  # 100µs .. ~316s
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram with percentiles."""
+
+    def __init__(self):
+        self.counts = [0] * (len(_BUCKETS) + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_s += seconds
+        self.max_s = max(self.max_s, seconds)
+        for i, bound in enumerate(_BUCKETS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper-bound estimate of the p-th percentile (0 < p <= 100)."""
+        if not self.total:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return _BUCKETS[i] if i < len(_BUCKETS) else self.max_s
+        return self.max_s
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.total,
+            "mean_s": self.mean_s,
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p99_s": self.percentile(99),
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable view of one service run's observability counters."""
+
+    requests: int
+    shards_dispatched: int
+    shards_deduplicated: int
+    shards_failed: int
+    shards_timed_out: int
+    loops_computed: int
+    loops_from_cache: int
+    loops_fallback: int
+    cache_hits: int
+    cache_misses: int
+    module_evals: int
+    orchestrator_queries: int
+    workers: int
+    wall_s: float
+    busy_s: float
+    max_queue_depth: int
+    request_latency: Dict[str, float]   # histogram summary
+    query_latency: Dict[str, float]     # per-loop analysis latencies
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy worker-seconds over available worker-seconds."""
+        available = self.workers * self.wall_s
+        return min(1.0, self.busy_s / available) if available else 0.0
+
+
+class ServiceTelemetry:
+    """Mutable, thread-safe accumulator behind the snapshot."""
+
+    def __init__(self, workers: int):
+        self._lock = threading.Lock()
+        self.workers = workers
+        self.requests = 0
+        self.shards_dispatched = 0
+        self.shards_deduplicated = 0
+        self.shards_failed = 0
+        self.shards_timed_out = 0
+        self.loops_computed = 0
+        self.loops_from_cache = 0
+        self.loops_fallback = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.module_evals = 0
+        self.orchestrator_queries = 0
+        self.wall_s = 0.0
+        self.busy_s = 0.0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.request_latency = LatencyHistogram()
+        self.query_latency = LatencyHistogram()
+
+    def count(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def enqueue(self) -> None:
+        with self._lock:
+            self.queue_depth += 1
+            self.max_queue_depth = max(self.max_queue_depth,
+                                       self.queue_depth)
+
+    def dequeue(self) -> None:
+        with self._lock:
+            self.queue_depth = max(0, self.queue_depth - 1)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        with self._lock:
+            return TelemetrySnapshot(
+                requests=self.requests,
+                shards_dispatched=self.shards_dispatched,
+                shards_deduplicated=self.shards_deduplicated,
+                shards_failed=self.shards_failed,
+                shards_timed_out=self.shards_timed_out,
+                loops_computed=self.loops_computed,
+                loops_from_cache=self.loops_from_cache,
+                loops_fallback=self.loops_fallback,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                module_evals=self.module_evals,
+                orchestrator_queries=self.orchestrator_queries,
+                workers=self.workers,
+                wall_s=self.wall_s,
+                busy_s=self.busy_s,
+                max_queue_depth=self.max_queue_depth,
+                request_latency=self.request_latency.summary(),
+                query_latency=self.query_latency.summary(),
+            )
+
+
+def format_report(snap: TelemetrySnapshot) -> str:
+    """The printable telemetry block of ``python -m repro batch``."""
+    def _lat(name: str, s: Dict[str, float]) -> str:
+        return (f"  {name:<16s} n={int(s['count']):<5d} "
+                f"mean={s['mean_s'] * 1e3:8.2f}ms "
+                f"p50={s['p50_s'] * 1e3:8.2f}ms "
+                f"p90={s['p90_s'] * 1e3:8.2f}ms "
+                f"p99={s['p99_s'] * 1e3:8.2f}ms "
+                f"max={s['max_s'] * 1e3:8.2f}ms")
+
+    lines = [
+        "service telemetry",
+        "-----------------",
+        f"  requests         {snap.requests} "
+        f"({snap.shards_dispatched} shards dispatched, "
+        f"{snap.shards_deduplicated} deduplicated in-flight)",
+        f"  loops            {snap.loops_computed} computed, "
+        f"{snap.loops_from_cache} from cache, "
+        f"{snap.loops_fallback} conservative fallback",
+        f"  result cache     {snap.cache_hits} hits / "
+        f"{snap.cache_misses} misses "
+        f"(hit rate {snap.cache_hit_rate:.1%})",
+        f"  robustness       {snap.shards_timed_out} shard timeouts, "
+        f"{snap.shards_failed} worker failures",
+        f"  orchestrators    {snap.orchestrator_queries} queries, "
+        f"{snap.module_evals} module evaluations",
+        f"  workers          {snap.workers} "
+        f"(utilization {snap.worker_utilization:.1%}, "
+        f"busy {snap.busy_s:.2f}s of {snap.wall_s:.2f}s wall)",
+        f"  queue            max depth {snap.max_queue_depth}",
+        _lat("shard latency", snap.request_latency),
+        _lat("loop latency", snap.query_latency),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Worker-side shard evaluation.
+
+A *shard* is the unit the scheduler fans out: one module (IR text +
+entry + system + config) and a set of hot loops to analyze.  The
+worker rebuilds the world once per shard — parse, verify, profile,
+construct the analysis system — then answers every loop in the shard
+through one :class:`PDGClient`, so the expensive setup is amortized
+across the shard's loops while shards themselves run in parallel.
+
+Everything here must stay picklable and importable at module level
+(``run_shard`` crosses the ``ProcessPoolExecutor`` boundary).
+
+Per-loop timeouts run the analysis on a helper thread and abandon it
+on expiry, returning the conservative fallback for that loop; the
+shard (and the batch) survives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import AnalysisContext
+from ..clients import PDGClient, hot_loops
+from ..core.framework import (
+    DependenceAnalysis,
+    build_caf,
+    build_confluence,
+    build_memory_speculation,
+    build_scaf,
+)
+from ..ir import parse_module, verify_module
+from ..profiling import run_profilers
+from .answers import LoopAnswer, fallback_answer, summarize_pdg
+from .requests import AnalysisRequest, profile_digest
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker assignment: a request narrowed to a loop subset."""
+
+    request: AnalysisRequest
+    loops: Tuple[str, ...] = ()        # () = all hot loops
+    loop_timeout_s: Optional[float] = None
+
+
+@dataclass
+class ShardResult:
+    """What a worker streams back for one shard."""
+
+    version_key: str
+    workload: str
+    system: str
+    entry: str
+    profile_digest: str
+    hot_loops: Tuple[str, ...]          # all hot loops of the profile
+    answers: List[LoopAnswer] = field(default_factory=list)
+    module_evals: int = 0
+    orchestrator_queries: int = 0
+    busy_s: float = 0.0
+
+
+def build_system(name: str, module, context, profiles,
+                 config=None) -> DependenceAnalysis:
+    """Construct any of the four §5 systems with an explicit config."""
+    if name == "caf":
+        return build_caf(module, context, profiles, config)
+    if name == "confluence":
+        return build_confluence(module, profiles, context, config)
+    if name == "scaf":
+        return build_scaf(module, profiles, context, config)
+    if name == "memory-speculation":
+        return build_memory_speculation(module, profiles, context, config)
+    raise ValueError(f"unknown analysis system: {name!r}")
+
+
+def _analyze_with_timeout(client: PDGClient, loop,
+                          timeout_s: Optional[float]):
+    """Run one loop analysis, abandoning it past ``timeout_s``.
+
+    Returns the LoopPDG or ``None`` on timeout.  The abandoned thread
+    is a daemon and dies with the worker process; its partial work is
+    discarded.
+    """
+    if timeout_s is None:
+        return client.analyze_loop(loop)
+    box: list = []
+
+    def _run():
+        try:
+            box.append(client.analyze_loop(loop))
+        except Exception:
+            pass  # surfaces as a timeout/fallback below
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    return box[0] if box else None
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Evaluate one shard start-to-finish (runs in a pool worker)."""
+    request = task.request
+    started = time.perf_counter()
+
+    module = parse_module(request.source, name=request.name)
+    verify_module(module)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=request.entry)
+    hot = hot_loops(profiles)
+
+    result = ShardResult(
+        version_key=request.version_key(),
+        workload=request.name,
+        system=request.system,
+        entry=request.entry,
+        profile_digest=profile_digest(profiles),
+        hot_loops=tuple(h.name for h in hot),
+    )
+
+    wanted = set(task.loops) if task.loops else None
+    selected = [h for h in hot if wanted is None or h.name in wanted]
+
+    system = build_system(request.system, module, context, profiles,
+                          request.config)
+    client = PDGClient(system)
+    for h in selected:
+        loop_started = time.perf_counter()
+        pdg = _analyze_with_timeout(client, h.loop, task.loop_timeout_s)
+        latency = time.perf_counter() - loop_started
+        if pdg is None:
+            result.answers.append(fallback_answer(
+                request.name, request.system, h.name, h.time_fraction))
+        else:
+            result.answers.append(summarize_pdg(
+                request.name, request.system, pdg, h.time_fraction,
+                latency))
+    result.module_evals = system.stats.total_module_evals
+    result.orchestrator_queries = system.stats.queries
+    result.busy_s = time.perf_counter() - started
+    return result

@@ -81,6 +81,32 @@ class TestBuilders:
         assert kinds == sorted(kinds)  # all False before all True
 
 
+class TestFacadeStats:
+    def test_stats_surface_and_reset(self, world):
+        m, ctx, profiles = world
+        scaf = build_scaf(m, profiles, ctx)
+        hot = hot_loops(profiles)[0]
+        PDGClient(scaf).analyze_loop(hot.loop)
+        assert scaf.stats.queries > 0
+        assert scaf.stats.total_module_evals > 0
+        assert scaf.stats.cache_size > 0
+        assert 0.0 <= scaf.stats.cache_hit_rate <= 1.0
+        scaf.reset_stats()
+        assert scaf.stats.queries == 0
+        assert scaf.stats.cache_size > 0  # memo survives a stats reset
+
+    def test_confluence_stats_delegate(self, world):
+        m, ctx, profiles = world
+        conf = build_confluence(m, profiles, ctx)
+        hot = hot_loops(profiles)[0]
+        PDGClient(conf).analyze_loop(hot.loop)
+        assert conf.stats.queries > 0
+        # Solo speculation-module evaluations are folded in.
+        assert any(name != "caf" for name in conf.stats.module_evals)
+        conf.reset_stats()
+        assert conf.stats.queries == 0
+
+
 class TestHotLoops:
     def test_selection_criteria(self, world):
         m, ctx, profiles = world

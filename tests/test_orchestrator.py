@@ -210,6 +210,51 @@ class TestCache:
         orch.clear_cache()
         orch.handle(q)
         assert log == ["m", "m"]
+        assert orch.stats.cache_size == 1  # refilled after the clear
+
+    def test_lru_bound_evicts_oldest(self):
+        log = []
+        modules = [_Stub("m", QueryResponse.no_alias(), log)]
+        orch = Orchestrator(modules, OrchestratorConfig(
+            use_cache=True, max_cache_entries=2))
+        q1, q2, q3 = make_query(), make_query(), make_query()
+        orch.handle(q1)
+        orch.handle(q2)
+        orch.handle(q3)                      # evicts q1
+        assert orch.stats.cache_size == 2
+        assert orch.stats.cache_evictions == 1
+        orch.handle(q3)                      # still cached
+        assert orch.stats.cache_hits == 1
+        orch.handle(q1)                      # recomputed after eviction
+        assert log.count("m") == 4
+
+    def test_lru_recency_on_hit(self):
+        log = []
+        modules = [_Stub("m", QueryResponse.no_alias(), log)]
+        orch = Orchestrator(modules, OrchestratorConfig(
+            use_cache=True, max_cache_entries=2))
+        q1, q2, q3 = make_query(), make_query(), make_query()
+        orch.handle(q1)
+        orch.handle(q2)
+        orch.handle(q1)                      # refresh q1's recency
+        orch.handle(q3)                      # must evict q2, not q1
+        orch.handle(q1)
+        assert orch.stats.cache_hits == 2
+
+    def test_hit_rate_and_reset(self):
+        log = []
+        modules = [_Stub("m", QueryResponse.no_alias(), log)]
+        orch = Orchestrator(modules, OrchestratorConfig(use_cache=True))
+        q = make_query()
+        orch.handle(q)
+        orch.handle(q)
+        assert orch.stats.cache_lookups == 2
+        assert orch.stats.cache_hit_rate == pytest.approx(0.5)
+        assert orch.stats.total_module_evals == 1
+        orch.reset_stats()
+        assert orch.stats.queries == 0
+        assert orch.stats.cache_hits == 0
+        assert orch.stats.cache_size == 1    # memo itself survives
 
 
 class TestNullResolver:

@@ -1,0 +1,415 @@
+"""Tests for the serving layer (repro.service).
+
+Covers the wire schema, version-keyed persistent cache, batch
+scheduler (dedup, sharding, backpressure, degradation), the service
+facade, and the two contract properties the subsystem exists for:
+
+- batched answers are bitwise-identical to the sequential
+  ``coordinator.handle`` path (hypothesis property test), and
+- a warm persistent cache reproduces identical responses with zero
+  module evaluations.
+"""
+
+import tempfile
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import AnalysisContext
+from repro.clients import PDGClient, hot_loops, weighted_no_dep_answers
+from repro.core import OrchestratorConfig
+from repro.ir import parse_module, verify_module
+from repro.profiling import run_profilers
+from repro.service import (
+    AnalysisRequest,
+    BatchScheduler,
+    DependenceService,
+    ResultCache,
+    ServiceConfig,
+    ShardResult,
+    ShardTask,
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_FALLBACK,
+    build_system,
+    fallback_answer,
+    loop_answer_from_dict,
+    loop_answer_to_dict,
+    request_for_workload,
+    run_shard,
+    summarize_pdg,
+    system_module_roster,
+)
+from repro.service.telemetry import LatencyHistogram
+
+
+def make_source(iters: int = 60, rare_store: bool = True,
+                second_cell: bool = False) -> str:
+    """A small hot-loop program, parameterized for the property test."""
+    rare = ("  store i32 1, i32* @hits\n" if rare_store else "")
+    extra = ("  %b = load i32* @bcell\n  store i32 %b, i32* @bcell\n"
+             if second_cell else "")
+    return f"""
+global @flag : i32 = 0
+global @acc : i32 = 0
+global @hits : i32 = 0
+global @bcell : i32 = 0
+
+func @main() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %latch]
+  %f = load i32* @flag
+  %c = icmp ne i32 %f, 0
+  condbr i1 %c, %rare, %common
+rare:
+{rare}  br %join
+common:
+  br %join
+join:
+  %a = load i32* @acc
+  %a2 = add i32 %a, %i
+  store i32 %a2, i32* @acc
+{extra}  br %latch
+latch:
+  %i2 = add i32 %i, 1
+  %lc = icmp slt i32 %i2, {iters}
+  condbr i1 %lc, %loop, %exit
+exit:
+  %r = load i32* @acc
+  ret i32 %r
+}}
+"""
+
+
+def sequential_answers(request: AnalysisRequest):
+    """The reference path: one in-process system, coordinator.handle
+    per query, flattened through the same summarizer the workers use."""
+    module = parse_module(request.source, name=request.name)
+    verify_module(module)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=request.entry)
+    system = build_system(request.system, module, context, profiles,
+                          request.config)
+    client = PDGClient(system)
+    return [summarize_pdg(request.name, request.system,
+                          client.analyze_loop(h.loop), h.time_fraction, 0.0)
+            for h in hot_loops(profiles)]
+
+
+def identities(answers):
+    return [a.identity() for a in answers]
+
+
+# -- wire schema -------------------------------------------------------------
+
+class TestAnswers:
+    def test_json_round_trip(self):
+        request = AnalysisRequest("t", make_source(), system="scaf")
+        [answer] = sequential_answers(request)
+        doc = loop_answer_to_dict(answer)
+        assert doc["answers"], "expected per-pair answers"
+        restored = loop_answer_from_dict(doc)
+        assert restored == answer
+
+    def test_labels_are_stable_across_parses(self):
+        request = AnalysisRequest("t", make_source(), system="caf")
+        first = sequential_answers(request)
+        second = sequential_answers(request)
+        assert identities(first) == identities(second)
+
+    def test_fallback_is_conservative(self):
+        a = fallback_answer("w", "scaf", "@main:%loop")
+        assert a.status == STATUS_FALLBACK
+        assert a.no_dep_percent == 0.0
+        assert a.answers == ()
+
+
+# -- versioning --------------------------------------------------------------
+
+class TestVersionKey:
+    def test_key_ingredients(self):
+        base = AnalysisRequest("t", make_source(), system="scaf")
+        assert base.version_key() == \
+            AnalysisRequest("t", make_source(), system="scaf").version_key()
+        assert base.version_key() != AnalysisRequest(
+            "t", make_source(iters=80), system="scaf").version_key()
+        assert base.version_key() != AnalysisRequest(
+            "t", make_source(), system="caf").version_key()
+        assert base.version_key() != AnalysisRequest(
+            "t", make_source(), system="scaf",
+            config=OrchestratorConfig(join_policy="all")).version_key()
+        # Display name and loop subset do NOT change the key: they
+        # share one computation.
+        assert base.version_key() == AnalysisRequest(
+            "other-name", make_source(), system="scaf").version_key()
+
+    def test_rosters(self):
+        assert len(system_module_roster("caf")) == 13
+        assert len(system_module_roster("scaf")) == 19
+        assert len(system_module_roster("memory-speculation")) == 14
+        with pytest.raises(ValueError):
+            system_module_roster("nope")
+
+
+# -- persistent cache --------------------------------------------------------
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        key = request.version_key()
+        assert cache.lookup(key) is None
+        answers = sequential_answers(request)
+        cache.store(key, workload="t", system="caf", entry="main",
+                    modules=system_module_roster("caf"),
+                    profile_digest="d", hot_loops=[a.loop for a in answers],
+                    answers=answers)
+        cached = cache.lookup(key)
+        assert cached is not None
+        assert all(a.status == STATUS_CACHED for a in cached)
+        assert identities(cached) == identities(answers)
+        cache.close()
+
+    def test_partial_roster_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        key = request.version_key()
+        answers = sequential_answers(request)
+        cache.store(key, workload="t", system="caf", entry="main",
+                    modules=(), profile_digest="d",
+                    hot_loops=[a.loop for a in answers] + ["@main:%ghost"],
+                    answers=answers)
+        assert cache.lookup(key) is None               # roster incomplete
+        assert cache.lookup(key, [answers[0].loop]) is not None
+        cache.close()
+
+    def test_invalidate_and_prune(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        answers = sequential_answers(request)
+        for key in ("k1", "k2", "k3"):
+            cache.store(key, workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[a.loop for a in answers],
+                        answers=answers)
+        cache.invalidate("k1")
+        assert cache.lookup("k1") is None
+        assert cache.prune(["k2"]) == 1
+        assert cache.keys() == ["k2"]
+        cache.close()
+
+    def test_survives_reopen(self, tmp_path):
+        request = AnalysisRequest("t", make_source(), system="caf")
+        key = request.version_key()
+        answers = sequential_answers(request)
+        with ResultCache(str(tmp_path)) as cache:
+            cache.store(key, workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[a.loop for a in answers],
+                        answers=answers)
+        with ResultCache(str(tmp_path)) as cache:
+            assert cache.lookup(key) is not None
+
+
+# -- scheduler ---------------------------------------------------------------
+
+def _canned_result(task: ShardTask) -> ShardResult:
+    loops = task.loops or ("@main:%loop",)
+    return ShardResult(
+        version_key=task.request.version_key(),
+        workload=task.request.name,
+        system=task.request.system,
+        entry=task.request.entry,
+        profile_digest="d",
+        hot_loops=loops,
+        answers=[summary for summary in
+                 (fallback_answer(task.request.name, task.request.system,
+                                  name) for name in loops)],
+        busy_s=0.01,
+    )
+
+
+class TestScheduler:
+    def test_inflight_dedup(self):
+        calls = []
+
+        def runner(task):
+            calls.append(task)
+            return _canned_result(task)
+
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   shard_runner=runner)
+        a = AnalysisRequest("a", make_source(), system="caf")
+        b = AnalysisRequest("b", make_source(), system="caf")  # same key
+        c = AnalysisRequest("c", make_source(iters=80), system="caf")
+        results = scheduler.run_batch([a, b, c])
+        assert len(calls) == 2
+        assert scheduler.telemetry.shards_deduplicated == 1
+        assert len(results) == 3
+        assert identities(results[0]) == identities(results[1])
+
+    def test_worker_crash_degrades_not_raises(self):
+        def runner(task):
+            raise RuntimeError("worker died")
+
+        scheduler = BatchScheduler(workers=1, executor="thread",
+                                   shard_runner=runner)
+        request = AnalysisRequest("a", make_source(), system="caf",
+                                  loops=("@main:%loop",))
+        [answers] = scheduler.run_batch([request])
+        assert [a.status for a in answers] == [STATUS_FALLBACK]
+        assert scheduler.telemetry.shards_failed == 1
+        scheduler.close()
+
+    def test_partial_crash_keeps_other_shards(self):
+        def runner(task):
+            if task.request.name == "bad":
+                raise RuntimeError("worker died")
+            return _canned_result(task)
+
+        scheduler = BatchScheduler(workers=1, executor="thread",
+                                   shard_runner=runner)
+        good = AnalysisRequest("good", make_source(), system="caf")
+        bad = AnalysisRequest("bad", make_source(iters=80), system="caf",
+                              loops=("@main:%loop",))
+        answers = scheduler.run_batch([good, bad])
+        assert len(answers[0]) == 1
+        assert [a.status for a in answers[1]] == [STATUS_FALLBACK]
+        scheduler.close()
+
+    def test_shard_timeout_degrades(self):
+        def runner(task):
+            time.sleep(0.5)
+            return _canned_result(task)
+
+        scheduler = BatchScheduler(workers=1, executor="thread",
+                                   shard_timeout_s=0.05,
+                                   shard_runner=runner)
+        request = AnalysisRequest("a", make_source(), system="caf",
+                                  loops=("@main:%loop",))
+        [answers] = scheduler.run_batch([request])
+        assert [a.status for a in answers] == [STATUS_FALLBACK]
+        assert scheduler.telemetry.shards_timed_out == 1
+        scheduler.close()
+
+    def test_bounded_inflight_backpressure(self):
+        def runner(task):
+            return _canned_result(task)
+
+        scheduler = BatchScheduler(workers=2, executor="inline",
+                                   max_pending_shards=1,
+                                   shard_runner=runner)
+        requests = [AnalysisRequest(f"r{i}", make_source(iters=55 + i),
+                                    system="caf") for i in range(5)]
+        scheduler.run_batch(requests)
+        assert scheduler.telemetry.shards_dispatched == 5
+        assert scheduler.telemetry.max_queue_depth <= 1
+
+    def test_loop_sharding_splits_known_rosters(self):
+        seen = []
+
+        def runner(task):
+            seen.append(task.loops)
+            return _canned_result(task)
+
+        scheduler = BatchScheduler(workers=4, executor="inline",
+                                   max_shards_per_request=4,
+                                   shard_runner=runner)
+        request = AnalysisRequest("a", make_source(), system="caf",
+                                  loops=("l1", "l2", "l3", "l4"))
+        scheduler.run_batch([request])
+        assert len(seen) == 4
+        assert sorted(l for chunk in seen for l in chunk) == \
+            ["l1", "l2", "l3", "l4"]
+
+
+# -- end-to-end --------------------------------------------------------------
+
+WORKLOAD_NAMES = ("181.mcf", "462.libquantum")
+
+
+class TestServiceEndToEnd:
+    def test_process_pool_matches_sequential(self):
+        """Real multiprocessing across 4 workers on real workloads:
+        the acceptance path of `python -m repro batch --workers 4`."""
+        requests = [request_for_workload(n) for n in WORKLOAD_NAMES]
+        expected = [identities(sequential_answers(r)) for r in requests]
+        with DependenceService(ServiceConfig(workers=4,
+                                             executor="process")) as svc:
+            batch = svc.run_batch(requests)
+        assert [identities(a) for a in batch.answers] == expected
+        assert batch.telemetry.loops_fallback == 0
+        assert batch.telemetry.module_evals > 0
+
+    def test_warm_cache_identical_with_zero_module_evals(self):
+        cache_dir = tempfile.mkdtemp(prefix="scaf-cache-")
+        request = request_for_workload(WORKLOAD_NAMES[0])
+
+        with DependenceService(ServiceConfig(workers=0, executor="inline",
+                                             cache_dir=cache_dir)) as svc:
+            cold = svc.run_batch([request])
+        assert all(a.status == STATUS_COMPUTED for a in cold.flat())
+
+        with DependenceService(ServiceConfig(workers=0, executor="inline",
+                                             cache_dir=cache_dir)) as svc:
+            warm = svc.run_batch([request])
+        assert identities(warm.flat()) == identities(cold.flat())
+        assert all(a.status == STATUS_CACHED for a in warm.flat())
+        assert warm.telemetry.module_evals == 0
+        assert warm.telemetry.orchestrator_queries == 0
+        assert warm.telemetry.loops_computed == 0
+        assert warm.telemetry.cache_hit_rate == 1.0
+
+    def test_weighted_no_dep_answers(self):
+        request = request_for_workload(WORKLOAD_NAMES[0])
+        answers = sequential_answers(request)
+        value = weighted_no_dep_answers(answers)
+        assert 0.0 < value <= 100.0
+
+
+# -- the contract property ---------------------------------------------------
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    iters=st.sampled_from((55, 60, 72)),
+    rare_store=st.booleans(),
+    second_cell=st.booleans(),
+    system=st.sampled_from(("caf", "confluence", "scaf",
+                            "memory-speculation")),
+)
+def test_property_batched_equals_sequential(iters, rare_store,
+                                            second_cell, system):
+    """Service-batched answers are bitwise-identical to sequential
+    coordinator.handle answers on a sampled workload."""
+    source = make_source(iters=iters, rare_store=rare_store,
+                         second_cell=second_cell)
+    request = AnalysisRequest("prop", source, system=system)
+    expected = identities(sequential_answers(request))
+
+    scheduler = BatchScheduler(workers=0, executor="inline")
+    [answers] = scheduler.run_batch([request])
+    assert identities(answers) == expected
+
+
+class TestTelemetry:
+    def test_latency_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 3, 4, 100):
+            hist.record(ms / 1000.0)
+        assert hist.total == 5
+        assert hist.percentile(50) <= hist.percentile(99)
+        assert hist.max_s == pytest.approx(0.1)
+        assert hist.mean_s == pytest.approx(0.022)
+
+    def test_report_renders(self):
+        scheduler = BatchScheduler(workers=0, executor="inline")
+        request = AnalysisRequest("t", make_source(), system="caf")
+        scheduler.run_batch([request])
+        from repro.service import format_report
+        report = format_report(scheduler.telemetry.snapshot())
+        assert "service telemetry" in report
+        assert "hit rate" in report
