@@ -40,6 +40,23 @@ class CallGraph:
     def callsites_of(self, fn: Function) -> List[CallInst]:
         return self.callsites.get(fn, [])
 
+    def reachable_from(self, fn: Function) -> Set[Function]:
+        """``fn`` plus every function transitively callable from it.
+
+        This is the static half of a loop's *dependence footprint*: any
+        analysis of code inside ``fn`` may descend into these bodies
+        (callsite analysis, kill-flow across calls, ...), so a cached
+        answer stays valid only while they are all unchanged.
+        """
+        seen: Set[Function] = {fn}
+        work = [fn]
+        while work:
+            for callee in self.callees_of(work.pop()):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return seen
+
     def is_recursive(self, fn: Function) -> bool:
         """True if ``fn`` can (transitively) call itself."""
         seen: Set[Function] = set()

@@ -184,7 +184,8 @@ def _analyze_via_service(args) -> int:
     workers = args.workers if args.workers is not None else 4
     config = ServiceConfig(workers=workers, executor=args.executor,
                            cache_dir=args.cache_dir,
-                           shard_timeout_s=args.timeout)
+                           shard_timeout_s=args.timeout,
+                           incremental=not args.no_incremental)
     with DependenceService(config) as service:
         answers = service.analyze(request_for_file(
             args.file, entry=args.entry, system=args.system))
@@ -302,7 +303,8 @@ def cmd_batch(args) -> int:
 
     config = ServiceConfig(workers=args.workers, executor=args.executor,
                            cache_dir=args.cache_dir,
-                           shard_timeout_s=args.timeout)
+                           shard_timeout_s=args.timeout,
+                           incremental=not args.no_incremental)
     started = time.perf_counter()
     with DependenceService(config) as service:
         batch = service.run_batch(requests)
@@ -374,6 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="process")
     p_an.add_argument("--timeout", type=float, default=None,
                       help="per-shard deadline in seconds")
+    p_an.add_argument("--no-incremental", action="store_true",
+                      help="disable footprint-based incremental reuse "
+                           "of cached answers across module edits")
     p_an.set_defaults(func=cmd_analyze)
 
     p_batch = sub.add_parser(
@@ -398,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-shard deadline in seconds")
     p_batch.add_argument("--json", action="store_true",
                          help="emit answers + telemetry as JSON")
+    p_batch.add_argument("--no-incremental", action="store_true",
+                         help="disable footprint-based incremental "
+                              "reuse of cached answers across edits")
     p_batch.set_defaults(func=cmd_batch)
     return parser
 

@@ -14,9 +14,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..ir import CallInst
 from ..query import (
     AliasQuery,
     JoinPolicy,
+    MemoryLocation,
     ModRefQuery,
     Query,
     QueryResponse,
@@ -24,6 +26,18 @@ from ..query import (
     precision,
 )
 from .module import AnalysisModule, Resolver
+
+
+def _function_name_of(value) -> Optional[str]:
+    """The name of the function a query operand lives in, if any.
+
+    Instructions reach their function through ``parent.parent`` (a
+    property), Arguments link to it directly; globals and constants
+    belong to no function and yield ``None``.
+    """
+    fn = getattr(value, "function", None)
+    name = getattr(fn, "name", None)
+    return name if isinstance(name, str) else None
 
 
 class BailoutPolicy:
@@ -102,6 +116,10 @@ class Orchestrator:
         self._inflight: Set[tuple] = set()
         #: Contributor module names of the most recent top-level query.
         self.last_contributors: FrozenSet[str] = frozenset()
+        #: Names of every function any query (premises included) has
+        #: touched since the last :meth:`reset_consulted` — the raw
+        #: material of a cached answer's dependence footprint.
+        self.consulted_functions: Set[str] = set()
 
     # -- public API --------------------------------------------------------
 
@@ -120,11 +138,58 @@ class Orchestrator:
         """Zero all counters (the memo cache itself is kept)."""
         self.stats = OrchestratorStats(cache_size=len(self._cache))
 
+    def reset_consulted(self) -> None:
+        """Start a fresh consulted-function trace (call per loop)."""
+        self.consulted_functions = set()
+
     # -- internals -----------------------------------------------------------
+
+    def _note_consulted(self, query: Query) -> None:
+        """Record which functions ``query`` exposes to the modules.
+
+        Every function named by the query's operands, loop, CFG view,
+        or calling context (and the callee of any call instruction
+        among them) can influence the answer; the union over a loop's
+        whole query stream — plus callgraph reachability, see
+        :func:`repro.service.worker.loop_footprint` — is the cached
+        answer's dependence footprint.
+        """
+        noted = self.consulted_functions
+
+        def note_value(value) -> None:
+            name = _function_name_of(value)
+            if name is not None:
+                noted.add(name)
+            if isinstance(value, CallInst):
+                callee_name = getattr(value.callee, "name", None)
+                if isinstance(callee_name, str):
+                    noted.add(callee_name)
+
+        if isinstance(query, ModRefQuery):
+            note_value(query.inst)
+            target = query.target
+            if isinstance(target, MemoryLocation):
+                note_value(target.pointer)
+            else:
+                note_value(target)
+        elif isinstance(query, AliasQuery):
+            note_value(query.loc1.pointer)
+            note_value(query.loc2.pointer)
+        for call in getattr(query, "context", ()) or ():
+            note_value(call)
+        loop = getattr(query, "loop", None)
+        if loop is not None and getattr(loop, "function", None) is not None:
+            noted.add(loop.function.name)
+        cfg = getattr(query, "cfg", None)
+        if cfg is not None and getattr(cfg, "function", None) is not None:
+            noted.add(cfg.function.name)
 
     def _handle(self, query: Query, depth: int
                 ) -> Tuple[QueryResponse, FrozenSet[str]]:
         key = query.key()
+        # Trace before the memo probe: a memoized answer still makes
+        # the final result depend on the functions this query names.
+        self._note_consulted(query)
         if self.config.use_cache:
             self.stats.cache_lookups += 1
             if key in self._cache:
@@ -146,12 +211,18 @@ class Orchestrator:
             return QueryResponse.conservative(query.result_type), frozenset()
 
         self._inflight.add(key)
+        cuts_before = self.stats.cycles_cut
         try:
             result = self._evaluate_modules(query, depth)
         finally:
             self._inflight.discard(key)
 
-        if self.config.use_cache:
+        # A cycle cut anywhere in this evaluation's subtree replaced a
+        # premise with the conservative answer; the result is sound but
+        # context-dependent (the same query asked outside the cycle may
+        # resolve more precisely), so it must not be memoized.
+        cycle_tainted = self.stats.cycles_cut > cuts_before
+        if self.config.use_cache and not cycle_tainted:
             self._cache[key] = result
             limit = self.config.max_cache_entries
             if limit is not None:

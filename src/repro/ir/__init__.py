@@ -69,6 +69,11 @@ from .function import Function
 from .module import Module
 from .builder import IRBuilder
 from .printer import format_function, format_instruction, format_module, format_type
+from .fingerprint import (
+    function_fingerprint,
+    module_fingerprints,
+    module_header_fingerprint,
+)
 from .parser import ParseError, parse_module
 from .verifier import VerificationError, verify_module
 
@@ -85,6 +90,8 @@ __all__ = [
     "StoreInst", "SwitchInst", "UnreachableInst",
     "BasicBlock", "Function", "Module", "IRBuilder",
     "format_function", "format_instruction", "format_module", "format_type",
+    "function_fingerprint", "module_fingerprints",
+    "module_header_fingerprint",
     "ParseError", "parse_module",
     "VerificationError", "verify_module",
 ]

@@ -1,0 +1,69 @@
+"""Canonical content fingerprints for functions and modules.
+
+The incremental re-analysis machinery (see ``repro.service``) needs to
+answer "did this function change?" without caring *where* in the file
+the function sits, how the source was indented, or what order the
+module lists its functions in.  The printer already canonicalizes all
+of that — parsing and re-printing a module yields byte-identical text
+for semantically-identical input — so a function's fingerprint is
+simply the SHA-256 of its printed form.
+
+Three granularities:
+
+- :func:`function_fingerprint` — one function (definition or
+  declaration; a declaration's attributes are part of its meaning and
+  therefore of its hash);
+- :func:`module_header_fingerprint` — the struct types and globals,
+  which every function can reference and which therefore join every
+  dependence footprint;
+- :func:`module_fingerprints` — the per-function map for a whole
+  module, the input to footprint digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from .function import Function
+from .module import Module
+from .printer import _format_initializer, format_function, format_type
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def function_fingerprint(fn: Function) -> str:
+    """Position-independent content hash of one function.
+
+    Covers the signature, attributes, and (for definitions) the full
+    printed body — block names, instruction names, operands, callee
+    names.  Does not cover anything outside the function, so moving or
+    editing *other* functions leaves this hash unchanged.
+    """
+    return _sha256(format_function(fn))
+
+
+def module_header_fingerprint(module: Module) -> str:
+    """Content hash of the module's struct types and globals.
+
+    Globals are shared mutable state every function can reach, and
+    struct layouts feed field-sensitive reasoning, so any cached
+    answer's footprint digest includes this header hash.
+    """
+    lines = []
+    for st in module.structs.values():
+        fields = ", ".join(format_type(f) for f in st.fields)
+        lines.append(f"struct %{st.name} {{ {fields} }}")
+    for gv in module.globals.values():
+        prefix = "const global" if gv.is_constant else "global"
+        lines.append(f"{prefix} @{gv.name} : {format_type(gv.value_type)}"
+                     f" = {_format_initializer(gv.initializer)}")
+    return _sha256("\n".join(sorted(lines)))
+
+
+def module_fingerprints(module: Module) -> Dict[str, str]:
+    """Per-function content hashes for every function in ``module``."""
+    return {name: function_fingerprint(fn)
+            for name, fn in module.functions.items()}

@@ -28,10 +28,12 @@ from .answers import (
     loop_answer_to_dict,
     summarize_pdg,
 )
-from .cache import CacheEntryMeta, ResultCache
+from .cache import CacheEntryMeta, FootprintHit, ResultCache
 from .requests import (
+    ANSWER_IRRELEVANT_CONFIG_FIELDS,
     AnalysisRequest,
     config_fingerprint,
+    loop_footprint_digest,
     profile_digest,
     system_module_roster,
 )
@@ -49,17 +51,26 @@ from .telemetry import (
     TelemetrySnapshot,
     format_report,
 )
-from .worker import ShardResult, ShardTask, build_system, run_shard
+from .worker import (
+    ShardResult,
+    ShardTask,
+    build_system,
+    loop_footprint,
+    prepare_request,
+    run_shard,
+)
 
 __all__ = [
+    "ANSWER_IRRELEVANT_CONFIG_FIELDS",
     "AnalysisRequest", "BatchResult", "BatchScheduler", "CacheEntryMeta",
-    "DependenceService", "LatencyHistogram", "LoopAnswer", "QueryAnswer",
-    "ResultCache", "ServiceConfig", "ServiceTelemetry", "ShardResult",
-    "ShardTask", "TelemetrySnapshot",
+    "DependenceService", "FootprintHit", "LatencyHistogram", "LoopAnswer",
+    "QueryAnswer", "ResultCache", "ServiceConfig", "ServiceTelemetry",
+    "ShardResult", "ShardTask", "TelemetrySnapshot",
     "STATUS_CACHED", "STATUS_COMPUTED", "STATUS_FALLBACK",
     "build_system", "config_fingerprint", "fallback_answer",
     "format_report", "inst_label", "loop_answer_from_dict",
-    "loop_answer_to_dict", "profile_digest", "request_for_file",
+    "loop_answer_to_dict", "loop_footprint", "loop_footprint_digest",
+    "prepare_request", "profile_digest", "request_for_file",
     "request_for_workload", "run_shard", "summarize_pdg",
     "system_module_roster",
 ]

@@ -7,11 +7,24 @@ digest.  The metadata row is what makes a *complete* lookup possible
 before any analysis runs: a request hits only when the meta row and
 every per-loop row are present.
 
-Versioning (see :func:`repro.service.requests.AnalysisRequest.
-version_key`) makes invalidation implicit — a changed module, config,
-or framework version derives a fresh key and never sees stale rows.
-``prune`` deletes rows under other keys; ``invalidate`` removes one
-key explicitly.
+Two invalidation regimes coexist:
+
+- **Exact versioning** (:func:`repro.service.requests.AnalysisRequest.
+  version_key`): a changed module, config, or framework version
+  derives a fresh key and never sees stale rows.  ``prune`` deletes
+  rows under other keys; ``invalidate`` removes one key explicitly.
+- **Incremental (footprint) matching**: every answer row additionally
+  records its *lineage key* (all key ingredients except the IR text),
+  the names of the functions the analysis consulted (its dependence
+  footprint), and a digest of those functions' content hashes plus the
+  module header.  :meth:`ResultCache.lookup_footprints` re-derives the
+  digest from an *edited* module's fingerprints — equal digest means
+  the edit is outside the loop's footprint and the answer is reused.
+
+Schema v2 adds the ``lineage_key``/``footprint``/``footprint_digest``/
+``stored_at`` columns; :meth:`ResultCache` migrates v1 databases in
+place (old rows keep serving exact-key lookups and simply never match
+an incremental probe).
 
 The cache is only ever touched from the scheduler process (workers
 stream results back instead of writing), so a single connection with
@@ -27,18 +40,21 @@ import sqlite3
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .answers import (
     LoopAnswer,
     STATUS_CACHED,
+    STATUS_COMPUTED,
     loop_answer_from_dict,
     loop_answer_to_dict,
 )
+from .requests import loop_footprint_digest
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
     version_key    TEXT PRIMARY KEY,
+    lineage_key    TEXT NOT NULL DEFAULT '',
     workload       TEXT NOT NULL,
     system         TEXT NOT NULL,
     entry          TEXT NOT NULL,
@@ -48,12 +64,33 @@ CREATE TABLE IF NOT EXISTS meta (
     created_at     REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS answers (
-    version_key TEXT NOT NULL,
-    loop_name   TEXT NOT NULL,
-    payload     TEXT NOT NULL,
+    version_key      TEXT NOT NULL,
+    loop_name        TEXT NOT NULL,
+    lineage_key      TEXT NOT NULL DEFAULT '',
+    footprint        TEXT NOT NULL DEFAULT '[]',
+    footprint_digest TEXT NOT NULL DEFAULT '',
+    stored_at        REAL NOT NULL DEFAULT 0,
+    payload          TEXT NOT NULL,
     PRIMARY KEY (version_key, loop_name)
 );
 """
+
+#: v1 -> v2 column additions, applied to databases created before the
+#: incremental-reanalysis schema.
+_MIGRATIONS = {
+    "meta": (
+        ("lineage_key", "TEXT NOT NULL DEFAULT ''"),
+    ),
+    "answers": (
+        ("lineage_key", "TEXT NOT NULL DEFAULT ''"),
+        ("footprint", "TEXT NOT NULL DEFAULT '[]'"),
+        ("footprint_digest", "TEXT NOT NULL DEFAULT ''"),
+        ("stored_at", "REAL NOT NULL DEFAULT 0"),
+    ),
+}
+
+_LINEAGE_INDEX = ("CREATE INDEX IF NOT EXISTS answers_by_lineage"
+                  " ON answers (lineage_key, loop_name)")
 
 
 @dataclass(frozen=True)
@@ -68,6 +105,16 @@ class CacheEntryMeta:
     profile_digest: str
     hot_loops: Tuple[str, ...]      # every hot loop of the profile
     created_at: float
+    lineage_key: str = ""
+
+
+@dataclass(frozen=True)
+class FootprintHit:
+    """One loop answer revalidated by footprint digest after an edit."""
+
+    loop: str
+    answer: LoopAnswer              # status forced to ``cached``
+    footprint: Tuple[str, ...]      # consulted-function names
 
 
 class ResultCache:
@@ -83,11 +130,23 @@ class ResultCache:
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            self._migrate()
+            self._conn.execute(_LINEAGE_INDEX)
             try:
                 self._conn.execute("PRAGMA journal_mode=WAL")
             except sqlite3.DatabaseError:
                 pass  # read-only FS etc.: correctness is unaffected
             self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Add any v2 columns missing from a pre-incremental database."""
+        for table, columns in _MIGRATIONS.items():
+            present = {row[1] for row in self._conn.execute(
+                f"PRAGMA table_info({table})").fetchall()}
+            for name, decl in columns:
+                if name not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {name} {decl}")
 
     # -- lookup --------------------------------------------------------------
 
@@ -95,7 +154,8 @@ class ResultCache:
         with self._lock:
             row = self._conn.execute(
                 "SELECT workload, system, entry, modules, profile_digest,"
-                " hot_loops, created_at FROM meta WHERE version_key = ?",
+                " hot_loops, created_at, lineage_key FROM meta"
+                " WHERE version_key = ?",
                 (version_key,)).fetchone()
         if row is None:
             return None
@@ -106,6 +166,7 @@ class ResultCache:
             profile_digest=row[4],
             hot_loops=tuple(json.loads(row[5])),
             created_at=row[6],
+            lineage_key=row[7],
         )
 
     def lookup(self, version_key: str,
@@ -134,24 +195,115 @@ class ResultCache:
             answers.append(loop_answer_from_dict(doc))
         return answers
 
+    def has_lineage(self, lineage_key: str) -> bool:
+        """Cheap precheck: does any row share this request family?
+        (Lets a cold cache skip the incremental probe entirely.)"""
+        if not lineage_key:
+            return False
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM answers WHERE lineage_key = ? LIMIT 1",
+                (lineage_key,)).fetchone()
+        return row is not None
+
+    def lookup_footprints(self, lineage_key: str, loops: Sequence[str],
+                          fingerprints: Mapping[str, str],
+                          header_fingerprint: str
+                          ) -> Dict[str, FootprintHit]:
+        """Loop answers from this lineage that survive an edit.
+
+        For each requested loop, scans the rows stored under
+        ``lineage_key`` (any module version) and re-derives their
+        footprint digests from the *current* module's ``fingerprints``.
+        A row whose recomputed digest equals its stored digest was
+        produced from byte-identical consulted code — the answer is
+        returned (freshest row wins).  Loops with no surviving row are
+        simply absent from the result: they must be recomputed.
+        """
+        wanted = tuple(loops)
+        if not wanted or not lineage_key:
+            return {}
+        placeholders = ",".join("?" * len(wanted))
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT loop_name, footprint, footprint_digest, payload,"
+                f" stored_at FROM answers WHERE lineage_key = ?"
+                f" AND loop_name IN ({placeholders})",
+                (lineage_key, *wanted)).fetchall()
+        best: Dict[str, Tuple[float, FootprintHit]] = {}
+        for loop_name, footprint_json, stored_digest, payload, stored_at \
+                in rows:
+            if not stored_digest:
+                continue  # legacy/degraded row: never incrementally valid
+            footprint = tuple(json.loads(footprint_json))
+            digest = loop_footprint_digest(footprint, fingerprints,
+                                           header_fingerprint)
+            if digest != stored_digest:
+                continue  # some consulted function changed: stale
+            prior = best.get(loop_name)
+            if prior is not None and prior[0] >= stored_at:
+                continue
+            doc = json.loads(payload)
+            doc["status"] = STATUS_CACHED
+            best[loop_name] = (stored_at, FootprintHit(
+                loop=loop_name,
+                answer=loop_answer_from_dict(doc),
+                footprint=footprint,
+            ))
+        return {name: hit for name, (_, hit) in best.items()}
+
     # -- mutation ------------------------------------------------------------
 
     def store(self, version_key: str, *, workload: str, system: str,
               entry: str, modules: Sequence[str], profile_digest: str,
               hot_loops: Sequence[str],
-              answers: Sequence[LoopAnswer]) -> None:
-        """Insert or refresh one version key's results atomically."""
+              answers: Sequence[LoopAnswer],
+              lineage_key: str = "",
+              footprints: Mapping[str, Sequence[str]] = {},
+              fingerprints: Mapping[str, str] = {},
+              header_fingerprint: str = "") -> None:
+        """Insert or refresh one version key's results atomically.
+
+        ``footprints`` maps loop name to the consulted-function names
+        of its answer; together with the producing module's
+        ``fingerprints`` and ``header_fingerprint`` it yields the
+        stored footprint digest that future incremental probes compare
+        against.  Loops without a footprint (degraded paths, legacy
+        callers) store an empty digest and only ever serve exact-key
+        lookups.
+        """
+        now = time.time()
+        rows = []
+        for a in answers:
+            footprint = tuple(footprints.get(a.loop, ()))
+            digest = None
+            if footprint and fingerprints:
+                digest = loop_footprint_digest(footprint, fingerprints,
+                                               header_fingerprint)
+            doc = loop_answer_to_dict(a)
+            if doc["status"] == STATUS_CACHED:
+                # Re-persisting a served answer under a fresh version
+                # key: the payload represents a computed result.
+                doc["status"] = STATUS_COMPUTED
+            rows.append((version_key, a.loop, lineage_key,
+                         json.dumps(list(footprint)), digest or "", now,
+                         json.dumps(doc, sort_keys=True)))
         with self._lock:
+            # Explicit column lists: on a migrated v1 database the new
+            # columns sit *after* payload, so positional VALUES would
+            # scramble rows.
             self._conn.execute(
-                "INSERT OR REPLACE INTO meta VALUES (?,?,?,?,?,?,?,?)",
-                (version_key, workload, system, entry,
+                "INSERT OR REPLACE INTO meta (version_key, lineage_key,"
+                " workload, system, entry, modules, profile_digest,"
+                " hot_loops, created_at) VALUES (?,?,?,?,?,?,?,?,?)",
+                (version_key, lineage_key, workload, system, entry,
                  json.dumps(list(modules)), profile_digest,
-                 json.dumps(list(hot_loops)), time.time()))
+                 json.dumps(list(hot_loops)), now))
             self._conn.executemany(
-                "INSERT OR REPLACE INTO answers VALUES (?,?,?)",
-                [(version_key, a.loop,
-                  json.dumps(loop_answer_to_dict(a), sort_keys=True))
-                 for a in answers])
+                "INSERT OR REPLACE INTO answers (version_key, loop_name,"
+                " lineage_key, footprint, footprint_digest, stored_at,"
+                " payload) VALUES (?,?,?,?,?,?,?)",
+                rows)
             self._conn.commit()
 
     def invalidate(self, version_key: str) -> None:
@@ -166,18 +318,17 @@ class ResultCache:
         """Drop every version key not in ``keep_keys``; returns the
         number of keys removed (explicit invalidation of superseded
         versions)."""
-        keep = set(keep_keys)
+        keep = sorted(set(keep_keys))
+        placeholders = ",".join("?" * len(keep))
+        condition = (f"version_key NOT IN ({placeholders})" if keep
+                     else "1")  # empty keep list drops everything
         with self._lock:
-            all_keys = [r[0] for r in self._conn.execute(
-                "SELECT version_key FROM meta").fetchall()]
-            doomed = [k for k in all_keys if k not in keep]
-            for key in doomed:
-                self._conn.execute(
-                    "DELETE FROM meta WHERE version_key = ?", (key,))
-                self._conn.execute(
-                    "DELETE FROM answers WHERE version_key = ?", (key,))
+            removed = self._conn.execute(
+                f"DELETE FROM meta WHERE {condition}", keep).rowcount
+            self._conn.execute(
+                f"DELETE FROM answers WHERE {condition}", keep)
             self._conn.commit()
-        return len(doomed)
+        return removed
 
     # -- admin ---------------------------------------------------------------
 

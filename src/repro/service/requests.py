@@ -5,20 +5,27 @@ An :class:`AnalysisRequest` is self-contained — it carries the IR
 orchestrator configuration — so it can be hashed, pickled to worker
 processes, and replayed from a cold start.
 
-``version_key`` derives the persistent cache key from everything that
-determines a request's answers:
+Cache keying comes in three granularities:
 
-- the module IR text and entry point (the training profile is a pure
-  function of these — the interpreter is deterministic — so they
-  subsume the profile bundle; the bundle's own digest is additionally
-  stored alongside cached results for audit),
-- the orchestrator configuration (join/bailout policy, premise depth,
-  desired-result handling, ...),
-- the analysis system's module roster and its order, and
-- the framework version.
+- ``version_key`` — the exact-module identity: IR text, entry,
+  system, answer-relevant config, framework version.  Matching it
+  means the request is byte-for-byte the one that produced the cached
+  rows (the fast path; also the in-flight dedup identity).
+- ``lineage_key`` — the same ingredients *minus the IR text*: the
+  family of requests an edited module still belongs to.  Cached loop
+  answers are indexed by lineage so an incremental probe can find a
+  prior run's rows after an edit.
+- :func:`loop_footprint_digest` — per cached loop answer, a hash of
+  the *content* of exactly the functions that answer consulted (its
+  dependence footprint) plus the module header (globals/structs).
+  An edit outside a loop's footprint leaves its digest unchanged, so
+  the answer is reused; an edit inside it changes the digest and the
+  loop is recomputed.  That is the incremental-invalidation story.
 
-Change any ingredient and the key changes, which *is* the cache
-invalidation story: stale entries are simply never looked up again.
+The training profile is a pure function of IR text + entry (the
+interpreter is deterministic), so those subsume the profile bundle;
+the bundle's own digest is additionally stored alongside cached
+results for audit.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..core.orchestrator import OrchestratorConfig
@@ -58,11 +65,24 @@ def system_module_roster(system: str) -> Tuple[str, ...]:
         raise ValueError(f"unknown analysis system: {system!r}") from None
 
 
+#: OrchestratorConfig fields that cannot change a computed answer:
+#: ``use_cache``/``max_cache_entries`` only tune the in-process memo
+#: cache (the memoization is answer-transparent), and
+#: ``track_contributors`` only toggles provenance bookkeeping.
+#: Hashing them into the persistent cache key would bust the on-disk
+#: cache every time a client flips a memo knob, so they are excluded.
+ANSWER_IRRELEVANT_CONFIG_FIELDS = frozenset({
+    "use_cache", "max_cache_entries", "track_contributors",
+})
+
+
 def config_fingerprint(config: Optional[OrchestratorConfig]) -> dict:
-    """A stable, JSON-able projection of the orchestrator config."""
+    """A stable, JSON-able projection of the *answer-relevant* part of
+    the orchestrator config (cache-plumbing knobs excluded)."""
     config = config or OrchestratorConfig()
     return {f.name: getattr(config, f.name)
-            for f in fields(OrchestratorConfig)}
+            for f in fields(OrchestratorConfig)
+            if f.name not in ANSWER_IRRELEVANT_CONFIG_FIELDS}
 
 
 @dataclass(frozen=True)
@@ -80,22 +100,67 @@ class AnalysisRequest:
     loops: Tuple[str, ...] = ()
     config: Optional[OrchestratorConfig] = None
 
-    def version_key(self) -> str:
-        """The persistent-cache key for this request's answers."""
-        payload = json.dumps({
-            "ir": self.source,
+    def _key_ingredients(self) -> dict:
+        return {
             "entry": self.entry,
             "system": self.system,
             "modules": system_module_roster(self.system),
             "config": config_fingerprint(self.config),
             "framework": __version__,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        }
+
+    def version_key(self) -> str:
+        """The exact-module persistent-cache key for this request."""
+        payload = dict(self._key_ingredients())
+        payload["ir"] = self.source
+        return _digest(payload)
+
+    def lineage_key(self) -> str:
+        """The source-independent request-family key.
+
+        Two requests with the same lineage differ at most in IR text
+        (and display name / loop subset).  Cached loop answers are
+        indexed by lineage so that after an edit the incremental probe
+        can still find the prior rows and compare their per-function
+        footprint digests against the new module's fingerprints.
+        """
+        return _digest(self._key_ingredients())
 
     def shard_key(self) -> tuple:
         """Identity for in-flight deduplication: requests that differ
         only in display name or loop subset share underlying work."""
         return (self.version_key(),)
+
+
+def _digest(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def loop_footprint_digest(footprint: Sequence[str],
+                          fingerprints: Mapping[str, str],
+                          header_fingerprint: str) -> Optional[str]:
+    """Digest of the exact code a cached loop answer depends on.
+
+    ``footprint`` names the functions the analysis consulted (callgraph
+    reachability from the loop's function plus the orchestrator's
+    consulted-function trace); ``fingerprints`` maps function name to
+    content hash in some module version (:func:`repro.ir.
+    module_fingerprints`).  Returns ``None`` when a footprint function
+    does not exist in that module — the answer cannot be valid there.
+
+    Stored at cache-write time against the producing module, and
+    recomputed at probe time against the *edited* module: equal digests
+    mean every consulted function (and the globals/structs header) is
+    byte-identical, so the cached answer is still the answer.
+    """
+    pairs = []
+    for name in sorted(set(footprint)):
+        fingerprint = fingerprints.get(name)
+        if fingerprint is None:
+            return None
+        pairs.append([name, fingerprint])
+    return _digest({"header": header_fingerprint, "functions": pairs})
 
 
 def profile_digest(profiles) -> str:

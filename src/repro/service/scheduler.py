@@ -8,7 +8,12 @@ Batches of :class:`AnalysisRequest` flow through four stages:
    are unioned.
 2. **Cache probe.**  Keys whose every requested loop is already in the
    persistent :class:`ResultCache` are answered without touching the
-   worker pool.
+   worker pool.  On an exact-key miss the probe goes *incremental*:
+   if the cache holds rows from the same request lineage (same entry/
+   system/config, different IR text), the scheduler re-profiles the
+   edited module inline — zero module evaluations — and serves every
+   loop whose dependence-footprint digest is unchanged; only dirtied
+   loops stay pending, and the key's worker demand narrows to them.
 3. **Sharding + fan-out.**  Remaining keys become shards.  When the
    loop roster is known up front (explicit loop subsets, or a cache
    meta row from an earlier partial run) the loops are chunked across
@@ -29,15 +34,18 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..clients import hot_loops
+from ..ir import module_fingerprints, module_header_fingerprint
 from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
     fallback_answer
 from .cache import ResultCache
-from .requests import AnalysisRequest, system_module_roster
+from .requests import AnalysisRequest, profile_digest, \
+    system_module_roster
 from .telemetry import ServiceTelemetry
-from .worker import ShardResult, ShardTask, run_shard
+from .worker import ShardResult, ShardTask, prepare_request, run_shard
 
 #: Loop-name placeholder when a shard degraded before the hot-loop
 #: roster was discovered.
@@ -51,8 +59,11 @@ class _InlineExecutor:
         future: cf.Future = cf.Future()
         try:
             future.set_result(fn(*args))
-        except BaseException as exc:  # mirror pool behaviour
+        except Exception as exc:  # mirror pool behaviour for task errors
             future.set_exception(exc)
+        # KeyboardInterrupt/SystemExit propagate: turning them into a
+        # future exception would swallow a user's ctrl-C as a shard
+        # degradation.
         return future
 
     def shutdown(self, wait: bool = True, **kwargs) -> None:
@@ -79,6 +90,17 @@ class _KeyWork:
     profile_digest: str = ""
     answers: Dict[str, LoopAnswer] = field(default_factory=dict)
     degraded: bool = False
+    #: Per-loop consulted-function footprints (from workers or from
+    #: revalidated cache rows), stored next to each answer.
+    footprints: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Content hashes of the request's module, filled by whichever side
+    #: parsed it first (incremental probe or worker).
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    header_fingerprint: str = ""
+    #: True when the incremental probe served at least one loop — the
+    #: full roster is then re-persisted under this (new) version key
+    #: even if nothing needed recomputing.
+    refreshed: bool = False
 
 
 class BatchScheduler:
@@ -93,6 +115,7 @@ class BatchScheduler:
                  loop_timeout_s: Optional[float] = None,
                  max_pending_shards: Optional[int] = None,
                  max_shards_per_request: Optional[int] = None,
+                 incremental: bool = True,
                  shard_runner: Callable[[ShardTask], ShardResult] = run_shard):
         self.workers = max(0, workers)
         self.executor_kind = executor
@@ -100,9 +123,21 @@ class BatchScheduler:
         self.telemetry = telemetry or ServiceTelemetry(max(1, self.workers))
         self.shard_timeout_s = shard_timeout_s
         self.loop_timeout_s = loop_timeout_s
-        self.max_pending_shards = max_pending_shards or 2 * max(1, workers)
-        self.max_shards_per_request = (max_shards_per_request
-                                       or max(1, workers))
+        # `is None` checks, not `or`-defaults: an explicit 0 must be
+        # rejected loudly rather than silently become the default.
+        if max_pending_shards is None:
+            max_pending_shards = 2 * max(1, workers)
+        elif max_pending_shards < 1:
+            raise ValueError("max_pending_shards must be >= 1, got "
+                             f"{max_pending_shards}")
+        if max_shards_per_request is None:
+            max_shards_per_request = max(1, workers)
+        elif max_shards_per_request < 1:
+            raise ValueError("max_shards_per_request must be >= 1, got "
+                             f"{max_shards_per_request}")
+        self.max_pending_shards = max_pending_shards
+        self.max_shards_per_request = max_shards_per_request
+        self.incremental = incremental
         self._shard_runner = shard_runner
         self._executor = None
 
@@ -162,17 +197,69 @@ class BatchScheduler:
                 pending.append(key)
                 continue
             cached = self.cache.lookup(key, entry.loops)
-            if cached is None:
-                self.telemetry.count("cache_misses")
-                pending.append(key)
+            if cached is not None:
+                self.telemetry.count("cache_hits")
+                self.telemetry.count("loops_from_cache", len(cached))
+                meta = self.cache.meta(key)
+                entry.hot_loops = meta.hot_loops if meta else ()
+                entry.profile_digest = meta.profile_digest if meta else ""
+                entry.answers = {a.loop: a for a in cached}
                 continue
-            self.telemetry.count("cache_hits")
-            self.telemetry.count("loops_from_cache", len(cached))
-            meta = self.cache.meta(key)
-            entry.hot_loops = meta.hot_loops if meta else ()
-            entry.profile_digest = meta.profile_digest if meta else ""
-            entry.answers = {a.loop: a for a in cached}
+            if self.incremental and self._probe_incremental(entry):
+                self.telemetry.count("cache_hits")
+                continue
+            self.telemetry.count("cache_misses")
+            pending.append(key)
         return pending
+
+    def _probe_incremental(self, entry: _KeyWork) -> bool:
+        """Serve the loops an edit left untouched; narrow the rest.
+
+        Re-profiles the edited module inline (interpretation only — no
+        analysis-module evaluations), derives its per-function content
+        hashes, and revalidates the lineage's cached rows by footprint
+        digest.  Returns True when *every* requested loop was served;
+        on a partial hit the key's loop demand shrinks to the dirty
+        loops and the key stays pending.
+        """
+        tel = self.telemetry
+        lineage = entry.request.lineage_key()
+        if not self.cache.has_lineage(lineage):
+            return False
+        tel.count("incremental_probes")
+        try:
+            module, _context, profiles = prepare_request(entry.request)
+        except Exception:
+            return False  # unparseable/unrunnable: let the worker report
+        hot = hot_loops(profiles)
+        if not hot:
+            return False
+        entry.fingerprints = module_fingerprints(module)
+        entry.header_fingerprint = module_header_fingerprint(module)
+        roster = tuple(h.name for h in hot)
+        fractions = {h.name: h.time_fraction for h in hot}
+        wanted = tuple(n for n in (entry.loops or roster) if n in fractions)
+        hits = self.cache.lookup_footprints(
+            lineage, wanted, entry.fingerprints, entry.header_fingerprint)
+        if not hits:
+            return False
+        entry.hot_loops = roster
+        entry.profile_digest = profile_digest(profiles)
+        entry.refreshed = True
+        for name, hit in hits.items():
+            # The cached answer predates the edit; its dependence facts
+            # are revalidated, but the loop's share of profiled time is
+            # refreshed from the new training run.
+            entry.answers[name] = replace(
+                hit.answer, time_fraction=fractions[name])
+            entry.footprints[name] = hit.footprint
+            tel.count("loops_incremental")
+            tel.count("loops_from_cache")
+        missing = tuple(n for n in wanted if n not in entry.answers)
+        if missing:
+            entry.loops = missing  # workers recompute only the dirty loops
+            return False
+        return True
 
     # -- stage 3: shard + fan out --------------------------------------------
 
@@ -275,6 +362,10 @@ class BatchScheduler:
         tel = self.telemetry
         entry.hot_loops = result.hot_loops or entry.hot_loops
         entry.profile_digest = result.profile_digest or entry.profile_digest
+        entry.fingerprints = result.fingerprints or entry.fingerprints
+        entry.header_fingerprint = (result.header_fingerprint
+                                    or entry.header_fingerprint)
+        entry.footprints.update(result.footprints)
         for answer in result.answers:
             entry.answers[answer.loop] = answer
             if answer.status == STATUS_FALLBACK:
@@ -309,8 +400,8 @@ class BatchScheduler:
                 continue  # never persist degraded or unknown results
             computed = [a for a in entry.answers.values()
                         if a.status == STATUS_COMPUTED]
-            if not computed:
-                continue  # pure cache hit: nothing new to write
+            if not computed and not entry.refreshed:
+                continue  # pure exact-key hit: nothing new to write
             if not set(entry.hot_loops) <= set(entry.answers):
                 continue  # partial roster: a later run completes it
             self.cache.store(
@@ -322,6 +413,10 @@ class BatchScheduler:
                 profile_digest=entry.profile_digest,
                 hot_loops=entry.hot_loops,
                 answers=[entry.answers[name] for name in entry.hot_loops],
+                lineage_key=entry.request.lineage_key(),
+                footprints=entry.footprints,
+                fingerprints=entry.fingerprints,
+                header_fingerprint=entry.header_fingerprint,
             )
 
     def _answers_for(self, request: AnalysisRequest,

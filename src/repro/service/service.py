@@ -56,6 +56,11 @@ class ServiceConfig:
     max_pending_shards: Optional[int] = None
     #: Upper bound on shards one request may be split into.
     max_shards_per_request: Optional[int] = None
+    #: Incremental re-analysis: on a cache miss, look for a prior run
+    #: of the same request lineage and revalidate each cached loop's
+    #: dependence footprint against the edited module, recomputing only
+    #: the loops an edit actually dirtied.
+    incremental: bool = True
     #: Default orchestrator config stamped onto requests that carry
     #: none (lets callers pick join/bailout policies service-wide).
     orchestrator: Optional[OrchestratorConfig] = None
@@ -92,6 +97,7 @@ class DependenceService:
             loop_timeout_s=self.config.loop_timeout_s,
             max_pending_shards=self.config.max_pending_shards,
             max_shards_per_request=self.config.max_shards_per_request,
+            incremental=self.config.incremental,
         )
 
     # -- serving -------------------------------------------------------------

@@ -76,9 +76,11 @@ class TelemetrySnapshot:
     shards_timed_out: int
     loops_computed: int
     loops_from_cache: int
+    loops_incremental: int
     loops_fallback: int
     cache_hits: int
     cache_misses: int
+    incremental_probes: int
     module_evals: int
     orchestrator_queries: int
     workers: int
@@ -113,9 +115,11 @@ class ServiceTelemetry:
         self.shards_timed_out = 0
         self.loops_computed = 0
         self.loops_from_cache = 0
+        self.loops_incremental = 0
         self.loops_fallback = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.incremental_probes = 0
         self.module_evals = 0
         self.orchestrator_queries = 0
         self.wall_s = 0.0
@@ -149,9 +153,11 @@ class ServiceTelemetry:
                 shards_timed_out=self.shards_timed_out,
                 loops_computed=self.loops_computed,
                 loops_from_cache=self.loops_from_cache,
+                loops_incremental=self.loops_incremental,
                 loops_fallback=self.loops_fallback,
                 cache_hits=self.cache_hits,
                 cache_misses=self.cache_misses,
+                incremental_probes=self.incremental_probes,
                 module_evals=self.module_evals,
                 orchestrator_queries=self.orchestrator_queries,
                 workers=self.workers,
@@ -180,11 +186,13 @@ def format_report(snap: TelemetrySnapshot) -> str:
         f"({snap.shards_dispatched} shards dispatched, "
         f"{snap.shards_deduplicated} deduplicated in-flight)",
         f"  loops            {snap.loops_computed} computed, "
-        f"{snap.loops_from_cache} from cache, "
+        f"{snap.loops_from_cache} from cache "
+        f"({snap.loops_incremental} via footprint revalidation), "
         f"{snap.loops_fallback} conservative fallback",
         f"  result cache     {snap.cache_hits} hits / "
         f"{snap.cache_misses} misses "
-        f"(hit rate {snap.cache_hit_rate:.1%})",
+        f"(hit rate {snap.cache_hit_rate:.1%}, "
+        f"{snap.incremental_probes} incremental probes)",
         f"  robustness       {snap.shards_timed_out} shard timeouts, "
         f"{snap.shards_failed} worker failures",
         f"  orchestrators    {snap.orchestrator_queries} queries, "

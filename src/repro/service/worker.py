@@ -31,7 +31,12 @@ from ..core.framework import (
     build_memory_speculation,
     build_scaf,
 )
-from ..ir import parse_module, verify_module
+from ..ir import (
+    module_fingerprints,
+    module_header_fingerprint,
+    parse_module,
+    verify_module,
+)
 from ..profiling import run_profilers
 from .answers import LoopAnswer, fallback_answer, summarize_pdg
 from .requests import AnalysisRequest, profile_digest
@@ -60,6 +65,42 @@ class ShardResult:
     module_evals: int = 0
     orchestrator_queries: int = 0
     busy_s: float = 0.0
+    #: Loop name -> names of the functions its analysis consulted
+    #: (callgraph reachability from the loop's function plus the
+    #: orchestrator's consulted-function trace).
+    footprints: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Per-function content hashes of the analyzed module, plus the
+    #: globals/structs header hash — what the scheduler stores next to
+    #: each answer so later edited modules can revalidate footprints.
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    header_fingerprint: str = ""
+
+
+def prepare_request(request: AnalysisRequest):
+    """Parse, verify, and profile a request's module.
+
+    Shared by :func:`run_shard` and the scheduler's incremental cache
+    probe — the probe needs the real hot-loop roster and fingerprints
+    of an *edited* module before deciding what still has to run.
+    Returns ``(module, context, profiles)``.
+    """
+    module = parse_module(request.source, name=request.name)
+    verify_module(module)
+    context = AnalysisContext(module)
+    profiles = run_profilers(module, context, entry=request.entry)
+    return module, context, profiles
+
+
+def loop_footprint(system: DependenceAnalysis, loop) -> Tuple[str, ...]:
+    """The dependence footprint of the loop just analyzed on
+    ``system``: every function whose content the answer may depend on.
+    """
+    reachable = system.context.callgraph.reachable_from(loop.function)
+    names = {fn.name for fn in reachable}
+    consulted = getattr(system.coordinator, "consulted_functions", None)
+    if consulted:
+        names.update(set(consulted))
+    return tuple(sorted(names))
 
 
 def build_system(name: str, module, context, profiles,
@@ -105,10 +146,7 @@ def run_shard(task: ShardTask) -> ShardResult:
     request = task.request
     started = time.perf_counter()
 
-    module = parse_module(request.source, name=request.name)
-    verify_module(module)
-    context = AnalysisContext(module)
-    profiles = run_profilers(module, context, entry=request.entry)
+    module, context, profiles = prepare_request(request)
     hot = hot_loops(profiles)
 
     result = ShardResult(
@@ -118,6 +156,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         entry=request.entry,
         profile_digest=profile_digest(profiles),
         hot_loops=tuple(h.name for h in hot),
+        fingerprints=module_fingerprints(module),
+        header_fingerprint=module_header_fingerprint(module),
     )
 
     wanted = set(task.loops) if task.loops else None
@@ -126,7 +166,10 @@ def run_shard(task: ShardTask) -> ShardResult:
     system = build_system(request.system, module, context, profiles,
                           request.config)
     client = PDGClient(system)
+    reset_consulted = getattr(system.coordinator, "reset_consulted",
+                              lambda: None)
     for h in selected:
+        reset_consulted()
         loop_started = time.perf_counter()
         pdg = _analyze_with_timeout(client, h.loop, task.loop_timeout_s)
         latency = time.perf_counter() - loop_started
@@ -137,6 +180,7 @@ def run_shard(task: ShardTask) -> ShardResult:
             result.answers.append(summarize_pdg(
                 request.name, request.system, pdg, h.time_fraction,
                 latency))
+            result.footprints[h.name] = loop_footprint(system, h.loop)
     result.module_evals = system.stats.total_module_evals
     result.orchestrator_queries = system.stats.queries
     result.busy_s = time.perf_counter() - started

@@ -1,0 +1,70 @@
+"""Tests for the canonical content fingerprints (repro.ir.fingerprint)."""
+
+from repro.ir import (
+    function_fingerprint,
+    module_fingerprints,
+    module_header_fingerprint,
+    parse_module,
+)
+
+TWO_FUNCS = """
+global @cell : i32 = 0
+
+func @helper(i32 %x) -> i32 {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+func @main() -> i32 {
+entry:
+  %v = call @helper(i32 3)
+  store i32 %v, i32* @cell
+  ret i32 %v
+}
+"""
+
+
+def test_fingerprint_stable_across_reparses():
+    a = module_fingerprints(parse_module(TWO_FUNCS))
+    b = module_fingerprints(parse_module(TWO_FUNCS))
+    assert a == b
+    assert set(a) == {"helper", "main"}
+
+
+def test_fingerprint_position_and_whitespace_independent():
+    """Shifting a function's position in the file or reformatting the
+    source must not change its hash: the printer canonicalizes both."""
+    shifted = TWO_FUNCS.replace(
+        "func @helper",
+        "func @noise() -> i32 {\nentry:\n  ret i32 0\n}\n\nfunc @helper")
+    indented = TWO_FUNCS.replace("\n  ", "\n      ")
+    base = module_fingerprints(parse_module(TWO_FUNCS))
+    shifted_fps = module_fingerprints(parse_module(shifted))
+    assert {n: shifted_fps[n] for n in base} == base
+    assert module_fingerprints(parse_module(indented)) == base
+
+
+def test_edit_changes_only_that_function():
+    edited = TWO_FUNCS.replace("add i32 %x, 1", "add i32 %x, 2")
+    base = module_fingerprints(parse_module(TWO_FUNCS))
+    after = module_fingerprints(parse_module(edited))
+    assert after["helper"] != base["helper"]
+    assert after["main"] == base["main"]
+
+
+def test_function_rename_changes_hash():
+    m = parse_module(TWO_FUNCS)
+    renamed = parse_module(TWO_FUNCS.replace("@helper", "@assist"))
+    assert function_fingerprint(m.functions["helper"]) != \
+        function_fingerprint(renamed.functions["assist"])
+
+
+def test_header_fingerprint_tracks_globals_not_functions():
+    base = module_header_fingerprint(parse_module(TWO_FUNCS))
+    fn_edit = module_header_fingerprint(parse_module(
+        TWO_FUNCS.replace("add i32 %x, 1", "add i32 %x, 2")))
+    global_edit = module_header_fingerprint(parse_module(
+        TWO_FUNCS.replace("@cell : i32 = 0", "@cell : i32 = 7")))
+    assert fn_edit == base
+    assert global_edit != base

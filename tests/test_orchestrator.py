@@ -189,6 +189,57 @@ class TestPremises:
         assert r.result is AliasResult.MAY_ALIAS
         assert orch.stats.cycles_cut >= 1
 
+    def test_cycle_tainted_answers_are_not_memoized(self):
+        """A response weakened by a cycle cut must not be cached.
+
+        Handling q1 evaluates q2 as a premise; q2's own premise (q1)
+        is in-flight and gets cut to the conservative answer, so q2
+        resolves MAY_ALIAS *only because of the cycle*.  Asked
+        directly afterwards — with q1 free to fully evaluate — q2 is
+        NO_ALIAS.  Memoizing the tainted first answer would wrongly
+        pin q2 at MAY_ALIAS forever.
+        """
+        g3 = GlobalVariable("c", I32)
+        g4 = GlobalVariable("d", I32)
+        q1 = make_query()                       # over globals a, b
+        q2 = AliasQuery(MemoryLocation(g3, 4), TemporalRelation.SAME,
+                        MemoryLocation(g4, 4), None)
+
+        def is_q1(query):
+            return query.loc1.pointer.name == "a"
+
+        class _Asker(AnalysisModule):
+            name = "asker"
+
+            def alias(self, query, resolver):
+                if is_q1(query):
+                    resolver.premise(q2)        # drags q2 into q1's tree
+                return QueryResponse.may_alias()
+
+        class _BackAsker(AnalysisModule):
+            name = "backasker"
+
+            def alias(self, query, resolver):
+                if not is_q1(query):
+                    return resolver.premise(q1)  # cycles while q1 runs
+                return QueryResponse.may_alias()
+
+        class _Direct(AnalysisModule):
+            name = "direct"
+
+            def alias(self, query, resolver):
+                if is_q1(query):
+                    return QueryResponse.no_alias()
+                return QueryResponse.may_alias()
+
+        ctx = AnalysisContext(Module("t"))
+        orch = Orchestrator(
+            [_Asker(ctx, None), _BackAsker(ctx, None), _Direct(ctx, None)],
+            OrchestratorConfig(use_cache=True))
+        assert orch.handle(q1).result is AliasResult.NO_ALIAS
+        assert orch.stats.cycles_cut >= 1
+        assert orch.handle(q2).result is AliasResult.NO_ALIAS
+
 
 class TestCache:
     def test_cache_hits(self):

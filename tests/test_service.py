@@ -10,6 +10,9 @@ facade, and the two contract properties the subsystem exists for:
   module evaluations.
 """
 
+import json
+import sqlite3
+import sys
 import tempfile
 import time
 
@@ -153,6 +156,31 @@ class TestVersionKey:
         with pytest.raises(ValueError):
             system_module_roster("nope")
 
+    def test_answer_irrelevant_config_fields_share_key(self):
+        """Memo-cache knobs cannot change an answer, so flipping them
+        must not bust the persistent cache; answer-relevant policy
+        fields still must."""
+        base = AnalysisRequest("t", make_source(), system="scaf")
+        for config in (OrchestratorConfig(use_cache=False),
+                       OrchestratorConfig(max_cache_entries=7),
+                       OrchestratorConfig(track_contributors=False)):
+            twin = AnalysisRequest("t", make_source(), system="scaf",
+                                   config=config)
+            assert twin.version_key() == base.version_key()
+            assert twin.lineage_key() == base.lineage_key()
+        assert AnalysisRequest(
+            "t", make_source(), system="scaf",
+            config=OrchestratorConfig(join_policy="all")
+        ).version_key() != base.version_key()
+
+    def test_lineage_key_ignores_source_only(self):
+        base = AnalysisRequest("t", make_source(), system="scaf")
+        edited = AnalysisRequest("t", make_source(iters=80), system="scaf")
+        assert base.version_key() != edited.version_key()
+        assert base.lineage_key() == edited.lineage_key()
+        assert base.lineage_key() != AnalysisRequest(
+            "t", make_source(), system="caf").lineage_key()
+
 
 # -- persistent cache --------------------------------------------------------
 
@@ -199,6 +227,132 @@ class TestResultCache:
         assert cache.lookup("k1") is None
         assert cache.prune(["k2"]) == 1
         assert cache.keys() == ["k2"]
+        cache.close()
+
+    def test_lookup_explicit_subset_of_partial_key(self, tmp_path):
+        """An explicit loop subset hits iff *every named loop* has a
+        row — a partially-populated key serves the loops it has and
+        misses on any subset that reaches into the holes."""
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        key = request.version_key()
+        answers = sequential_answers(request)
+        stored = answers[0].loop
+        cache.store(key, workload="t", system="caf", entry="main",
+                    modules=(), profile_digest="d",
+                    hot_loops=[stored, "@main:%ghost"],
+                    answers=answers)
+        assert cache.lookup(key, [stored]) is not None
+        assert cache.lookup(key, [stored, "@main:%ghost"]) is None
+        assert cache.lookup(key, ["@main:%ghost"]) is None
+        assert cache.lookup(key) is None            # full roster short
+        cache.close()
+
+    def test_prune_empty_keep_drops_all_rows(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        answers = sequential_answers(request)
+        for key in ("k1", "k2", "k3"):
+            cache.store(key, workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[a.loop for a in answers],
+                        answers=answers)
+        assert cache.prune([]) == 3
+        assert cache.keys() == []
+        # The answers table must be emptied too, not just meta.
+        left = cache._conn.execute("SELECT COUNT(*) FROM answers")
+        assert left.fetchone()[0] == 0
+        cache.close()
+
+    def test_prune_ignores_unknown_keep_keys(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        answers = sequential_answers(request)
+        for key in ("k1", "k2"):
+            cache.store(key, workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[a.loop for a in answers],
+                        answers=answers)
+        assert cache.prune(["k2", "k2", "never-stored"]) == 1
+        assert cache.keys() == ["k2"]
+        assert cache.lookup("k2") is not None
+        cache.close()
+
+    def test_v1_schema_migrates_in_place(self, tmp_path):
+        """Opening a pre-incremental (v1) database adds the new columns
+        without touching existing rows; legacy rows keep serving exact
+        lookups and never match an incremental probe."""
+        request = AnalysisRequest("t", make_source(), system="caf")
+        key = request.version_key()
+        [answer] = sequential_answers(request)
+        db = str(tmp_path / ResultCache.FILENAME)
+        conn = sqlite3.connect(db)
+        conn.executescript("""
+            CREATE TABLE meta (
+                version_key TEXT PRIMARY KEY, workload TEXT NOT NULL,
+                system TEXT NOT NULL, entry TEXT NOT NULL,
+                modules TEXT NOT NULL, profile_digest TEXT NOT NULL,
+                hot_loops TEXT NOT NULL, created_at REAL NOT NULL);
+            CREATE TABLE answers (
+                version_key TEXT NOT NULL, loop_name TEXT NOT NULL,
+                payload TEXT NOT NULL,
+                PRIMARY KEY (version_key, loop_name));
+        """)
+        conn.execute("INSERT INTO meta VALUES (?,?,?,?,?,?,?,?)",
+                     (key, "t", "caf", "main", "[]", "d",
+                      json.dumps([answer.loop]), 1.0))
+        conn.execute("INSERT INTO answers VALUES (?,?,?)",
+                     (key, answer.loop,
+                      json.dumps(loop_answer_to_dict(answer))))
+        conn.commit()
+        conn.close()
+
+        with ResultCache(str(tmp_path)) as cache:
+            cached = cache.lookup(key)
+            assert cached is not None
+            assert identities(cached) == identities([answer])
+            assert cache.meta(key).lineage_key == ""
+            assert not cache.has_lineage("")
+            assert cache.lookup_footprints(
+                request.lineage_key(), [answer.loop], {}, "") == {}
+            # v2 writes work against the migrated tables.
+            cache.store("k2", workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[answer.loop], answers=[answer],
+                        lineage_key=request.lineage_key())
+            assert cache.has_lineage(request.lineage_key())
+
+    def test_footprint_lookup_survives_unrelated_edit(self, tmp_path):
+        """The unit-level incremental contract: a stored answer is
+        returned for an edited module iff every footprint function's
+        fingerprint (and the header) is unchanged."""
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        [answer] = sequential_answers(request)
+        fingerprints = {"main": "m-hash", "helper": "h-hash"}
+        cache.store(request.version_key(), workload="t", system="caf",
+                    entry="main", modules=(), profile_digest="d",
+                    hot_loops=[answer.loop], answers=[answer],
+                    lineage_key=request.lineage_key(),
+                    footprints={answer.loop: ("main",)},
+                    fingerprints=fingerprints, header_fingerprint="hdr")
+        lineage = request.lineage_key()
+
+        hits = cache.lookup_footprints(
+            lineage, [answer.loop],
+            {"main": "m-hash", "helper": "edited"}, "hdr")
+        assert set(hits) == {answer.loop}
+        assert hits[answer.loop].answer.status == STATUS_CACHED
+        assert hits[answer.loop].footprint == ("main",)
+
+        # Edits inside the footprint, a changed header, or a deleted
+        # footprint function all invalidate.
+        assert cache.lookup_footprints(
+            lineage, [answer.loop], {"main": "edited"}, "hdr") == {}
+        assert cache.lookup_footprints(
+            lineage, [answer.loop], {"main": "m-hash"}, "hdr2") == {}
+        assert cache.lookup_footprints(
+            lineage, [answer.loop], {"helper": "h-hash"}, "hdr") == {}
         cache.close()
 
     def test_survives_reopen(self, tmp_path):
@@ -308,6 +462,38 @@ class TestScheduler:
         assert scheduler.telemetry.shards_dispatched == 5
         assert scheduler.telemetry.max_queue_depth <= 1
 
+    def test_init_rejects_non_positive_limits(self):
+        """An explicit 0 (or negative) limit is a configuration error,
+        not a request for the default."""
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="max_pending_shards"):
+                BatchScheduler(workers=2, executor="inline",
+                               max_pending_shards=bad)
+            with pytest.raises(ValueError, match="max_shards_per_request"):
+                BatchScheduler(workers=2, executor="inline",
+                               max_shards_per_request=bad)
+        # None still means "derive from workers".
+        scheduler = BatchScheduler(workers=3, executor="inline")
+        assert scheduler.max_pending_shards == 6
+        assert scheduler.max_shards_per_request == 3
+
+    def test_inline_executor_propagates_interrupts(self):
+        """KeyboardInterrupt/SystemExit must escape; ordinary task
+        errors surface through the future like a real pool."""
+        from repro.service.scheduler import _InlineExecutor
+        executor = _InlineExecutor()
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            executor.submit(interrupt)
+        with pytest.raises(SystemExit):
+            executor.submit(sys.exit, 3)
+        future = executor.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result()
+
     def test_loop_sharding_splits_known_rosters(self):
         seen = []
 
@@ -370,6 +556,128 @@ class TestServiceEndToEnd:
         assert 0.0 < value <= 100.0
 
 
+# -- incremental re-analysis -------------------------------------------------
+
+#: An uncalled, self-contained helper (touches only its own alloca):
+#: editing ``{step}`` changes exactly one function fingerprint and can
+#: be inside no hot loop's dependence footprint.
+PROBE_FUNC = """
+func @__probe(i32 %seed) -> i32 {{
+entry:
+  %slot = alloca i32
+  store i32 %seed, i32* %slot
+  %cur = load i32* %slot
+  %next = add i32 %cur, {step}
+  ret i32 %next
+}}
+"""
+
+#: Two independently-edited functions, each owning one hot loop, so a
+#: single-function edit dirties exactly one loop.
+TWO_LOOP_SOURCE = """
+global @acc1 : i32 = 0
+global @acc2 : i32 = 0
+
+func @work1() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %a = load i32* @acc1
+  %a2 = add i32 %a, %i
+  store i32 %a2, i32* @acc1
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 60
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @acc1
+  ret i32 %r
+}}
+
+func @work2() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %a = load i32* @acc2
+  %a2 = add i32 %a, {step}
+  store i32 %a2, i32* @acc2
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 60
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @acc2
+  ret i32 %r
+}}
+
+func @main() -> i32 {{
+entry:
+  %x = call @work1()
+  %y = call @work2()
+  %s = add i32 %x, %y
+  ret i32 %s
+}}
+"""
+
+
+def _run_cached(source: str, cache_dir: str, system: str = "scaf",
+                incremental: bool = True):
+    config = ServiceConfig(workers=0, executor="inline",
+                           cache_dir=cache_dir, incremental=incremental)
+    with DependenceService(config) as service:
+        return service.run_batch(
+            [AnalysisRequest("incr", source, system=system)])
+
+
+class TestIncremental:
+    def test_edit_outside_footprint_serves_from_cache(self, tmp_path):
+        """The tentpole acceptance path: after editing a function
+        outside every loop's footprint, the warm batch re-answers every
+        loop from the cache with zero module evaluations."""
+        v1 = make_source() + PROBE_FUNC.format(step=1)
+        v2 = make_source() + PROBE_FUNC.format(step=2)
+        cold = _run_cached(v1, str(tmp_path))
+        assert all(a.status == STATUS_COMPUTED for a in cold.flat())
+        warm = _run_cached(v2, str(tmp_path))
+        assert all(a.status == STATUS_CACHED for a in warm.flat())
+        assert warm.telemetry.module_evals == 0
+        assert warm.telemetry.loops_incremental == len(warm.flat())
+        assert warm.telemetry.incremental_probes == 1
+        assert identities(warm.flat()) == identities(cold.flat())
+
+    def test_partial_dirty_recomputes_only_dirty_loop(self, tmp_path):
+        """Editing @work2 must recompute @work2's loop and serve
+        @work1's loop from its still-valid footprint."""
+        cold = _run_cached(TWO_LOOP_SOURCE.format(step=1), str(tmp_path))
+        warm = _run_cached(TWO_LOOP_SOURCE.format(step=2), str(tmp_path))
+        by_loop = {a.loop: a for a in warm.flat()}
+        assert by_loop["@work1:%loop"].status == STATUS_CACHED
+        assert by_loop["@work2:%loop"].status == STATUS_COMPUTED
+        assert 0 < warm.telemetry.module_evals < cold.telemetry.module_evals
+        cold_w1 = next(a for a in cold.flat() if a.loop == "@work1:%loop")
+        assert by_loop["@work1:%loop"].identity() == cold_w1.identity()
+
+    def test_dirty_answers_are_reusable_in_turn(self, tmp_path):
+        """A batch that mixed cached and recomputed loops re-persists
+        the full roster: a third run behind the same edit is a pure
+        exact-key hit."""
+        _run_cached(TWO_LOOP_SOURCE.format(step=1), str(tmp_path))
+        _run_cached(TWO_LOOP_SOURCE.format(step=2), str(tmp_path))
+        third = _run_cached(TWO_LOOP_SOURCE.format(step=2), str(tmp_path))
+        assert all(a.status == STATUS_CACHED for a in third.flat())
+        assert third.telemetry.module_evals == 0
+        assert third.telemetry.incremental_probes == 0  # exact hit
+
+    def test_incremental_disabled_recomputes(self, tmp_path):
+        v1 = make_source() + PROBE_FUNC.format(step=1)
+        v2 = make_source() + PROBE_FUNC.format(step=2)
+        _run_cached(v1, str(tmp_path), incremental=False)
+        warm = _run_cached(v2, str(tmp_path), incremental=False)
+        assert all(a.status == STATUS_COMPUTED for a in warm.flat())
+        assert warm.telemetry.module_evals > 0
+        assert warm.telemetry.incremental_probes == 0
+
+
 # -- the contract property ---------------------------------------------------
 
 @settings(max_examples=6, deadline=None,
@@ -393,6 +701,33 @@ def test_property_batched_equals_sequential(iters, rare_store,
     scheduler = BatchScheduler(workers=0, executor="inline")
     [answers] = scheduler.run_batch([request])
     assert identities(answers) == expected
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    iters=st.sampled_from((55, 60)),
+    rare_store=st.booleans(),
+    system=st.sampled_from(("caf", "confluence", "scaf",
+                            "memory-speculation")),
+)
+def test_property_incremental_equals_cold_recompute(iters, rare_store,
+                                                    system):
+    """Footprint-revalidated answers are bitwise-identical to what a
+    cold recompute of the edited module would produce, on every
+    system."""
+    v2 = (make_source(iters=iters, rare_store=rare_store)
+          + PROBE_FUNC.format(step=2))
+    expected = identities(sequential_answers(
+        AnalysisRequest("incr", v2, system=system)))
+
+    cache_dir = tempfile.mkdtemp(prefix="scaf-incr-")
+    v1 = (make_source(iters=iters, rare_store=rare_store)
+          + PROBE_FUNC.format(step=1))
+    _run_cached(v1, cache_dir, system=system)
+    warm = _run_cached(v2, cache_dir, system=system)
+    assert all(a.status == STATUS_CACHED for a in warm.flat())
+    assert identities(warm.flat()) == expected
 
 
 class TestTelemetry:
