@@ -13,6 +13,14 @@ Commands
              the serving layer, ``--json`` emits the service schema
 ``batch``    answer many workloads through the batched, parallel,
              cached dependence-query service (``repro.service``)
+``stats``    summarize a trace file produced by ``analyze``/``batch``
+             ``--trace`` (per-module attribution, span structure)
+
+``analyze`` and ``batch`` accept ``--trace out.json`` to record an
+end-to-end span timeline (``repro.obs``): Chrome trace-event format
+by default (open in Perfetto), JSONL when the path ends in
+``.jsonl``.  A traced run also prints the per-module attribution
+report; ``--trace-sample N`` records every N-th query subtree.
 """
 
 from __future__ import annotations
@@ -150,6 +158,47 @@ def _snapshot_dict(snap) -> dict:
     return doc
 
 
+def _start_trace(args):
+    """Install a live tracer when ``--trace`` was given."""
+    if not getattr(args, "trace", None):
+        return None
+    from .obs import TraceContext, set_tracer
+    tracer = TraceContext(sample_every=args.trace_sample)
+    set_tracer(tracer)
+    return tracer
+
+
+def _finish_trace(args, tracer) -> None:
+    """Export the trace and print the attribution report.
+
+    The report is rendered from the same spans the file holds, so the
+    printed per-module totals always reconcile with the artifact
+    (``repro stats`` recomputes them offline).  In ``--json`` mode the
+    report goes to stderr so stdout stays machine-readable.
+    """
+    if tracer is None:
+        return
+    from .obs import (
+        NOOP,
+        attribution_from_spans,
+        render_attribution,
+        set_tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    set_tracer(NOOP)
+    spans = tracer.export()
+    if args.trace.endswith(".jsonl"):
+        write_jsonl(spans, args.trace)
+    else:
+        write_chrome_trace(spans, args.trace)
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(file=out)
+    print(render_attribution(attribution_from_spans(spans)), file=out)
+    print(f"  trace: {len(spans)} spans -> {args.trace} "
+          f"(open in https://ui.perfetto.dev)", file=out)
+
+
 def _print_loop_answers(answers, system: str, deps: bool = False,
                         show_all: bool = False,
                         prefix: str = "") -> None:
@@ -213,6 +262,14 @@ def _analyze_via_service(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    tracer = _start_trace(args)
+    try:
+        return _cmd_analyze(args)
+    finally:
+        _finish_trace(args, tracer)
+
+
+def _cmd_analyze(args) -> int:
     if args.workers is not None or args.cache_dir:
         return _analyze_via_service(args)
 
@@ -221,6 +278,8 @@ def cmd_analyze(args) -> int:
     profiles = run_profilers(module, context, entry=args.entry)
     system = SYSTEM_BUILDERS[args.system](module, context, profiles)
     client = PDGClient(system)
+    from .obs import current_tracer
+    tracer = current_tracer()
 
     hot = hot_loops(profiles)
     if not hot:
@@ -232,7 +291,9 @@ def cmd_analyze(args) -> int:
         answers = []
         for h in hot:
             started = time.perf_counter()
-            pdg = client.analyze_loop(h.loop)
+            with tracer.span("loop", cat="loop", loop=h.name,
+                             workload=args.file, system=args.system):
+                pdg = client.analyze_loop(h.loop)
             answers.append(summarize_pdg(
                 args.file, args.system, pdg, h.time_fraction,
                 time.perf_counter() - started))
@@ -245,7 +306,9 @@ def cmd_analyze(args) -> int:
         return 0
 
     for h in hot:
-        pdg = client.analyze_loop(h.loop)
+        with tracer.span("loop", cat="loop", loop=h.name,
+                         workload=args.file, system=args.system):
+            pdg = client.analyze_loop(h.loop)
         speculative = sum(1 for r in pdg.records if r.speculative)
         print(f"{h.name} [{args.system}]: "
               f"%NoDep = {pdg.no_dep_percent:.2f} "
@@ -268,6 +331,14 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_batch(args) -> int:
+    tracer = _start_trace(args)
+    try:
+        return _cmd_batch(args)
+    finally:
+        _finish_trace(args, tracer)
+
+
+def _cmd_batch(args) -> int:
     """Serve many workloads through the batched query service."""
     from .service import (
         DependenceService,
@@ -331,6 +402,34 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Summarize (or validate) an exported trace file offline."""
+    from .obs import (
+        load_trace,
+        summarize_trace,
+        trace_document,
+        validate_spans,
+    )
+    if args.check:
+        spans = load_trace(args.file)
+        problems = validate_spans(spans)
+        if not spans:
+            print(f"stats: {args.file} holds no spans", file=sys.stderr)
+            return 1
+        if problems:
+            for p in problems:
+                print(f"stats: {p}", file=sys.stderr)
+            return 1
+        print(f"trace ok: {len(spans)} spans, structure valid")
+        return 0
+    if args.json:
+        print(json.dumps(trace_document(args.file), indent=2,
+                         default=str))
+        return 0
+    print(summarize_trace(args.file))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--no-incremental", action="store_true",
                       help="disable footprint-based incremental reuse "
                            "of cached answers across module edits")
+    p_an.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a span timeline (Chrome trace-event "
+                           "format; JSONL when PATH ends in .jsonl)")
+    p_an.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                      help="record every N-th query subtree (default 1)")
     p_an.set_defaults(func=cmd_analyze)
 
     p_batch = sub.add_parser(
@@ -406,7 +510,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-incremental", action="store_true",
                          help="disable footprint-based incremental "
                               "reuse of cached answers across edits")
+    p_batch.add_argument("--trace", default=None, metavar="PATH",
+                         help="record a span timeline (Chrome "
+                              "trace-event format; JSONL when PATH "
+                              "ends in .jsonl)")
+    p_batch.add_argument("--trace-sample", type=int, default=1,
+                         metavar="N",
+                         help="record every N-th query subtree "
+                              "(default 1)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="summarize a --trace file (attribution, span structure)")
+    p_stats.add_argument("file", help="trace file from analyze/batch "
+                                      "--trace")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable summary")
+    p_stats.add_argument("--check", action="store_true",
+                         help="validate only: exit nonzero unless the "
+                              "trace parses and spans nest correctly")
+    p_stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..ir import CallInst
+from ..obs.trace import current_tracer
 from ..query import (
     AliasQuery,
     JoinPolicy,
@@ -126,7 +127,19 @@ class Orchestrator:
     def handle(self, query: Query) -> QueryResponse:
         """Resolve a client query (Algorithm 1)."""
         self.stats.queries += 1
-        response, contributors = self._handle(query, depth=0)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            response, contributors = self._handle(query, depth=0)
+            self.last_contributors = contributors
+            return response
+        # Top-level queries are the sampling roots: a skipped query
+        # suppresses its whole subtree (module evals, premises).
+        with tracer.span("query", cat="query", sample=True,
+                         kind=type(query).__name__) as span:
+            response, contributors = self._handle(query, depth=0)
+            span.set(result=str(response.result.value),
+                     conservative=response.is_conservative,
+                     contributors=sorted(contributors))
         self.last_contributors = contributors
         return response
 
@@ -190,11 +203,14 @@ class Orchestrator:
         # Trace before the memo probe: a memoized answer still makes
         # the final result depend on the functions this query names.
         self._note_consulted(query)
+        tracer = current_tracer()
         if self.config.use_cache:
             self.stats.cache_lookups += 1
             if key in self._cache:
                 self.stats.cache_hits += 1
                 self._cache.move_to_end(key)
+                if tracer.enabled:
+                    tracer.event("cache_hit", depth=depth)
                 return self._cache[key]
             # A fully-evaluated (desired-free) cached answer serves any
             # desired-result variant of the same query.
@@ -203,11 +219,16 @@ class Orchestrator:
                 if stripped_key in self._cache:
                     self.stats.cache_hits += 1
                     self._cache.move_to_end(stripped_key)
+                    if tracer.enabled:
+                        tracer.event("cache_hit", depth=depth,
+                                     stripped=True)
                     return self._cache[stripped_key]
         if key in self._inflight:
             # A module is asking (transitively) about its own query;
             # answer conservatively to cut the cycle.
             self.stats.cycles_cut += 1
+            if tracer.enabled:
+                tracer.event("cycle_cut", depth=depth)
             return QueryResponse.conservative(query.result_type), frozenset()
 
         self._inflight.add(key)
@@ -236,11 +257,32 @@ class Orchestrator:
                           ) -> Tuple[QueryResponse, FrozenSet[str]]:
         final = QueryResponse.conservative(query.result_type)
         contributors: Set[str] = set()
+        tracer = current_tracer()
 
         for module in self.modules:
             self.stats.module_evals[module.name] = \
                 self.stats.module_evals.get(module.name, 0) + 1
             resolver = _PremiseResolver(self, module, depth)
+            if tracer.enabled:
+                with tracer.span("eval", cat="module_eval",
+                                 module=module.name) as span:
+                    response = self._eval(module, query, resolver)
+                    improved = False
+                    if response.is_realizable and \
+                            not response.is_conservative:
+                        joined = join(self.config.join_policy, final,
+                                      response)
+                        improved = self._improved(final, joined)
+                        if self.config.track_contributors and improved:
+                            contributors.add(module.name)
+                            contributors.update(resolver.contributors)
+                        final = joined
+                    span.set(result=str(response.result.value),
+                             improved=improved)
+                if self._bailout(final):
+                    tracer.event("bailout", module=module.name)
+                    break
+                continue
             response = self._eval(module, query, resolver)
 
             if response.is_realizable and not response.is_conservative:
@@ -304,6 +346,17 @@ class _PremiseResolver(Resolver):
         self.contributors: Set[str] = set()
 
     def premise(self, query: Query) -> QueryResponse:
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("premise", cat="premise",
+                             asker=self.module.name, depth=self.depth,
+                             kind=type(query).__name__) as span:
+                response = self._premise(query)
+                span.set(result=str(response.result.value))
+            return response
+        return self._premise(query)
+
+    def _premise(self, query: Query) -> QueryResponse:
         orch = self.orchestrator
         orch.stats.premise_queries += 1
         if self.depth >= orch.config.max_premise_depth:
@@ -325,6 +378,10 @@ class _PremiseResolver(Resolver):
         if isinstance(query, AliasQuery) and query.desired is not None:
             if response.result != query.desired:
                 orch.stats.desired_result_bails += 1
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.event("desired_result_bail",
+                                 asker=self.module.name)
                 return QueryResponse.conservative(query.result_type)
         if not response.is_conservative:
             self.contributors.update(contributors)

@@ -1,0 +1,72 @@
+"""`repro.obs`: end-to-end observability for the SCAF reproduction.
+
+Span-based tracing with per-module attribution and exportable
+timelines (DESIGN.md §6):
+
+- :mod:`trace` — :class:`TraceContext`/:class:`Span`, the process
+  current-tracer slot, sampling, cross-process span adoption, and
+  structural validation;
+- :mod:`metrics` — :class:`MetricsRegistry` (labeled counters,
+  gauges, and the generalized :class:`LatencyHistogram`);
+- :mod:`attribution` — fold a trace into the paper's per-module
+  "queries resolved / precision won / time spent" tables;
+- :mod:`export` — JSONL and Chrome trace-event (Perfetto) writers
+  and loaders;
+- :mod:`stats` — the offline ``python -m repro stats`` report.
+
+Tracing is disabled by default (:func:`current_tracer` returns
+:data:`NOOP`) and costs nothing until :func:`set_tracer` installs a
+live :class:`TraceContext`.
+"""
+
+from .attribution import (
+    AttributionReport,
+    ModuleAttribution,
+    attribution_from_spans,
+    render_attribution,
+)
+from .export import (
+    load_jsonl,
+    load_trace,
+    load_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from .stats import summarize_trace, trace_document
+from .trace import (
+    NOOP,
+    Span,
+    TraceContext,
+    TraceSpec,
+    current_tracer,
+    set_tracer,
+    span_index,
+    validate_spans,
+)
+
+__all__ = [
+    "AttributionReport",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ModuleAttribution",
+    "NOOP",
+    "Span",
+    "TraceContext",
+    "TraceSpec",
+    "attribution_from_spans",
+    "current_tracer",
+    "load_jsonl",
+    "load_trace",
+    "load_trace_events",
+    "render_attribution",
+    "set_tracer",
+    "span_index",
+    "summarize_trace",
+    "trace_document",
+    "validate_spans",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,152 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Two on-disk encodings of one span list:
+
+- **JSONL** — one span dict per line, the lossless native format
+  (``load_jsonl`` round-trips exactly).
+- **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with one
+  complete ("X") event per span and one instant ("i") event per span
+  event, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Span ids/parents/category travel in ``args``
+  so the encoding stays lossless and ``load_trace_events`` can
+  reconstruct the span list for ``repro stats``.
+
+Timestamps are epoch-based microseconds; each traced process gets its
+own Perfetto lane via its real pid, with ``process_name`` metadata
+labelling the scheduler and workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "load_jsonl",
+    "load_trace",
+    "load_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def write_jsonl(spans: List[Mapping], path: str) -> None:
+    """One span dict per line (lossless; greppable)."""
+    with open(path, "w") as f:
+        for span in spans:
+            f.write(json.dumps(span, sort_keys=True, default=str))
+            f.write("\n")
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    spans = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def chrome_trace_events(spans: List[Mapping],
+                        main_pid: Optional[int] = None) -> List[Dict]:
+    """The trace-event list for one span set (see module docstring)."""
+    main_pid = main_pid if main_pid is not None else os.getpid()
+    events: List[Dict] = []
+    seen_pids: Dict[int, str] = {}
+    for span in spans:
+        pid = span["pid"]
+        if pid not in seen_pids:
+            seen_pids[pid] = ("repro scheduler" if pid == main_pid
+                              else f"repro worker {pid}")
+        args = dict(span.get("attrs", {}))
+        args["span_id"] = span["id"]
+        if span.get("parent") is not None:
+            args["parent_id"] = span["parent"]
+        args["category"] = span["cat"]
+        events.append({
+            "ph": "X",
+            "name": span["name"],
+            "cat": span["cat"],
+            "ts": span["start"] * 1e6,
+            "dur": span["dur"] * 1e6,
+            "pid": pid,
+            "tid": span["tid"],
+            "args": args,
+        })
+        for event in span.get("events", ()):
+            events.append({
+                "ph": "i",
+                "name": event["name"],
+                "cat": span["cat"],
+                "ts": event["ts"] * 1e6,
+                "s": "t",
+                "pid": pid,
+                "tid": span["tid"],
+                "args": dict(event.get("attrs", {})),
+            })
+    for pid, label in seen_pids.items():
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+    return events
+
+
+def write_chrome_trace(spans: List[Mapping], path: str,
+                       main_pid: Optional[int] = None) -> None:
+    """Write ``{"traceEvents": [...]}`` (open in Perfetto)."""
+    doc = {"traceEvents": chrome_trace_events(spans, main_pid),
+           "displayTimeUnit": "ms"}
+    with open(path, "w") as f:
+        json.dump(doc, f, sort_keys=True, default=str)
+
+
+def load_trace_events(path: str) -> List[Dict]:
+    """Reconstruct the span list from a Chrome trace-event file."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue  # instants/metadata carry no interval of their own
+        args = dict(ev.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent = args.pop("parent_id", None)
+        cat = args.pop("category", ev.get("cat", "span"))
+        spans.append({
+            "id": span_id,
+            "parent": parent,
+            "name": ev["name"],
+            "cat": cat,
+            "start": ev["ts"] / 1e6,
+            "dur": ev.get("dur", 0.0) / 1e6,
+            "pid": ev.get("pid", 0),
+            "tid": ev.get("tid", 0),
+            "attrs": args,
+            "events": [],
+        })
+    return spans
+
+
+def load_trace(path: str) -> List[Dict]:
+    """Load either export format by sniffing the first byte:
+    a JSON object/array is a Chrome trace, otherwise JSONL."""
+    with open(path) as f:
+        head = f.read(1)
+    if head == "[":
+        return load_trace_events(path)
+    if head == "{":
+        # One JSON object: a Chrome trace document... unless the file
+        # is single-line JSONL (one span dict).  Chrome docs have a
+        # traceEvents key; span dicts have an id key.
+        with open(path) as f:
+            first_line = f.readline()
+        try:
+            doc = json.loads(first_line)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "id" in doc and "cat" in doc:
+            return load_jsonl(path)
+        return load_trace_events(path)
+    return load_jsonl(path)

@@ -1,0 +1,269 @@
+"""Unified metrics: labeled counters, gauges, latency histograms.
+
+One :class:`MetricsRegistry` per process aggregates every numeric
+signal the stack emits.  Instruments are identified by a name plus
+optional labels (``registry.counter("module_evals",
+module="KillFlowAA")``), so the same counter family can be read in
+aggregate or sliced per module/workload — the substrate for the
+attribution report and the ``repro stats`` subcommand.
+
+The registry is snapshot-able to plain JSON-able dicts and two
+snapshots merge commutatively (counters add, histograms add bucket
+counts, gauges keep the max high-water mark), which is how worker
+processes ship their labeled series back to the scheduler.
+
+:class:`LatencyHistogram` (formerly in :mod:`repro.service.telemetry`)
+lives here now: fixed log-spaced buckets from 1µs to ~316s, and
+percentiles interpolate *within* the winning bucket instead of
+returning its upper bound, so sub-100µs Python-scale query latencies
+resolve instead of collapsing onto the first bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "series_key",
+]
+
+#: Histogram bucket upper bounds in seconds (log-spaced, ~x3.2 per
+#: half-decade) from 1µs to ~316s; the final bucket is open-ended.
+_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-12, 5))
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram with percentiles."""
+
+    BUCKETS = _BUCKETS
+
+    def __init__(self):
+        self.counts = [0] * (len(_BUCKETS) + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_s += seconds
+        self.max_s = max(self.max_s, seconds)
+        for i, bound in enumerate(_BUCKETS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate of the p-th percentile (0 < p <= 100).
+
+        Linearly interpolates within the winning bucket — between its
+        lower and upper bounds (0 below the first bucket, the observed
+        maximum inside the open-ended overflow bucket) — so estimates
+        move smoothly with the data instead of snapping to bucket
+        upper bounds.
+        """
+        if not self.total:
+            return 0.0
+        rank = self.total * p / 100.0
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if not count:
+                continue
+            if seen + count >= rank:
+                lo = _BUCKETS[i - 1] if i > 0 else 0.0
+                hi = _BUCKETS[i] if i < len(_BUCKETS) else self.max_s
+                hi = max(hi, lo)
+                fraction = (rank - seen) / count
+                return min(lo + (hi - lo) * fraction, self.max_s)
+            seen += count
+        return self.max_s
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.total,
+            "mean_s": self.mean_s,
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p99_s": self.percentile(99),
+            "max_s": self.max_s,
+        }
+
+    # -- snapshot/merge ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"counts": list(self.counts), "total": self.total,
+                "sum_s": self.sum_s, "max_s": self.max_s}
+
+    def merge_dict(self, doc: Mapping) -> None:
+        counts = doc.get("counts", ())
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram bucket mismatch: "
+                             f"{len(counts)} vs {len(self.counts)}")
+        for i, c in enumerate(counts):
+            self.counts[i] += c
+        self.total += doc.get("total", 0)
+        self.sum_s += doc.get("sum_s", 0.0)
+        self.max_s = max(self.max_s, doc.get("max_s", 0.0))
+
+
+class Counter:
+    """A monotonically-increasing (possibly fractional) count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n=1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A level with a high-water mark (queue depth et al.)."""
+
+    __slots__ = ("value", "max", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self.value = 0
+        self.max = 0
+        self._lock = lock
+
+    def inc(self, n=1) -> None:
+        with self._lock:
+            self.value += n
+            self.max = max(self.max, self.value)
+
+    def dec(self, n=1) -> None:
+        with self._lock:
+            self.value = max(0, self.value - n)
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+            self.max = max(self.max, value)
+
+
+def series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical series identity: ``name{k=v,...}`` (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe instrument registry with labeled series."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- instrument access (creates on first use) ---------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = series_key(name, labels)
+        with self._lock:
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter(self._lock)
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = series_key(name, labels)
+        with self._lock:
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge(self._lock)
+        return inst
+
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        key = series_key(name, labels)
+        with self._lock:
+            inst = self._histograms.get(key)
+            if inst is None:
+                inst = self._histograms[key] = LatencyHistogram()
+        return inst
+
+    # -- reads ---------------------------------------------------------------
+
+    def value(self, name: str, **labels):
+        """Current value of a counter/gauge series (0 when absent)."""
+        key = series_key(name, labels)
+        counter = self._counters.get(key)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(key)
+        return gauge.value if gauge is not None else 0
+
+    def series(self, name: str) -> Dict[str, float]:
+        """Every labeled counter series of one family, by label part."""
+        prefix = name + "{"
+        out = {}
+        for key, counter in self._counters.items():
+            if key.startswith(prefix) and key.endswith("}"):
+                out[key[len(prefix):-1]] = counter.value
+        return out
+
+    # -- snapshot/merge ------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A JSON-able dump of every series (histograms keep their
+        raw bucket counts so snapshots stay mergeable)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value
+                             for k, c in self._counters.items()},
+                "gauges": {k: {"value": g.value, "max": g.max}
+                           for k, g in self._gauges.items()},
+                "histograms": {k: h.to_dict()
+                               for k, h in self._histograms.items()},
+            }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold another registry's snapshot into this one (counters
+        add; gauges keep the larger high-water mark; histograms add
+        bucket counts)."""
+        for key, value in snapshot.get("counters", {}).items():
+            self._bare_counter(key).inc(value)
+        for key, doc in snapshot.get("gauges", {}).items():
+            gauge = self._bare_gauge(key)
+            with self._lock:
+                gauge.max = max(gauge.max, doc.get("max", 0))
+        for key, doc in snapshot.get("histograms", {}).items():
+            self._bare_histogram(key).merge_dict(doc)
+
+    # -- internals (instruments by pre-built series key) --------------------
+
+    def _bare_counter(self, key: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter(self._lock)
+        return inst
+
+    def _bare_gauge(self, key: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge(self._lock)
+        return inst
+
+    def _bare_histogram(self, key: str) -> LatencyHistogram:
+        with self._lock:
+            inst = self._histograms.get(key)
+            if inst is None:
+                inst = self._histograms[key] = LatencyHistogram()
+        return inst

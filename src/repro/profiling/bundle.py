@@ -8,6 +8,7 @@ from typing import Dict, Optional, Sequence, Union
 from ..analysis import AnalysisContext, Loop
 from ..interp import Interpreter, LoopStats
 from ..ir import Module
+from ..obs.trace import current_tracer
 from .edge import EdgeProfile, EdgeProfiler
 from .lifetime import LifetimeProfile, LifetimeProfiler
 from .memdep import MemDepProfile, MemDepProfiler
@@ -53,8 +54,14 @@ def run_profilers(module: Module,
     for profiler in (edge, value, points_to, residue, lifetime, memdep):
         interp.add_listener(profiler)
 
-    result = interp.run(entry, args)
-    lifetime.finish()
+    tracer = current_tracer()
+    with tracer.span("profile", cat="profile", entry=entry,
+                     profilers=6) as span:
+        with tracer.span("interpret", cat="profile"):
+            result = interp.run(entry, args)
+        with tracer.span("finalize", cat="profile"):
+            lifetime.finish()
+        span.set(instructions=interp.total_instructions())
 
     return ProfileBundle(
         edge=edge.profile,

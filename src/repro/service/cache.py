@@ -317,16 +317,29 @@ class ResultCache:
     def prune(self, keep_keys: Sequence[str]) -> int:
         """Drop every version key not in ``keep_keys``; returns the
         number of keys removed (explicit invalidation of superseded
-        versions)."""
+        versions).
+
+        The keep set is staged through a temp table instead of being
+        inlined as ``NOT IN (?,?,...)`` host parameters, so it is not
+        capped by sqlite's default 999-parameter limit (``executemany``
+        binds one parameter per row) and scales to arbitrarily many
+        live version keys.
+        """
         keep = sorted(set(keep_keys))
-        placeholders = ",".join("?" * len(keep))
-        condition = (f"version_key NOT IN ({placeholders})" if keep
-                     else "1")  # empty keep list drops everything
         with self._lock:
-            removed = self._conn.execute(
-                f"DELETE FROM meta WHERE {condition}", keep).rowcount
             self._conn.execute(
-                f"DELETE FROM answers WHERE {condition}", keep)
+                "CREATE TEMP TABLE IF NOT EXISTS keep_keys"
+                " (version_key TEXT PRIMARY KEY)")
+            self._conn.execute("DELETE FROM keep_keys")
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO keep_keys VALUES (?)",
+                ((k,) for k in keep))
+            condition = ("version_key NOT IN"
+                         " (SELECT version_key FROM keep_keys)")
+            removed = self._conn.execute(
+                f"DELETE FROM meta WHERE {condition}").rowcount
+            self._conn.execute(f"DELETE FROM answers WHERE {condition}")
+            self._conn.execute("DELETE FROM keep_keys")
             self._conn.commit()
         return removed
 

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..clients import hot_loops
 from ..ir import module_fingerprints, module_header_fingerprint
+from ..obs.trace import TraceSpec, current_tracer
 from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
     fallback_answer
 from .cache import ResultCache
@@ -150,12 +151,19 @@ class BatchScheduler:
         started = time.perf_counter()
         tel = self.telemetry
         tel.count("requests", len(requests))
+        tracer = current_tracer()
 
-        work = self._deduplicate(requests)
-        pending = self._probe_cache(work)
-        if pending:
-            self._fan_out(pending, work)
-        self._store_results(work)
+        with tracer.span("batch", cat="batch",
+                         requests=len(requests)) as batch_span:
+            with tracer.span("dedup", cat="scheduler"):
+                work = self._deduplicate(requests)
+            with tracer.span("cache_probe", cat="scheduler"):
+                pending = self._probe_cache(work)
+            if pending:
+                self._fan_out(pending, work)
+            with tracer.span("store_results", cat="scheduler"):
+                self._store_results(work)
+            batch_span.set(keys=len(work), pending=len(pending))
 
         tel.count("wall_s", time.perf_counter() - started)
         return [self._answers_for(request, work) for request in requests]
@@ -192,6 +200,7 @@ class BatchScheduler:
 
     def _probe_cache(self, work: Dict[str, _KeyWork]) -> List[str]:
         pending = []
+        tracer = current_tracer()
         for key, entry in work.items():
             if self.cache is None:
                 pending.append(key)
@@ -200,6 +209,8 @@ class BatchScheduler:
             if cached is not None:
                 self.telemetry.count("cache_hits")
                 self.telemetry.count("loops_from_cache", len(cached))
+                tracer.event("cache_hit", workload=entry.request.name,
+                             loops=len(cached))
                 meta = self.cache.meta(key)
                 entry.hot_loops = meta.hot_loops if meta else ()
                 entry.profile_digest = meta.profile_digest if meta else ""
@@ -207,8 +218,11 @@ class BatchScheduler:
                 continue
             if self.incremental and self._probe_incremental(entry):
                 self.telemetry.count("cache_hits")
+                tracer.event("incremental_hit",
+                             workload=entry.request.name)
                 continue
             self.telemetry.count("cache_misses")
+            tracer.event("cache_miss", workload=entry.request.name)
             pending.append(key)
         return pending
 
@@ -227,6 +241,13 @@ class BatchScheduler:
         if not self.cache.has_lineage(lineage):
             return False
         tel.count("incremental_probes")
+        with current_tracer().span("incremental_probe", cat="scheduler",
+                                   workload=entry.request.name):
+            return self._probe_incremental_inner(entry, lineage)
+
+    def _probe_incremental_inner(self, entry: _KeyWork,
+                                 lineage: str) -> bool:
+        tel = self.telemetry
         try:
             module, _context, profiles = prepare_request(entry.request)
         except Exception:
@@ -265,6 +286,9 @@ class BatchScheduler:
 
     def _shards_for(self, key: str, entry: _KeyWork) -> List[ShardTask]:
         """Split one key's demand into worker assignments."""
+        tracer = current_tracer()
+        trace = (TraceSpec(sample_every=tracer.sample_every)
+                 if tracer.enabled else None)
         loops = entry.loops
         if not loops and self.cache is not None:
             # A prior run may have recorded the roster even though some
@@ -276,15 +300,16 @@ class BatchScheduler:
             n = min(self.max_shards_per_request, len(loops))
             chunks = [loops[i::n] for i in range(n)]
             return [ShardTask(entry.request, tuple(chunk),
-                              self.loop_timeout_s)
+                              self.loop_timeout_s, trace)
                     for chunk in chunks if chunk]
         return [ShardTask(entry.request, tuple(loops),
-                          self.loop_timeout_s)]
+                          self.loop_timeout_s, trace)]
 
     def _fan_out(self, keys: List[str],
                  work: Dict[str, _KeyWork]) -> None:
         """Dispatch shards behind a bounded in-flight window."""
         tel = self.telemetry
+        tracer = current_tracer()
         queue: List[Tuple[str, ShardTask]] = []
         for key in keys:
             for task in self._shards_for(key, work[key]):
@@ -293,7 +318,15 @@ class BatchScheduler:
         if self._executor is None:
             self._executor = _make_executor(self.executor_kind, self.workers)
 
-        inflight: Dict[cf.Future, Tuple[str, ShardTask, float]] = {}
+        with tracer.span("fan_out", cat="scheduler", shards=len(queue)):
+            self._drain(queue, work)
+
+    def _drain(self, queue: List[Tuple[str, ShardTask]],
+               work: Dict[str, _KeyWork]) -> None:
+        tel = self.telemetry
+        tracer = current_tracer()
+        #: future -> (key, task, submit time, dispatch span)
+        inflight: Dict[cf.Future, Tuple[str, ShardTask, float, object]] = {}
         index = 0
         while index < len(queue) or inflight:
             # Backpressure: at most max_pending_shards outstanding.
@@ -304,13 +337,18 @@ class BatchScheduler:
                 tel.count("shards_dispatched")
                 tel.enqueue()
                 submitted = time.perf_counter()
+                span = tracer.begin("dispatch", cat="dispatch",
+                                    workload=task.request.name,
+                                    system=task.request.system,
+                                    loops=list(task.loops))
                 try:
                     future = self._executor.submit(self._shard_runner, task)
                 except Exception:
                     tel.dequeue()
+                    span.end(status="submit_failure")
                     self._degrade(work[key], task, "failure")
                     continue
-                inflight[future] = (key, task, submitted)
+                inflight[future] = (key, task, submitted, span)
             if not inflight:
                 continue
 
@@ -319,7 +357,7 @@ class BatchScheduler:
                 now = time.perf_counter()
                 timeout = max(0.0, min(
                     submitted + self.shard_timeout_s - now
-                    for (_, _, submitted) in inflight.values()))
+                    for (_, _, submitted, _) in inflight.values()))
             done, _ = cf.wait(list(inflight), timeout=timeout,
                               return_when=cf.FIRST_COMPLETED)
 
@@ -328,16 +366,18 @@ class BatchScheduler:
                 # overdue shards.  (Pool workers cannot be interrupted;
                 # their eventual results are discarded.)
                 now = time.perf_counter()
-                for future, (key, task, submitted) in list(inflight.items()):
+                for future, (key, task, submitted, span) \
+                        in list(inflight.items()):
                     if now - submitted >= self.shard_timeout_s:
                         del inflight[future]
                         tel.dequeue()
                         future.cancel()
+                        span.end(status="timeout")
                         self._degrade(work[key], task, "timeout")
                 continue
 
             for future in done:
-                key, task, submitted = inflight.pop(future)
+                key, task, submitted, span = inflight.pop(future)
                 tel.dequeue()
                 try:
                     result = future.result()
@@ -345,6 +385,7 @@ class BatchScheduler:
                     # Worker crash (BrokenProcessPool et al.): degrade
                     # this shard and rebuild the pool so the remaining
                     # queue still runs.
+                    span.end(status="worker_crash")
                     self._degrade(work[key], task, "failure")
                     try:
                         self._executor.shutdown(wait=False)
@@ -353,6 +394,10 @@ class BatchScheduler:
                     self._executor = _make_executor(self.executor_kind,
                                                     self.workers)
                     continue
+                span.end(status="completed",
+                         answers=len(result.answers))
+                tracer.adopt(result.spans, parent_id=getattr(
+                    span, "id", None))
                 self._absorb(work[key], result)
                 tel.request_latency.record(time.perf_counter() - submitted)
 
@@ -377,6 +422,7 @@ class BatchScheduler:
         tel.count("module_evals", result.module_evals)
         tel.count("orchestrator_queries", result.orchestrator_queries)
         tel.count("busy_s", result.busy_s)
+        tel.merge_worker_metrics(result.metrics)
 
     def _degrade(self, entry: _KeyWork, task: ShardTask,
                  reason: str) -> None:

@@ -1,68 +1,57 @@
-"""Service telemetry: latency histograms, counters, utilization.
+"""Service telemetry: a MetricsRegistry view with a printable report.
 
 Everything the batch scheduler observes funnels into one
-:class:`ServiceTelemetry`, which is snapshotted into an immutable
-:class:`TelemetrySnapshot` dataclass for reporting (the printable
-report of ``python -m repro batch`` and the JSON document of
-``batch --json`` are both renderings of a snapshot).
+:class:`ServiceTelemetry`, now a thin facade over
+:class:`repro.obs.metrics.MetricsRegistry`: every counter the old
+hand-rolled fields tracked is a named registry series, the latency
+histograms are registry histograms, and worker processes ship their
+*labeled* series (per-module evaluation counts, per-workload loop
+latencies) back as registry snapshots that merge in.
+
+The public surface is unchanged: ``telemetry.count("requests")``,
+attribute reads (``telemetry.cache_hits``), and
+:meth:`ServiceTelemetry.snapshot` into the immutable
+:class:`TelemetrySnapshot` dataclass that the printable report of
+``python -m repro batch`` and the JSON document of ``batch --json``
+both render.  The snapshot additionally carries the full registry
+dump (``metrics``) so labeled series reach ``--json`` consumers.
 """
 
 from __future__ import annotations
 
-import math
-import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-#: Histogram bucket upper bounds in seconds (log-spaced, ~x3.2/decade),
-#: final bucket is open-ended.
-_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-8, 5))  # 100µs .. ~316s
+from ..obs.metrics import LatencyHistogram, MetricsRegistry
 
+__all__ = [
+    "LatencyHistogram",
+    "ServiceTelemetry",
+    "TelemetrySnapshot",
+    "format_report",
+]
 
-class LatencyHistogram:
-    """Fixed-bucket log-scale latency histogram with percentiles."""
-
-    def __init__(self):
-        self.counts = [0] * (len(_BUCKETS) + 1)
-        self.total = 0
-        self.sum_s = 0.0
-        self.max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.total += 1
-        self.sum_s += seconds
-        self.max_s = max(self.max_s, seconds)
-        for i, bound in enumerate(_BUCKETS):
-            if seconds <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
-
-    @property
-    def mean_s(self) -> float:
-        return self.sum_s / self.total if self.total else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Upper-bound estimate of the p-th percentile (0 < p <= 100)."""
-        if not self.total:
-            return 0.0
-        rank = math.ceil(self.total * p / 100.0)
-        seen = 0
-        for i, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                return _BUCKETS[i] if i < len(_BUCKETS) else self.max_s
-        return self.max_s
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": self.total,
-            "mean_s": self.mean_s,
-            "p50_s": self.percentile(50),
-            "p90_s": self.percentile(90),
-            "p99_s": self.percentile(99),
-            "max_s": self.max_s,
-        }
+#: Counter families ServiceTelemetry exposes as attributes (all
+#: unlabeled; workers additionally emit labeled variants like
+#: ``module_evals{module=...}`` that merge into the same registry).
+_COUNTERS = (
+    "requests",
+    "shards_dispatched",
+    "shards_deduplicated",
+    "shards_failed",
+    "shards_timed_out",
+    "loops_computed",
+    "loops_from_cache",
+    "loops_incremental",
+    "loops_fallback",
+    "cache_hits",
+    "cache_misses",
+    "incremental_probes",
+    "module_evals",
+    "orchestrator_queries",
+    "wall_s",
+    "busy_s",
+)
 
 
 @dataclass(frozen=True)
@@ -89,6 +78,9 @@ class TelemetrySnapshot:
     max_queue_depth: int
     request_latency: Dict[str, float]   # histogram summary
     query_latency: Dict[str, float]     # per-loop analysis latencies
+    #: Full registry dump: every labeled series (per-module evals,
+    #: per-workload latencies) with raw histogram buckets.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -103,70 +95,72 @@ class TelemetrySnapshot:
 
 
 class ServiceTelemetry:
-    """Mutable, thread-safe accumulator behind the snapshot."""
+    """Mutable accumulator: named series in a MetricsRegistry."""
 
-    def __init__(self, workers: int):
-        self._lock = threading.Lock()
+    def __init__(self, workers: int,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
         self.workers = workers
-        self.requests = 0
-        self.shards_dispatched = 0
-        self.shards_deduplicated = 0
-        self.shards_failed = 0
-        self.shards_timed_out = 0
-        self.loops_computed = 0
-        self.loops_from_cache = 0
-        self.loops_incremental = 0
-        self.loops_fallback = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.incremental_probes = 0
-        self.module_evals = 0
-        self.orchestrator_queries = 0
-        self.wall_s = 0.0
-        self.busy_s = 0.0
-        self.queue_depth = 0
-        self.max_queue_depth = 0
-        self.request_latency = LatencyHistogram()
-        self.query_latency = LatencyHistogram()
+        self.request_latency = self.registry.histogram("shard_latency_s")
+        self.query_latency = self.registry.histogram("loop_latency_s")
+        self._queue = self.registry.gauge("queue_depth")
+        # Materialize every counter so attribute reads and snapshots
+        # see zeros (not missing series) on an idle service.
+        self._counters = {name: self.registry.counter(name)
+                          for name in _COUNTERS}
 
-    def count(self, counter: str, n: int = 1) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + n)
+    def count(self, counter: str, n=1) -> None:
+        self._counters[counter].inc(n)
 
     def enqueue(self) -> None:
-        with self._lock:
-            self.queue_depth += 1
-            self.max_queue_depth = max(self.max_queue_depth,
-                                       self.queue_depth)
+        self._queue.inc()
 
     def dequeue(self) -> None:
-        with self._lock:
-            self.queue_depth = max(0, self.queue_depth - 1)
+        self._queue.dec()
+
+    def merge_worker_metrics(self, snapshot: Dict) -> None:
+        """Fold a worker registry snapshot (labeled series) in."""
+        if snapshot:
+            self.registry.merge(snapshot)
+
+    def __getattr__(self, name: str):
+        # Only consulted for attributes not set in __init__: expose
+        # counter values (telemetry.cache_hits et al.) read-only.
+        counters = self.__dict__.get("_counters")
+        if counters and name in counters:
+            return counters[name].value
+        if name == "queue_depth":
+            return self.__dict__["_queue"].value
+        if name == "max_queue_depth":
+            return self.__dict__["_queue"].max
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
 
     def snapshot(self) -> TelemetrySnapshot:
-        with self._lock:
-            return TelemetrySnapshot(
-                requests=self.requests,
-                shards_dispatched=self.shards_dispatched,
-                shards_deduplicated=self.shards_deduplicated,
-                shards_failed=self.shards_failed,
-                shards_timed_out=self.shards_timed_out,
-                loops_computed=self.loops_computed,
-                loops_from_cache=self.loops_from_cache,
-                loops_incremental=self.loops_incremental,
-                loops_fallback=self.loops_fallback,
-                cache_hits=self.cache_hits,
-                cache_misses=self.cache_misses,
-                incremental_probes=self.incremental_probes,
-                module_evals=self.module_evals,
-                orchestrator_queries=self.orchestrator_queries,
-                workers=self.workers,
-                wall_s=self.wall_s,
-                busy_s=self.busy_s,
-                max_queue_depth=self.max_queue_depth,
-                request_latency=self.request_latency.summary(),
-                query_latency=self.query_latency.summary(),
-            )
+        value = self.registry.value
+        return TelemetrySnapshot(
+            requests=value("requests"),
+            shards_dispatched=value("shards_dispatched"),
+            shards_deduplicated=value("shards_deduplicated"),
+            shards_failed=value("shards_failed"),
+            shards_timed_out=value("shards_timed_out"),
+            loops_computed=value("loops_computed"),
+            loops_from_cache=value("loops_from_cache"),
+            loops_incremental=value("loops_incremental"),
+            loops_fallback=value("loops_fallback"),
+            cache_hits=value("cache_hits"),
+            cache_misses=value("cache_misses"),
+            incremental_probes=value("incremental_probes"),
+            module_evals=value("module_evals"),
+            orchestrator_queries=value("orchestrator_queries"),
+            workers=self.workers,
+            wall_s=value("wall_s"),
+            busy_s=value("busy_s"),
+            max_queue_depth=self._queue.max,
+            request_latency=self.request_latency.summary(),
+            query_latency=self.query_latency.summary(),
+            metrics=self.registry.snapshot(),
+        )
 
 
 def format_report(snap: TelemetrySnapshot) -> str:

@@ -37,6 +37,8 @@ from ..ir import (
     parse_module,
     verify_module,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceSpec, current_tracer, set_tracer
 from ..profiling import run_profilers
 from .answers import LoopAnswer, fallback_answer, summarize_pdg
 from .requests import AnalysisRequest, profile_digest
@@ -49,6 +51,9 @@ class ShardTask:
     request: AnalysisRequest
     loops: Tuple[str, ...] = ()        # () = all hot loops
     loop_timeout_s: Optional[float] = None
+    #: When set, the worker traces this shard (its own TraceContext,
+    #: serialized back in :attr:`ShardResult.spans`).
+    trace: Optional[TraceSpec] = None
 
 
 @dataclass
@@ -74,6 +79,12 @@ class ShardResult:
     #: each answer so later edited modules can revalidate footprints.
     fingerprints: Dict[str, str] = field(default_factory=dict)
     header_fingerprint: str = ""
+    #: Finished trace spans (plain dicts) when the shard was traced;
+    #: the scheduler adopts them under its dispatch span.
+    spans: List[dict] = field(default_factory=list)
+    #: Worker-side labeled metrics (a MetricsRegistry snapshot):
+    #: per-module evaluation counts, per-workload loop latencies.
+    metrics: Dict = field(default_factory=dict)
 
 
 def prepare_request(request: AnalysisRequest):
@@ -84,10 +95,14 @@ def prepare_request(request: AnalysisRequest):
     of an *edited* module before deciding what still has to run.
     Returns ``(module, context, profiles)``.
     """
-    module = parse_module(request.source, name=request.name)
-    verify_module(module)
-    context = AnalysisContext(module)
-    profiles = run_profilers(module, context, entry=request.entry)
+    tracer = current_tracer()
+    with tracer.span("prepare", cat="prepare", workload=request.name,
+                     entry=request.entry):
+        with tracer.span("parse", cat="prepare"):
+            module = parse_module(request.source, name=request.name)
+            verify_module(module)
+        context = AnalysisContext(module)
+        profiles = run_profilers(module, context, entry=request.entry)
     return module, context, profiles
 
 
@@ -142,9 +157,35 @@ def _analyze_with_timeout(client: PDGClient, loop,
 
 
 def run_shard(task: ShardTask) -> ShardResult:
-    """Evaluate one shard start-to-finish (runs in a pool worker)."""
+    """Evaluate one shard start-to-finish (runs in a pool worker).
+
+    When :attr:`ShardTask.trace` is set, the worker runs under its
+    own :class:`~repro.obs.trace.TraceContext` (installed for the
+    shard's duration, restored after) and serializes the finished
+    spans plus its labeled metrics into the result, so the scheduler
+    can merge every worker's timeline into one trace.
+    """
+    if task.trace is None:
+        return _run_shard(task)
+    tracer = task.trace.build()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("shard", cat="shard",
+                         workload=task.request.name,
+                         system=task.request.system,
+                         loops=list(task.loops)):
+            result = _run_shard(task)
+    finally:
+        set_tracer(previous)
+    result.spans = tracer.export()
+    return result
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
     request = task.request
     started = time.perf_counter()
+    registry = MetricsRegistry()
+    tracer = current_tracer()
 
     module, context, profiles = prepare_request(request)
     hot = hot_loops(profiles)
@@ -171,8 +212,15 @@ def run_shard(task: ShardTask) -> ShardResult:
     for h in selected:
         reset_consulted()
         loop_started = time.perf_counter()
-        pdg = _analyze_with_timeout(client, h.loop, task.loop_timeout_s)
-        latency = time.perf_counter() - loop_started
+        with tracer.span("loop", cat="loop", loop=h.name,
+                         workload=request.name,
+                         system=request.system) as loop_span:
+            pdg = _analyze_with_timeout(client, h.loop,
+                                        task.loop_timeout_s)
+            latency = time.perf_counter() - loop_started
+            loop_span.set(timed_out=pdg is None)
+        registry.histogram("loop_latency_s", workload=request.name,
+                           system=request.system).record(latency)
         if pdg is None:
             result.answers.append(fallback_answer(
                 request.name, request.system, h.name, h.time_fraction))
@@ -181,7 +229,12 @@ def run_shard(task: ShardTask) -> ShardResult:
                 request.name, request.system, pdg, h.time_fraction,
                 latency))
             result.footprints[h.name] = loop_footprint(system, h.loop)
+    for module_name, evals in sorted(
+            system.stats.module_evals.items()):
+        registry.counter("module_evals", module=module_name,
+                         workload=request.name).inc(evals)
     result.module_evals = system.stats.total_module_evals
     result.orchestrator_queries = system.stats.queries
     result.busy_s = time.perf_counter() - started
+    result.metrics = registry.snapshot()
     return result

@@ -278,6 +278,25 @@ class TestResultCache:
         assert cache.lookup("k2") is not None
         cache.close()
 
+    def test_prune_handles_keep_lists_past_sqlite_param_limit(
+            self, tmp_path):
+        """sqlite binds at most 999 host parameters per statement; a
+        keep list larger than that must still prune correctly (the
+        keys are staged through a temp table, not an IN (...) list)."""
+        cache = ResultCache(str(tmp_path))
+        request = AnalysisRequest("t", make_source(), system="caf")
+        answers = sequential_answers(request)
+        for key in ("k1", "k2", "k3"):
+            cache.store(key, workload="t", system="caf", entry="main",
+                        modules=(), profile_digest="d",
+                        hot_loops=[a.loop for a in answers],
+                        answers=answers)
+        keep = [f"live-{i:04d}" for i in range(1200)] + ["k1", "k3"]
+        assert cache.prune(keep) == 1            # only k2 goes
+        assert cache.keys() == ["k1", "k3"]
+        assert cache.lookup("k1") is not None
+        cache.close()
+
     def test_v1_schema_migrates_in_place(self, tmp_path):
         """Opening a pre-incremental (v1) database adds the new columns
         without touching existing rows; legacy rows keep serving exact
