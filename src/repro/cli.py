@@ -234,7 +234,9 @@ def _analyze_via_service(args) -> int:
     config = ServiceConfig(workers=workers, executor=args.executor,
                            cache_dir=args.cache_dir,
                            shard_timeout_s=args.timeout,
-                           incremental=not args.no_incremental)
+                           incremental=not args.no_incremental,
+                           mode="queue" if args.queue else "shard",
+                           prepared_cache_size=args.prepared_cache_size)
     with DependenceService(config) as service:
         answers = service.analyze(request_for_file(
             args.file, entry=args.entry, system=args.system))
@@ -375,7 +377,9 @@ def _cmd_batch(args) -> int:
     config = ServiceConfig(workers=args.workers, executor=args.executor,
                            cache_dir=args.cache_dir,
                            shard_timeout_s=args.timeout,
-                           incremental=not args.no_incremental)
+                           incremental=not args.no_incremental,
+                           mode="queue" if args.queue else "shard",
+                           prepared_cache_size=args.prepared_cache_size)
     started = time.perf_counter()
     with DependenceService(config) as service:
         batch = service.run_batch(requests)
@@ -478,6 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--no-incremental", action="store_true",
                       help="disable footprint-based incremental reuse "
                            "of cached answers across module edits")
+    p_an.add_argument("--queue", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="global loop-granular work queue "
+                           "(--no-queue falls back to per-request "
+                           "shards)")
+    p_an.add_argument("--prepared-cache-size", type=int, default=None,
+                      metavar="N",
+                      help="worker-resident prepared-module LRU "
+                           "capacity (queue mode)")
     p_an.add_argument("--trace", default=None, metavar="PATH",
                       help="record a span timeline (Chrome trace-event "
                            "format; JSONL when PATH ends in .jsonl)")
@@ -510,6 +523,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-incremental", action="store_true",
                          help="disable footprint-based incremental "
                               "reuse of cached answers across edits")
+    p_batch.add_argument("--queue",
+                         action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="global loop-granular work queue "
+                              "(--no-queue falls back to per-request "
+                              "shards)")
+    p_batch.add_argument("--prepared-cache-size", type=int,
+                         default=None, metavar="N",
+                         help="worker-resident prepared-module LRU "
+                              "capacity (queue mode)")
     p_batch.add_argument("--trace", default=None, metavar="PATH",
                          help="record a span timeline (Chrome "
                               "trace-event format; JSONL when PATH "

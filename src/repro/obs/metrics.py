@@ -93,6 +93,7 @@ class LatencyHistogram:
             "mean_s": self.mean_s,
             "p50_s": self.percentile(50),
             "p90_s": self.percentile(90),
+            "p95_s": self.percentile(95),
             "p99_s": self.percentile(99),
             "max_s": self.max_s,
         }

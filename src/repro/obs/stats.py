@@ -27,6 +27,23 @@ def _category_summary(spans: List[Mapping]) -> Dict[str, Dict]:
     return cats
 
 
+def _prepared_cache_summary(spans: List[Mapping]) -> Dict[str, int]:
+    """Worker prepared-module cache traffic, recomputed from the
+    ``loop_task`` spans (queue mode stamps each with prepared=hit/
+    miss), so ``repro stats`` shows the hit rate from the artifact
+    alone."""
+    hits = misses = 0
+    for s in spans:
+        if s.get("cat") != "task":
+            continue
+        prepared = s.get("attrs", {}).get("prepared")
+        if prepared == "hit":
+            hits += 1
+        elif prepared == "miss":
+            misses += 1
+    return {"hits": hits, "misses": misses}
+
+
 def trace_document(path: str) -> Dict:
     """The machine-readable ``stats --json`` schema."""
     spans = load_trace(path)
@@ -39,6 +56,7 @@ def trace_document(path: str) -> Dict:
         "valid": not problems,
         "problems": problems,
         "categories": _category_summary(spans),
+        "prepared_cache": _prepared_cache_summary(spans),
         "attribution": report.to_dict(),
     }
 
@@ -65,6 +83,13 @@ def summarize_trace(path: str) -> str:
         doc = cats[cat]
         lines.append(f"  {cat:<14s} {doc['count']:>7d} "
                      f"{doc['time_s'] * 1e3:>10.2f}")
+    prepared = _prepared_cache_summary(spans)
+    total = prepared["hits"] + prepared["misses"]
+    if total:
+        rate = prepared["hits"] / total
+        lines.append(f"  prepared-module cache: {prepared['hits']} hits"
+                     f" / {prepared['misses']} misses"
+                     f" (hit rate {rate:.1%})")
     lines.append("")
     lines.append(render_attribution(report))
     return "\n".join(lines)

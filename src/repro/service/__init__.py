@@ -8,9 +8,11 @@ DESIGN.md §5, "Serving layer"):
 - :mod:`requests` — self-contained :class:`AnalysisRequest` plus the
   version-hash cache keying;
 - :mod:`cache` — the on-disk sqlite :class:`ResultCache`;
-- :mod:`scheduler` — deduplication, sharding, worker-pool fan-out,
-  backpressure, timeout/crash degradation;
-- :mod:`worker` — the per-shard evaluation that runs in pool workers;
+- :mod:`scheduler` — deduplication, the global loop-granular work
+  queue (LPT-ordered, shared across in-flight requests) or legacy
+  per-request shards, backpressure, timeout/crash degradation;
+- :mod:`worker` — per-shard and per-loop-task evaluation in pool
+  workers, with a worker-resident prepared-module LRU;
 - :mod:`telemetry` — latency histograms, cache and utilization
   counters, printable report;
 - :mod:`service` — the :class:`DependenceService` facade.
@@ -52,25 +54,36 @@ from .telemetry import (
     format_report,
 )
 from .worker import (
+    DEFAULT_PREPARED_CACHE_SIZE,
+    LoopTask,
+    LoopTaskResult,
+    PreparedModule,
     ShardResult,
     ShardTask,
     build_system,
+    executed_function_scope,
     loop_footprint,
     prepare_request,
+    prepared_cache_keys,
+    reset_prepared_cache,
+    run_loop_task,
     run_shard,
 )
 
 __all__ = [
-    "ANSWER_IRRELEVANT_CONFIG_FIELDS",
+    "ANSWER_IRRELEVANT_CONFIG_FIELDS", "DEFAULT_PREPARED_CACHE_SIZE",
     "AnalysisRequest", "BatchResult", "BatchScheduler", "CacheEntryMeta",
     "DependenceService", "FootprintHit", "LatencyHistogram", "LoopAnswer",
+    "LoopTask", "LoopTaskResult", "PreparedModule",
     "QueryAnswer", "ResultCache", "ServiceConfig", "ServiceTelemetry",
     "ShardResult", "ShardTask", "TelemetrySnapshot",
     "STATUS_CACHED", "STATUS_COMPUTED", "STATUS_FALLBACK",
-    "build_system", "config_fingerprint", "fallback_answer",
+    "build_system", "config_fingerprint", "executed_function_scope",
+    "fallback_answer",
     "format_report", "inst_label", "loop_answer_from_dict",
     "loop_answer_to_dict", "loop_footprint", "loop_footprint_digest",
-    "prepare_request", "profile_digest", "request_for_file",
-    "request_for_workload", "run_shard", "summarize_pdg",
+    "prepare_request", "prepared_cache_keys", "profile_digest",
+    "request_for_file", "request_for_workload", "reset_prepared_cache",
+    "run_loop_task", "run_shard", "summarize_pdg",
     "system_module_roster",
 ]

@@ -26,6 +26,16 @@ Schema v2 adds the ``lineage_key``/``footprint``/``footprint_digest``/
 place (old rows keep serving exact-key lookups and simply never match
 an incremental probe).
 
+Schema v3 extends the meta row with the training run's *profile
+provenance*: the hot loops' time fractions (feeds the queue
+scheduler's longest-processing-time-first ordering), the executed
+function scope, and a digest of that scope's content hashes
+(``profile_scope_digest``).  :meth:`lookup_profile` returns the
+freshest such row of a lineage so an incremental probe can reuse the
+prior hot-loop roster *without re-interpreting* an edited module when
+the edit is provably outside every executed function.  Pre-v3 rows
+migrate with empty provenance and simply never allow roster reuse.
+
 The cache is only ever touched from the scheduler process (workers
 stream results back instead of writing), so a single connection with
 a process-level lock suffices; WAL mode keeps concurrent CLI
@@ -39,7 +49,7 @@ import os
 import sqlite3
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .answers import (
@@ -61,7 +71,10 @@ CREATE TABLE IF NOT EXISTS meta (
     modules        TEXT NOT NULL,
     profile_digest TEXT NOT NULL,
     hot_loops      TEXT NOT NULL,
-    created_at     REAL NOT NULL
+    created_at     REAL NOT NULL,
+    hot_fractions        TEXT NOT NULL DEFAULT '{}',
+    executed_functions   TEXT NOT NULL DEFAULT '[]',
+    profile_scope_digest TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS answers (
     version_key      TEXT NOT NULL,
@@ -75,11 +88,14 @@ CREATE TABLE IF NOT EXISTS answers (
 );
 """
 
-#: v1 -> v2 column additions, applied to databases created before the
-#: incremental-reanalysis schema.
+#: v1 -> v2 -> v3 column additions, applied to databases created
+#: before the incremental-reanalysis / profile-provenance schemas.
 _MIGRATIONS = {
     "meta": (
         ("lineage_key", "TEXT NOT NULL DEFAULT ''"),
+        ("hot_fractions", "TEXT NOT NULL DEFAULT '{}'"),
+        ("executed_functions", "TEXT NOT NULL DEFAULT '[]'"),
+        ("profile_scope_digest", "TEXT NOT NULL DEFAULT ''"),
     ),
     "answers": (
         ("lineage_key", "TEXT NOT NULL DEFAULT ''"),
@@ -106,6 +122,17 @@ class CacheEntryMeta:
     hot_loops: Tuple[str, ...]      # every hot loop of the profile
     created_at: float
     lineage_key: str = ""
+    #: Loop name -> profiled share of execution time (v3; empty on
+    #: migrated rows).  Feeds LPT task ordering and roster reuse.
+    hot_fractions: Mapping[str, float] = \
+        dataclasses_field(default_factory=dict)
+    #: Every function whose content could have influenced the training
+    #: run (executed definitions + entry + declarations).
+    executed_functions: Tuple[str, ...] = ()
+    #: Digest of the executed functions' content hashes + module
+    #: header in the producing module; an edited module with an equal
+    #: recomputed digest provably replays the same execution.
+    profile_scope_digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -150,24 +177,57 @@ class ResultCache:
 
     # -- lookup --------------------------------------------------------------
 
+    _META_COLUMNS = ("version_key, workload, system, entry, modules,"
+                     " profile_digest, hot_loops, created_at, lineage_key,"
+                     " hot_fractions, executed_functions,"
+                     " profile_scope_digest")
+
+    @staticmethod
+    def _meta_from_row(row) -> CacheEntryMeta:
+        return CacheEntryMeta(
+            version_key=row[0],
+            workload=row[1], system=row[2], entry=row[3],
+            modules=tuple(json.loads(row[4])),
+            profile_digest=row[5],
+            hot_loops=tuple(json.loads(row[6])),
+            created_at=row[7],
+            lineage_key=row[8],
+            hot_fractions=json.loads(row[9] or "{}"),
+            executed_functions=tuple(json.loads(row[10] or "[]")),
+            profile_scope_digest=row[11] or "",
+        )
+
     def meta(self, version_key: str) -> Optional[CacheEntryMeta]:
         with self._lock:
             row = self._conn.execute(
-                "SELECT workload, system, entry, modules, profile_digest,"
-                " hot_loops, created_at, lineage_key FROM meta"
+                f"SELECT {self._META_COLUMNS} FROM meta"
                 " WHERE version_key = ?",
                 (version_key,)).fetchone()
         if row is None:
             return None
-        return CacheEntryMeta(
-            version_key=version_key,
-            workload=row[0], system=row[1], entry=row[2],
-            modules=tuple(json.loads(row[3])),
-            profile_digest=row[4],
-            hot_loops=tuple(json.loads(row[5])),
-            created_at=row[6],
-            lineage_key=row[7],
-        )
+        return self._meta_from_row(row)
+
+    def lookup_profile(self, lineage_key: str) -> Optional[CacheEntryMeta]:
+        """The freshest meta row of a lineage carrying full profile
+        provenance (executed scope + scope digest), or ``None``.
+
+        This is the roster-reuse entry point: the incremental probe
+        recomputes the scope digest against an *edited* module's
+        fingerprints, and an equal digest proves the deterministic
+        training run is unchanged — hot-loop roster and time fractions
+        carry over with zero re-interpretation.
+        """
+        if not lineage_key:
+            return None
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {self._META_COLUMNS} FROM meta"
+                " WHERE lineage_key = ? AND profile_scope_digest != ''"
+                " ORDER BY created_at DESC LIMIT 1",
+                (lineage_key,)).fetchone()
+        if row is None:
+            return None
+        return self._meta_from_row(row)
 
     def lookup(self, version_key: str,
                loops: Sequence[str] = ()) -> Optional[List[LoopAnswer]]:
@@ -261,7 +321,10 @@ class ResultCache:
               lineage_key: str = "",
               footprints: Mapping[str, Sequence[str]] = {},
               fingerprints: Mapping[str, str] = {},
-              header_fingerprint: str = "") -> None:
+              header_fingerprint: str = "",
+              hot_fractions: Mapping[str, float] = {},
+              executed_functions: Sequence[str] = (),
+              profile_scope_digest: str = "") -> None:
         """Insert or refresh one version key's results atomically.
 
         ``footprints`` maps loop name to the consulted-function names
@@ -295,10 +358,15 @@ class ResultCache:
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta (version_key, lineage_key,"
                 " workload, system, entry, modules, profile_digest,"
-                " hot_loops, created_at) VALUES (?,?,?,?,?,?,?,?,?)",
+                " hot_loops, created_at, hot_fractions,"
+                " executed_functions, profile_scope_digest)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
                 (version_key, lineage_key, workload, system, entry,
                  json.dumps(list(modules)), profile_digest,
-                 json.dumps(list(hot_loops)), now))
+                 json.dumps(list(hot_loops)), now,
+                 json.dumps(dict(hot_fractions), sort_keys=True),
+                 json.dumps(list(executed_functions)),
+                 profile_scope_digest))
             self._conn.executemany(
                 "INSERT OR REPLACE INTO answers (version_key, loop_name,"
                 " lineage_key, footprint, footprint_digest, stored_at,"

@@ -1,4 +1,4 @@
-"""The batch scheduler: dedup, shard, fan out, degrade gracefully.
+"""The batch scheduler: dedup, probe, fan out, degrade gracefully.
 
 Batches of :class:`AnalysisRequest` flow through four stages:
 
@@ -10,45 +10,80 @@ Batches of :class:`AnalysisRequest` flow through four stages:
    persistent :class:`ResultCache` are answered without touching the
    worker pool.  On an exact-key miss the probe goes *incremental*:
    if the cache holds rows from the same request lineage (same entry/
-   system/config, different IR text), the scheduler re-profiles the
-   edited module inline — zero module evaluations — and serves every
-   loop whose dependence-footprint digest is unchanged; only dirtied
-   loops stay pending, and the key's worker demand narrows to them.
-3. **Sharding + fan-out.**  Remaining keys become shards.  When the
-   loop roster is known up front (explicit loop subsets, or a cache
-   meta row from an earlier partial run) the loops are chunked across
-   several shards so one big module saturates the pool; otherwise a
-   single discovery shard profiles the module and answers every hot
-   loop.  Shards are dispatched to a ``ProcessPoolExecutor`` (or
-   thread/inline executor) behind a **bounded in-flight window** —
+   system/config, different IR text), the scheduler first tries to
+   *reuse the prior training run outright* — when the edit is
+   fingerprint-provably outside every executed function, the stored
+   hot-loop roster and time fractions carry over with zero
+   interpretation — and otherwise re-profiles the edited module
+   inline; either way it serves every loop whose dependence-footprint
+   digest is unchanged, and the key's worker demand narrows to the
+   dirtied loops.
+3. **Fan-out.**  Remaining keys become worker assignments, in one of
+   two modes:
+
+   - ``queue`` (default): one **global, loop-granular work queue**
+     shared across every in-flight request.  Each key contributes one
+     :class:`LoopTask` per (version key, loop) — or a single
+     *discovery* task when the roster is unknown — ordered
+     longest-processing-time-first by profiled loop time fraction
+     (discovery first).  Workers pull tasks as they free up, so tiny
+     requests finish while a huge module is still being chewed: no
+     per-request barrier, results stream back per loop.  Loop
+     granularity is affordable because each worker keeps a resident
+     LRU of prepared modules (parsed module + context + profiles +
+     built analysis system), so K tasks of one module pay setup once
+     per worker.
+   - ``shard`` (legacy): per-request shards, each rebuilding the
+     world and answering a chunk of one request's loops.
+
+   Both modes dispatch behind a **bounded in-flight window** —
    submission blocks when the window is full, which is the service's
-   backpressure.
-4. **Degradation.**  A shard that exceeds its deadline or whose
-   worker dies is answered with conservative fallbacks (every
-   dependence kept, %NoDep = 0) instead of failing the batch; the
-   executor is rebuilt after a pool breakage so later shards still
-   run.
+   backpressure — and record a batch-relative completion latency per
+   original request when its last task lands (the tail-latency
+   headline ``request_completion_s``).
+4. **Degradation.**  A task that exceeds its deadline or whose worker
+   dies is answered with conservative fallbacks (every dependence
+   kept, %NoDep = 0) instead of failing the batch; the executor is
+   rebuilt after a pool breakage so the remaining queue still runs.
+   In queue mode only the dead task's single loop degrades.
 """
 
 from __future__ import annotations
 
 import concurrent.futures as cf
+import heapq
+import itertools
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..clients import hot_loops
-from ..ir import module_fingerprints, module_header_fingerprint
+from ..ir import (
+    module_fingerprints,
+    module_header_fingerprint,
+    parse_module,
+    verify_module,
+)
 from ..obs.trace import TraceSpec, current_tracer
 from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
     fallback_answer
 from .cache import ResultCache
-from .requests import AnalysisRequest, profile_digest, \
-    system_module_roster
+from .requests import AnalysisRequest, loop_footprint_digest, \
+    profile_digest, system_module_roster
 from .telemetry import ServiceTelemetry
-from .worker import ShardResult, ShardTask, prepare_request, run_shard
+from .worker import (
+    DEFAULT_PREPARED_CACHE_SIZE,
+    LoopTask,
+    LoopTaskResult,
+    ShardResult,
+    ShardTask,
+    executed_function_scope,
+    prepare_request,
+    run_loop_task,
+    run_shard,
+)
 
-#: Loop-name placeholder when a shard degraded before the hot-loop
+#: Loop-name placeholder when a task degraded before the hot-loop
 #: roster was discovered.
 UNKNOWN_LOOPS = "*"
 
@@ -86,8 +121,13 @@ class _KeyWork:
     """Scheduler-internal state for one deduplicated version key."""
 
     request: AnalysisRequest            # representative request
-    loops: Tuple[str, ...]              # () = every hot loop
+    loops: Tuple[str, ...]              # () = every hot hot loop
+    #: Original requests deduplicated into this key; completion
+    #: latency is recorded once per unit of demand.
+    demand: int = 1
     hot_loops: Tuple[str, ...] = ()     # discovered roster
+    #: Loop name -> profiled time fraction (LPT ordering + persistence).
+    hot_fractions: Dict[str, float] = field(default_factory=dict)
     profile_digest: str = ""
     answers: Dict[str, LoopAnswer] = field(default_factory=dict)
     degraded: bool = False
@@ -98,10 +138,15 @@ class _KeyWork:
     #: parsed it first (incremental probe or worker).
     fingerprints: Dict[str, str] = field(default_factory=dict)
     header_fingerprint: str = ""
+    #: Functions whose content could have influenced the training run
+    #: (persisted so later probes can prove roster reuse).
+    executed_functions: Tuple[str, ...] = ()
     #: True when the incremental probe served at least one loop — the
     #: full roster is then re-persisted under this (new) version key
     #: even if nothing needed recomputing.
     refreshed: bool = False
+    #: Queue mode: tasks still in flight or queued for this key.
+    outstanding: int = 0
 
 
 class BatchScheduler:
@@ -117,7 +162,13 @@ class BatchScheduler:
                  max_pending_shards: Optional[int] = None,
                  max_shards_per_request: Optional[int] = None,
                  incremental: bool = True,
-                 shard_runner: Callable[[ShardTask], ShardResult] = run_shard):
+                 mode: str = "queue",
+                 prepared_cache_size: Optional[int] = None,
+                 shard_runner: Callable[[ShardTask], ShardResult] = run_shard,
+                 loop_runner: Callable[[LoopTask], LoopTaskResult]
+                 = run_loop_task):
+        if mode not in ("queue", "shard"):
+            raise ValueError(f"mode must be 'queue' or 'shard', got {mode!r}")
         self.workers = max(0, workers)
         self.executor_kind = executor
         self.cache = cache
@@ -136,10 +187,18 @@ class BatchScheduler:
         elif max_shards_per_request < 1:
             raise ValueError("max_shards_per_request must be >= 1, got "
                              f"{max_shards_per_request}")
+        if prepared_cache_size is None:
+            prepared_cache_size = DEFAULT_PREPARED_CACHE_SIZE
+        elif prepared_cache_size < 1:
+            raise ValueError("prepared_cache_size must be >= 1, got "
+                             f"{prepared_cache_size}")
         self.max_pending_shards = max_pending_shards
         self.max_shards_per_request = max_shards_per_request
         self.incremental = incremental
+        self.mode = mode
+        self.prepared_cache_size = prepared_cache_size
         self._shard_runner = shard_runner
+        self._loop_runner = loop_runner
         self._executor = None
 
     # -- public API ----------------------------------------------------------
@@ -160,10 +219,14 @@ class BatchScheduler:
             with tracer.span("cache_probe", cat="scheduler"):
                 pending = self._probe_cache(work)
             if pending:
-                self._fan_out(pending, work)
+                if self.mode == "queue":
+                    self._fan_out_queue(pending, work)
+                else:
+                    self._fan_out(pending, work)
             with tracer.span("store_results", cat="scheduler"):
                 self._store_results(work)
-            batch_span.set(keys=len(work), pending=len(pending))
+            batch_span.set(keys=len(work), pending=len(pending),
+                           mode=self.mode)
 
         tel.count("wall_s", time.perf_counter() - started)
         return [self._answers_for(request, work) for request in requests]
@@ -186,6 +249,7 @@ class BatchScheduler:
                                      loops=tuple(request.loops))
                 continue
             self.telemetry.count("shards_deduplicated")
+            entry.demand += 1
             # Union the loop demand; () means "all" and absorbs subsets.
             if entry.loops and request.loops:
                 merged = list(entry.loops)
@@ -214,6 +278,8 @@ class BatchScheduler:
                 meta = self.cache.meta(key)
                 entry.hot_loops = meta.hot_loops if meta else ()
                 entry.profile_digest = meta.profile_digest if meta else ""
+                if meta is not None:
+                    entry.hot_fractions = dict(meta.hot_fractions)
                 entry.answers = {a.loop: a for a in cached}
                 continue
             if self.incremental and self._probe_incremental(entry):
@@ -229,12 +295,14 @@ class BatchScheduler:
     def _probe_incremental(self, entry: _KeyWork) -> bool:
         """Serve the loops an edit left untouched; narrow the rest.
 
-        Re-profiles the edited module inline (interpretation only — no
-        analysis-module evaluations), derives its per-function content
-        hashes, and revalidates the lineage's cached rows by footprint
-        digest.  Returns True when *every* requested loop was served;
-        on a partial hit the key's loop demand shrinks to the dirty
-        loops and the key stays pending.
+        Derives the edited module's per-function content hashes,
+        obtains a hot-loop roster — by provable reuse of the prior
+        training run when possible, by re-profiling inline otherwise
+        (interpretation only — no analysis-module evaluations) — and
+        revalidates the lineage's cached rows by footprint digest.
+        Returns True when *every* requested loop was served; on a
+        partial hit the key's loop demand shrinks to the dirty loops
+        and the key stays pending.
         """
         tel = self.telemetry
         lineage = entry.request.lineage_key()
@@ -245,32 +313,84 @@ class BatchScheduler:
                                    workload=entry.request.name):
             return self._probe_incremental_inner(entry, lineage)
 
+    def _reuse_roster(self, entry: _KeyWork, lineage: str
+                      ) -> Optional[Tuple[Tuple[str, ...],
+                                          Dict[str, float]]]:
+        """Reuse a prior training run's hot-loop roster when provable.
+
+        The interpreter is deterministic, so the profile is a pure
+        function of the executed code: if every function that
+        participated in the prior run (executed definitions, the
+        entry, all declarations) plus the module header is
+        byte-identical in the edited module, the new training run
+        *would* replay the prior one instruction for instruction.
+        This only **parses** the edited module — zero interpretation —
+        and compares the recomputed executed-scope digest against the
+        stored one.  Returns ``(roster, fractions)`` on proof, else
+        ``None`` (caller re-profiles).
+        """
+        if self.cache is None:
+            return None
+        prior = self.cache.lookup_profile(lineage)
+        if prior is None:
+            return None
+        try:
+            module = parse_module(entry.request.source,
+                                  name=entry.request.name)
+            verify_module(module)
+        except Exception:
+            return None  # unparseable: let the worker report
+        fingerprints = module_fingerprints(module)
+        header = module_header_fingerprint(module)
+        digest = loop_footprint_digest(prior.executed_functions,
+                                       fingerprints, header)
+        if digest is None or digest != prior.profile_scope_digest:
+            return None  # edit touches the executed scope: re-profile
+        entry.fingerprints = fingerprints
+        entry.header_fingerprint = header
+        entry.profile_digest = prior.profile_digest
+        entry.executed_functions = prior.executed_functions
+        self.telemetry.count("profile_reuses")
+        current_tracer().event("profile_reuse",
+                               workload=entry.request.name)
+        return prior.hot_loops, {name: float(frac) for name, frac
+                                 in prior.hot_fractions.items()}
+
     def _probe_incremental_inner(self, entry: _KeyWork,
                                  lineage: str) -> bool:
         tel = self.telemetry
-        try:
-            module, _context, profiles = prepare_request(entry.request)
-        except Exception:
-            return False  # unparseable/unrunnable: let the worker report
-        hot = hot_loops(profiles)
-        if not hot:
-            return False
-        entry.fingerprints = module_fingerprints(module)
-        entry.header_fingerprint = module_header_fingerprint(module)
-        roster = tuple(h.name for h in hot)
-        fractions = {h.name: h.time_fraction for h in hot}
+        reused = self._reuse_roster(entry, lineage)
+        if reused is not None:
+            roster, fractions = reused
+        else:
+            try:
+                module, _context, profiles = prepare_request(entry.request)
+            except Exception:
+                return False  # unrunnable: let the worker report
+            hot = hot_loops(profiles)
+            if not hot:
+                return False
+            entry.fingerprints = module_fingerprints(module)
+            entry.header_fingerprint = module_header_fingerprint(module)
+            entry.profile_digest = profile_digest(profiles)
+            entry.executed_functions = executed_function_scope(
+                module, profiles, entry.request.entry)
+            roster = tuple(h.name for h in hot)
+            fractions = {h.name: h.time_fraction for h in hot}
+        entry.hot_fractions = dict(fractions)
+        # Even when nothing revalidates, the roster steers the queue
+        # (skips the discovery task) and LPT ordering.
+        entry.hot_loops = roster
         wanted = tuple(n for n in (entry.loops or roster) if n in fractions)
         hits = self.cache.lookup_footprints(
             lineage, wanted, entry.fingerprints, entry.header_fingerprint)
         if not hits:
             return False
-        entry.hot_loops = roster
-        entry.profile_digest = profile_digest(profiles)
         entry.refreshed = True
         for name, hit in hits.items():
             # The cached answer predates the edit; its dependence facts
             # are revalidated, but the loop's share of profiled time is
-            # refreshed from the new training run.
+            # refreshed from the (possibly reused) training run.
             entry.answers[name] = replace(
                 hit.answer, time_fraction=fractions[name])
             entry.footprints[name] = hit.footprint
@@ -282,7 +402,16 @@ class BatchScheduler:
             return False
         return True
 
-    # -- stage 3: shard + fan out --------------------------------------------
+    # -- completion accounting (both fan-out modes) --------------------------
+
+    def _finish_key(self, entry: _KeyWork, elapsed_s: float) -> None:
+        """A key's last task landed: record one completion latency per
+        original (pre-dedup) request so tail percentiles weight demand,
+        not keys."""
+        for _ in range(max(1, entry.demand)):
+            self.telemetry.request_completion.record(elapsed_s)
+
+    # -- stage 3a: legacy per-request shards ---------------------------------
 
     def _shards_for(self, key: str, entry: _KeyWork) -> List[ShardTask]:
         """Split one key's demand into worker assignments."""
@@ -308,23 +437,34 @@ class BatchScheduler:
     def _fan_out(self, keys: List[str],
                  work: Dict[str, _KeyWork]) -> None:
         """Dispatch shards behind a bounded in-flight window."""
-        tel = self.telemetry
         tracer = current_tracer()
         queue: List[Tuple[str, ShardTask]] = []
+        remaining: Dict[str, int] = {}
         for key in keys:
             for task in self._shards_for(key, work[key]):
                 queue.append((key, task))
+                remaining[key] = remaining.get(key, 0) + 1
 
         if self._executor is None:
             self._executor = _make_executor(self.executor_kind, self.workers)
 
-        with tracer.span("fan_out", cat="scheduler", shards=len(queue)):
-            self._drain(queue, work)
+        with tracer.span("fan_out", cat="scheduler", mode="shard",
+                         shards=len(queue)):
+            self._drain(queue, work, remaining)
 
     def _drain(self, queue: List[Tuple[str, ShardTask]],
-               work: Dict[str, _KeyWork]) -> None:
+               work: Dict[str, _KeyWork],
+               remaining: Dict[str, int]) -> None:
         tel = self.telemetry
         tracer = current_tracer()
+        started = time.perf_counter()
+
+        def task_done(key: str) -> None:
+            remaining[key] -= 1
+            if remaining[key] == 0:
+                self._finish_key(work[key],
+                                 time.perf_counter() - started)
+
         #: future -> (key, task, submit time, dispatch span)
         inflight: Dict[cf.Future, Tuple[str, ShardTask, float, object]] = {}
         index = 0
@@ -347,6 +487,7 @@ class BatchScheduler:
                     tel.dequeue()
                     span.end(status="submit_failure")
                     self._degrade(work[key], task, "failure")
+                    task_done(key)
                     continue
                 inflight[future] = (key, task, submitted, span)
             if not inflight:
@@ -374,6 +515,7 @@ class BatchScheduler:
                         future.cancel()
                         span.end(status="timeout")
                         self._degrade(work[key], task, "timeout")
+                        task_done(key)
                 continue
 
             for future in done:
@@ -387,6 +529,7 @@ class BatchScheduler:
                     # queue still runs.
                     span.end(status="worker_crash")
                     self._degrade(work[key], task, "failure")
+                    task_done(key)
                     try:
                         self._executor.shutdown(wait=False)
                     except Exception:
@@ -400,16 +543,215 @@ class BatchScheduler:
                     span, "id", None))
                 self._absorb(work[key], result)
                 tel.request_latency.record(time.perf_counter() - submitted)
+                task_done(key)
+
+    # -- stage 3b: global loop-granular work queue ---------------------------
+
+    def _known_roster(self, key: str, entry: _KeyWork
+                      ) -> Optional[Tuple[Tuple[str, ...],
+                                          Dict[str, float]]]:
+        """The loops this key must run, when knowable without a
+        worker: from the incremental probe, a prior meta row, or an
+        explicit loop subset.  ``None`` forces a discovery task."""
+        if entry.hot_loops:
+            return entry.hot_loops, dict(entry.hot_fractions)
+        if self.cache is not None:
+            meta = self.cache.meta(key)
+            if meta is not None and meta.hot_loops:
+                entry.hot_fractions = dict(meta.hot_fractions)
+                return meta.hot_loops, dict(meta.hot_fractions)
+        if entry.loops:
+            # Explicit demand: the worker resolves hot-ness per loop
+            # against the fresh profile, no discovery barrier needed.
+            return entry.loops, dict(entry.hot_fractions)
+        return None
+
+    def _push_task(self, heap: list, seq, key: str, task: LoopTask,
+                   enqueued_at: float) -> None:
+        # Discovery tasks first (they unlock further work), then
+        # longest-processing-time-first by profiled time fraction; the
+        # unique sequence number breaks ties before the unorderable
+        # payload is ever compared.
+        kind = 0 if task.loop is None else 1
+        heapq.heappush(heap, (kind, -task.time_fraction, next(seq),
+                              key, task, enqueued_at))
+
+    def _loop_task(self, entry: _KeyWork, loop: Optional[str],
+                   fraction: float, trace) -> LoopTask:
+        return LoopTask(entry.request, loop, self.loop_timeout_s,
+                        fraction, trace, self.prepared_cache_size)
+
+    def _fan_out_queue(self, keys: List[str],
+                       work: Dict[str, _KeyWork]) -> None:
+        """Dispatch one global LPT-ordered task queue for the batch."""
+        tracer = current_tracer()
+        trace = (TraceSpec(sample_every=tracer.sample_every)
+                 if tracer.enabled else None)
+        seq = itertools.count()
+        heap: list = []
+        now = time.perf_counter()
+        immediate: List[_KeyWork] = []
+        for key in keys:
+            entry = work[key]
+            known = self._known_roster(key, entry)
+            if known is None:
+                entry.outstanding = 1
+                self._push_task(heap, seq, key,
+                                self._loop_task(entry, None, 0.0, trace),
+                                now)
+                continue
+            roster, fractions = known
+            wanted = tuple(entry.loops or roster)
+            entry.outstanding = len(wanted)
+            if not wanted:
+                immediate.append(entry)
+                continue
+            for name in wanted:
+                self._push_task(heap, seq, key,
+                                self._loop_task(entry, name,
+                                                fractions.get(name, 0.0),
+                                                trace),
+                                now)
+
+        if self._executor is None:
+            self._executor = _make_executor(self.executor_kind, self.workers)
+
+        with tracer.span("fan_out", cat="scheduler",
+                         mode="queue") as span:
+            for entry in immediate:
+                self._finish_key(entry, 0.0)
+            dispatched = self._drain_queue(heap, seq, work, trace)
+            span.set(tasks=dispatched)
+
+    def _drain_queue(self, heap: list, seq,
+                     work: Dict[str, _KeyWork], trace) -> int:
+        tel = self.telemetry
+        tracer = current_tracer()
+        started = time.perf_counter()
+
+        def task_done(entry: _KeyWork) -> None:
+            entry.outstanding -= 1
+            if entry.outstanding <= 0:
+                self._finish_key(entry, time.perf_counter() - started)
+
+        #: future -> (key, task, submit time, dispatch span)
+        inflight: Dict[cf.Future,
+                       Tuple[str, LoopTask, float, object]] = {}
+        dispatched = 0
+        while heap or inflight:
+            # Backpressure: the same bounded window as shard mode.
+            while heap and len(inflight) < self.max_pending_shards:
+                _, _, _, key, task, enqueued_at = heapq.heappop(heap)
+                dispatched += 1
+                tel.count("loop_tasks_dispatched")
+                if task.loop is None:
+                    tel.count("discovery_tasks")
+                tel.enqueue()
+                submitted = time.perf_counter()
+                wait_s = submitted - enqueued_at
+                tel.queue_wait.record(wait_s)
+                span = tracer.begin("dispatch", cat="dispatch",
+                                    workload=task.request.name,
+                                    system=task.request.system,
+                                    loop=task.loop or UNKNOWN_LOOPS,
+                                    discovery=task.loop is None,
+                                    queue_wait_s=wait_s)
+                try:
+                    future = self._executor.submit(self._loop_runner, task)
+                except Exception:
+                    tel.dequeue()
+                    span.end(status="submit_failure")
+                    self._degrade_task(work[key], task, "failure")
+                    task_done(work[key])
+                    continue
+                inflight[future] = (key, task, submitted, span)
+            if not inflight:
+                continue
+
+            timeout = None
+            if self.shard_timeout_s is not None:
+                now = time.perf_counter()
+                timeout = max(0.0, min(
+                    submitted + self.shard_timeout_s - now
+                    for (_, _, submitted, _) in inflight.values()))
+            done, _ = cf.wait(list(inflight), timeout=timeout,
+                              return_when=cf.FIRST_COMPLETED)
+
+            if not done and self.shard_timeout_s is not None:
+                now = time.perf_counter()
+                for future, (key, task, submitted, span) \
+                        in list(inflight.items()):
+                    if now - submitted >= self.shard_timeout_s:
+                        del inflight[future]
+                        tel.dequeue()
+                        future.cancel()
+                        span.end(status="timeout")
+                        self._degrade_task(work[key], task, "timeout")
+                        task_done(work[key])
+                continue
+
+            for future in done:
+                key, task, submitted, span = inflight.pop(future)
+                tel.dequeue()
+                entry = work[key]
+                try:
+                    result = future.result()
+                except Exception:
+                    # Worker crash: only this task's loop degrades; the
+                    # pool is rebuilt so the rest of the queue runs.
+                    span.end(status="worker_crash")
+                    self._degrade_task(entry, task, "failure")
+                    task_done(entry)
+                    try:
+                        self._executor.shutdown(wait=False)
+                    except Exception:
+                        pass
+                    self._executor = _make_executor(self.executor_kind,
+                                                    self.workers)
+                    continue
+                span.end(status="completed",
+                         prepared="hit" if result.prepared_hit
+                         else "miss")
+                tracer.adopt(result.spans, parent_id=getattr(
+                    span, "id", None))
+                self._absorb_task(entry, result)
+                tel.request_latency.record(
+                    time.perf_counter() - submitted)
+                if task.loop is None:
+                    dispatched_more = self._enqueue_discovered(
+                        heap, seq, key, entry, result, trace)
+                    entry.outstanding += dispatched_more
+                task_done(entry)
+        return dispatched
+
+    def _enqueue_discovered(self, heap: list, seq, key: str,
+                            entry: _KeyWork, result: LoopTaskResult,
+                            trace) -> int:
+        """A discovery task reported the roster: enqueue its loops."""
+        wanted = tuple(entry.loops or result.hot_loops)
+        fractions = result.hot_fractions
+        now = time.perf_counter()
+        for name in wanted:
+            self._push_task(heap, seq, key,
+                            self._loop_task(entry, name,
+                                            fractions.get(name, 0.0),
+                                            trace),
+                            now)
+        return len(wanted)
 
     # -- stage 4: collect ----------------------------------------------------
 
     def _absorb(self, entry: _KeyWork, result: ShardResult) -> None:
         tel = self.telemetry
         entry.hot_loops = result.hot_loops or entry.hot_loops
+        if result.hot_fractions:
+            entry.hot_fractions = dict(result.hot_fractions)
         entry.profile_digest = result.profile_digest or entry.profile_digest
         entry.fingerprints = result.fingerprints or entry.fingerprints
         entry.header_fingerprint = (result.header_fingerprint
                                     or entry.header_fingerprint)
+        if result.executed_functions:
+            entry.executed_functions = result.executed_functions
         entry.footprints.update(result.footprints)
         for answer in result.answers:
             entry.answers[answer.loop] = answer
@@ -424,6 +766,38 @@ class BatchScheduler:
         tel.count("busy_s", result.busy_s)
         tel.merge_worker_metrics(result.metrics)
 
+    def _absorb_task(self, entry: _KeyWork,
+                     result: LoopTaskResult) -> None:
+        tel = self.telemetry
+        entry.hot_loops = result.hot_loops or entry.hot_loops
+        if result.hot_fractions:
+            entry.hot_fractions = dict(result.hot_fractions)
+        entry.profile_digest = result.profile_digest or entry.profile_digest
+        entry.fingerprints = result.fingerprints or entry.fingerprints
+        entry.header_fingerprint = (result.header_fingerprint
+                                    or entry.header_fingerprint)
+        if result.executed_functions:
+            entry.executed_functions = result.executed_functions
+        if result.loop is not None and result.footprint:
+            entry.footprints[result.loop] = result.footprint
+        answer = result.answer
+        if answer is not None:
+            entry.answers[answer.loop] = answer
+            if answer.status == STATUS_FALLBACK:
+                tel.count("loops_fallback")
+                entry.degraded = True
+            else:
+                tel.count("loops_computed")
+                tel.query_latency.record(answer.latency_s)
+        tel.count("prepared_hits" if result.prepared_hit
+                  else "prepared_misses")
+        tel.count("prepared_evictions", result.prepared_evictions)
+        tel.count("module_evals", result.module_evals)
+        tel.count("orchestrator_queries", result.orchestrator_queries)
+        tel.count("busy_s", result.busy_s)
+        tel.count("setup_s", result.setup_s)
+        tel.merge_worker_metrics(result.metrics)
+
     def _degrade(self, entry: _KeyWork, task: ShardTask,
                  reason: str) -> None:
         """Conservative fallback for one shard's loops."""
@@ -431,6 +805,24 @@ class BatchScheduler:
         tel.count("shards_timed_out" if reason == "timeout"
                   else "shards_failed")
         loops = task.loops or entry.hot_loops or (UNKNOWN_LOOPS,)
+        for name in loops:
+            if name not in entry.answers:
+                entry.answers[name] = fallback_answer(
+                    entry.request.name, entry.request.system, name)
+                tel.count("loops_fallback")
+        entry.degraded = True
+
+    def _degrade_task(self, entry: _KeyWork, task: LoopTask,
+                      reason: str) -> None:
+        """Conservative fallback for one loop task (or an unknown
+        roster, when a discovery task died)."""
+        tel = self.telemetry
+        tel.count("shards_timed_out" if reason == "timeout"
+                  else "shards_failed")
+        if task.loop is not None:
+            loops: Tuple[str, ...] = (task.loop,)
+        else:
+            loops = entry.loops or entry.hot_loops or (UNKNOWN_LOOPS,)
         for name in loops:
             if name not in entry.answers:
                 entry.answers[name] = fallback_answer(
@@ -450,6 +842,11 @@ class BatchScheduler:
                 continue  # pure exact-key hit: nothing new to write
             if not set(entry.hot_loops) <= set(entry.answers):
                 continue  # partial roster: a later run completes it
+            scope_digest = ""
+            if entry.executed_functions and entry.fingerprints:
+                scope_digest = loop_footprint_digest(
+                    entry.executed_functions, entry.fingerprints,
+                    entry.header_fingerprint) or ""
             self.cache.store(
                 key,
                 workload=entry.request.name,
@@ -463,6 +860,9 @@ class BatchScheduler:
                 footprints=entry.footprints,
                 fingerprints=entry.fingerprints,
                 header_fingerprint=entry.header_fingerprint,
+                hot_fractions=entry.hot_fractions,
+                executed_functions=entry.executed_functions,
+                profile_scope_digest=scope_digest,
             )
 
     def _answers_for(self, request: AnalysisRequest,

@@ -61,6 +61,14 @@ class ServiceConfig:
     #: dependence footprint against the edited module, recomputing only
     #: the loops an edit actually dirtied.
     incremental: bool = True
+    #: Fan-out mode: "queue" (global loop-granular work queue, LPT
+    #: ordered, shared across in-flight requests) or "shard" (legacy
+    #: per-request shards).
+    mode: str = "queue"
+    #: Capacity of each worker's resident prepared-module LRU (parsed
+    #: module + context + profiles + built system per version key);
+    #: ``None`` uses the worker default.
+    prepared_cache_size: Optional[int] = None
     #: Default orchestrator config stamped onto requests that carry
     #: none (lets callers pick join/bailout policies service-wide).
     orchestrator: Optional[OrchestratorConfig] = None
@@ -98,6 +106,8 @@ class DependenceService:
             max_pending_shards=self.config.max_pending_shards,
             max_shards_per_request=self.config.max_shards_per_request,
             incremental=self.config.incremental,
+            mode=self.config.mode,
+            prepared_cache_size=self.config.prepared_cache_size,
         )
 
     # -- serving -------------------------------------------------------------

@@ -40,6 +40,8 @@ _COUNTERS = (
     "shards_deduplicated",
     "shards_failed",
     "shards_timed_out",
+    "loop_tasks_dispatched",
+    "discovery_tasks",
     "loops_computed",
     "loops_from_cache",
     "loops_incremental",
@@ -47,10 +49,15 @@ _COUNTERS = (
     "cache_hits",
     "cache_misses",
     "incremental_probes",
+    "profile_reuses",
+    "prepared_hits",
+    "prepared_misses",
+    "prepared_evictions",
     "module_evals",
     "orchestrator_queries",
     "wall_s",
     "busy_s",
+    "setup_s",
 )
 
 
@@ -63,6 +70,8 @@ class TelemetrySnapshot:
     shards_deduplicated: int
     shards_failed: int
     shards_timed_out: int
+    loop_tasks_dispatched: int
+    discovery_tasks: int
     loops_computed: int
     loops_from_cache: int
     loops_incremental: int
@@ -70,14 +79,28 @@ class TelemetrySnapshot:
     cache_hits: int
     cache_misses: int
     incremental_probes: int
+    profile_reuses: int
+    prepared_hits: int
+    prepared_misses: int
+    prepared_evictions: int
     module_evals: int
     orchestrator_queries: int
     workers: int
     wall_s: float
     busy_s: float
+    #: Parse+verify+profile+build seconds actually paid (each
+    #: prepared-module entry bills setup exactly once, to the task
+    #: that populated it — never re-billed on hits).
+    setup_s: float
     max_queue_depth: int
     request_latency: Dict[str, float]   # histogram summary
     query_latency: Dict[str, float]     # per-loop analysis latencies
+    #: Seconds a queued task waited before dispatch (queue mode).
+    queue_wait: Dict[str, float] = field(default_factory=dict)
+    #: Batch-relative completion latency per original request (the
+    #: tail-latency headline: recorded once per deduplicated demand
+    #: when a request's last task lands, in both modes).
+    request_completion: Dict[str, float] = field(default_factory=dict)
     #: Full registry dump: every labeled series (per-module evals,
     #: per-workload latencies) with raw histogram buckets.
     metrics: Dict = field(default_factory=dict)
@@ -86,6 +109,13 @@ class TelemetrySnapshot:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def prepared_hit_rate(self) -> float:
+        """Fraction of loop tasks served from a worker's prepared-
+        module cache (module setup already paid)."""
+        total = self.prepared_hits + self.prepared_misses
+        return self.prepared_hits / total if total else 0.0
 
     @property
     def worker_utilization(self) -> float:
@@ -103,6 +133,9 @@ class ServiceTelemetry:
         self.workers = workers
         self.request_latency = self.registry.histogram("shard_latency_s")
         self.query_latency = self.registry.histogram("loop_latency_s")
+        self.queue_wait = self.registry.histogram("queue_wait_s")
+        self.request_completion = \
+            self.registry.histogram("request_completion_s")
         self._queue = self.registry.gauge("queue_depth")
         # Materialize every counter so attribute reads and snapshots
         # see zeros (not missing series) on an idle service.
@@ -144,6 +177,8 @@ class ServiceTelemetry:
             shards_deduplicated=value("shards_deduplicated"),
             shards_failed=value("shards_failed"),
             shards_timed_out=value("shards_timed_out"),
+            loop_tasks_dispatched=value("loop_tasks_dispatched"),
+            discovery_tasks=value("discovery_tasks"),
             loops_computed=value("loops_computed"),
             loops_from_cache=value("loops_from_cache"),
             loops_incremental=value("loops_incremental"),
@@ -151,14 +186,21 @@ class ServiceTelemetry:
             cache_hits=value("cache_hits"),
             cache_misses=value("cache_misses"),
             incremental_probes=value("incremental_probes"),
+            profile_reuses=value("profile_reuses"),
+            prepared_hits=value("prepared_hits"),
+            prepared_misses=value("prepared_misses"),
+            prepared_evictions=value("prepared_evictions"),
             module_evals=value("module_evals"),
             orchestrator_queries=value("orchestrator_queries"),
             workers=self.workers,
             wall_s=value("wall_s"),
             busy_s=value("busy_s"),
+            setup_s=value("setup_s"),
             max_queue_depth=self._queue.max,
             request_latency=self.request_latency.summary(),
             query_latency=self.query_latency.summary(),
+            queue_wait=self.queue_wait.summary(),
+            request_completion=self.request_completion.summary(),
             metrics=self.registry.snapshot(),
         )
 
@@ -177,7 +219,9 @@ def format_report(snap: TelemetrySnapshot) -> str:
         "service telemetry",
         "-----------------",
         f"  requests         {snap.requests} "
-        f"({snap.shards_dispatched} shards dispatched, "
+        f"({snap.shards_dispatched} shards, "
+        f"{snap.loop_tasks_dispatched} loop tasks dispatched "
+        f"({snap.discovery_tasks} discovery), "
         f"{snap.shards_deduplicated} deduplicated in-flight)",
         f"  loops            {snap.loops_computed} computed, "
         f"{snap.loops_from_cache} from cache "
@@ -186,7 +230,13 @@ def format_report(snap: TelemetrySnapshot) -> str:
         f"  result cache     {snap.cache_hits} hits / "
         f"{snap.cache_misses} misses "
         f"(hit rate {snap.cache_hit_rate:.1%}, "
-        f"{snap.incremental_probes} incremental probes)",
+        f"{snap.incremental_probes} incremental probes, "
+        f"{snap.profile_reuses} profile-roster reuses)",
+        f"  prepared modules {snap.prepared_hits} hits / "
+        f"{snap.prepared_misses} misses "
+        f"(hit rate {snap.prepared_hit_rate:.1%}, "
+        f"{snap.prepared_evictions} evictions, "
+        f"setup {snap.setup_s:.2f}s billed once)",
         f"  robustness       {snap.shards_timed_out} shard timeouts, "
         f"{snap.shards_failed} worker failures",
         f"  orchestrators    {snap.orchestrator_queries} queries, "
@@ -198,4 +248,8 @@ def format_report(snap: TelemetrySnapshot) -> str:
         _lat("shard latency", snap.request_latency),
         _lat("loop latency", snap.query_latency),
     ]
+    if snap.queue_wait.get("count"):
+        lines.append(_lat("queue wait", snap.queue_wait))
+    if snap.request_completion.get("count"):
+        lines.append(_lat("req completion", snap.request_completion))
     return "\n".join(lines)

@@ -1,24 +1,38 @@
-"""Worker-side shard evaluation.
+"""Worker-side evaluation: shards (legacy) and loop tasks (queue mode).
 
-A *shard* is the unit the scheduler fans out: one module (IR text +
-entry + system + config) and a set of hot loops to analyze.  The
-worker rebuilds the world once per shard — parse, verify, profile,
-construct the analysis system — then answers every loop in the shard
-through one :class:`PDGClient`, so the expensive setup is amortized
-across the shard's loops while shards themselves run in parallel.
+Two execution granularities cross the pool boundary:
+
+- A *shard* (:func:`run_shard`) is the legacy unit: one module and a
+  set of hot loops.  The worker rebuilds the world once per shard —
+  parse, verify, profile, construct the analysis system — then answers
+  every loop in the shard through one :class:`PDGClient`.
+- A *loop task* (:func:`run_loop_task`) is the queue scheduler's unit:
+  one module and **one** hot loop (or a roster-discovery task when the
+  hot-loop set is unknown).  Loop granularity only pays off because of
+  the **worker-resident prepared-module cache**: an LRU keyed by
+  version key holding the parsed module, analysis context, profiles,
+  and the built analysis system, so K loop tasks of the same module
+  pay parse/verify/profile/build once per worker process instead of
+  once per task.  Cache hits report ``setup_s = 0`` — setup cost is
+  billed to the task that populated the entry, never re-billed.
 
 Everything here must stay picklable and importable at module level
-(``run_shard`` crosses the ``ProcessPoolExecutor`` boundary).
+(``run_shard``/``run_loop_task`` cross the ``ProcessPoolExecutor``
+boundary).
 
 Per-loop timeouts run the analysis on a helper thread and abandon it
 on expiry, returning the conservative fallback for that loop; the
-shard (and the batch) survives.
+task (and the batch) survives.  A timed-out loop also evicts its
+prepared entry, so the next task of that module rebuilds a fresh
+analysis system instead of sharing one an abandoned thread may still
+be mutating.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -42,6 +56,9 @@ from ..obs.trace import TraceSpec, current_tracer, set_tracer
 from ..profiling import run_profilers
 from .answers import LoopAnswer, fallback_answer, summarize_pdg
 from .requests import AnalysisRequest, profile_digest
+
+#: Default capacity of the worker-resident prepared-module LRU.
+DEFAULT_PREPARED_CACHE_SIZE = 4
 
 
 @dataclass(frozen=True)
@@ -70,6 +87,10 @@ class ShardResult:
     module_evals: int = 0
     orchestrator_queries: int = 0
     busy_s: float = 0.0
+    #: Loop name -> profiled share of execution time, for the full
+    #: roster (feeds the queue scheduler's LPT ordering and the
+    #: roster-reuse fast path of the incremental probe).
+    hot_fractions: Dict[str, float] = field(default_factory=dict)
     #: Loop name -> names of the functions its analysis consulted
     #: (callgraph reachability from the loop's function plus the
     #: orchestrator's consulted-function trace).
@@ -79,6 +100,11 @@ class ShardResult:
     #: each answer so later edited modules can revalidate footprints.
     fingerprints: Dict[str, str] = field(default_factory=dict)
     header_fingerprint: str = ""
+    #: Every function whose content could have influenced the training
+    #: run (executed definitions, the entry, all declarations); edits
+    #: provably outside this set reuse the profile without
+    #: re-interpretation.
+    executed_functions: Tuple[str, ...] = ()
     #: Finished trace spans (plain dicts) when the shard was traced;
     #: the scheduler adopts them under its dispatch span.
     spans: List[dict] = field(default_factory=list)
@@ -87,13 +113,66 @@ class ShardResult:
     metrics: Dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class LoopTask:
+    """The queue scheduler's unit: one module, one hot loop.
+
+    ``loop is None`` makes this a *discovery* task: profile the module,
+    report the hot-loop roster and time fractions (and warm the
+    prepared-module cache), but analyze nothing.
+    """
+
+    request: AnalysisRequest
+    loop: Optional[str] = None
+    loop_timeout_s: Optional[float] = None
+    #: The scheduler's LPT estimate (profiled time fraction); carried
+    #: for observability only.
+    time_fraction: float = 0.0
+    trace: Optional[TraceSpec] = None
+    prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE
+
+
+@dataclass
+class LoopTaskResult:
+    """What a worker streams back for one loop task."""
+
+    version_key: str
+    workload: str
+    system: str
+    entry: str
+    loop: Optional[str]                 # None for discovery tasks
+    answer: Optional[LoopAnswer] = None
+    hot_loops: Tuple[str, ...] = ()
+    hot_fractions: Dict[str, float] = field(default_factory=dict)
+    profile_digest: str = ""
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    header_fingerprint: str = ""
+    executed_functions: Tuple[str, ...] = ()
+    footprint: Tuple[str, ...] = ()
+    module_evals: int = 0
+    orchestrator_queries: int = 0
+    #: Task wall time.  Includes setup only when this task populated
+    #: the prepared-module cache (``prepared_hit`` False).
+    busy_s: float = 0.0
+    #: Parse+verify+profile+build seconds paid by THIS task (0 on a
+    #: prepared-cache hit: setup is billed once, to the populating
+    #: task).
+    setup_s: float = 0.0
+    prepared_hit: bool = False
+    #: Prepared-module entries this task's insertion evicted.
+    prepared_evictions: int = 0
+    spans: List[dict] = field(default_factory=list)
+    metrics: Dict = field(default_factory=dict)
+
+
 def prepare_request(request: AnalysisRequest):
     """Parse, verify, and profile a request's module.
 
-    Shared by :func:`run_shard` and the scheduler's incremental cache
-    probe — the probe needs the real hot-loop roster and fingerprints
-    of an *edited* module before deciding what still has to run.
-    Returns ``(module, context, profiles)``.
+    Shared by :func:`run_shard`, the prepared-module cache, and the
+    scheduler's incremental cache probe — the probe needs the real
+    hot-loop roster and fingerprints of an *edited* module before
+    deciding what still has to run.  Returns
+    ``(module, context, profiles)``.
     """
     tracer = current_tracer()
     with tracer.span("prepare", cat="prepare", workload=request.name,
@@ -118,6 +197,27 @@ def loop_footprint(system: DependenceAnalysis, loop) -> Tuple[str, ...]:
     return tuple(sorted(names))
 
 
+def executed_function_scope(module, profiles, entry: str
+                            ) -> Tuple[str, ...]:
+    """Every function whose content could influence the training run.
+
+    Covers the entry, every defined function with at least one
+    executed block, and every declaration (builtin calls emit no block
+    counts, and a declaration gaining a body must invalidate the
+    profile).  An edit whose changed fingerprints are all *outside*
+    this set provably cannot change the deterministic interpretation,
+    so the prior profile's hot-loop roster and time fractions can be
+    reused without re-interpreting the module.
+    """
+    names = {entry}
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            names.add(fn.name)
+        elif any(profiles.edge.block_count(bb) for bb in fn.blocks):
+            names.add(fn.name)
+    return tuple(sorted(names))
+
+
 def build_system(name: str, module, context, profiles,
                  config=None) -> DependenceAnalysis:
     """Construct any of the four §5 systems with an explicit config."""
@@ -131,6 +231,88 @@ def build_system(name: str, module, context, profiles,
         return build_memory_speculation(module, profiles, context, config)
     raise ValueError(f"unknown analysis system: {name!r}")
 
+
+# -- worker-resident prepared-module cache -----------------------------------
+
+class PreparedModule:
+    """Everything setup produces for one version key, built once."""
+
+    __slots__ = ("version_key", "module", "context", "profiles", "hot",
+                 "hot_by_name", "system", "client", "fingerprints",
+                 "header_fingerprint", "profile_digest",
+                 "executed_functions", "setup_s", "lock")
+
+    def __init__(self, request: AnalysisRequest):
+        started = time.perf_counter()
+        module, context, profiles = prepare_request(request)
+        self.version_key = request.version_key()
+        self.module = module
+        self.context = context
+        self.profiles = profiles
+        self.hot = hot_loops(profiles)
+        self.hot_by_name = {h.name: h for h in self.hot}
+        self.system = build_system(request.system, module, context,
+                                   profiles, request.config)
+        self.client = PDGClient(self.system)
+        self.fingerprints = module_fingerprints(module)
+        self.header_fingerprint = module_header_fingerprint(module)
+        self.profile_digest = profile_digest(profiles)
+        self.executed_functions = executed_function_scope(
+            module, profiles, request.entry)
+        self.setup_s = time.perf_counter() - started
+        # Serializes analyses that share this entry (thread executor):
+        # the orchestrator and its memo cache are not thread-safe.
+        self.lock = threading.Lock()
+
+
+_PREPARED_LOCK = threading.Lock()
+_PREPARED: "OrderedDict[str, PreparedModule]" = OrderedDict()
+
+
+def reset_prepared_cache() -> None:
+    """Drop every prepared module (tests, memory pressure)."""
+    with _PREPARED_LOCK:
+        _PREPARED.clear()
+
+
+def prepared_cache_keys() -> List[str]:
+    with _PREPARED_LOCK:
+        return list(_PREPARED)
+
+
+def _evict_prepared(version_key: str) -> None:
+    with _PREPARED_LOCK:
+        _PREPARED.pop(version_key, None)
+
+
+def _prepared_module(request: AnalysisRequest, capacity: int
+                     ) -> Tuple[PreparedModule, bool, int]:
+    """Get-or-build the prepared entry; returns (entry, hit,
+    evictions)."""
+    key = request.version_key()
+    with _PREPARED_LOCK:
+        entry = _PREPARED.get(key)
+        if entry is not None:
+            _PREPARED.move_to_end(key)
+            return entry, True, 0
+    # Build outside the lock: setup is the expensive part.  Two
+    # threads racing on the same key build twice and keep one — wasted
+    # work, never wrong answers.
+    entry = PreparedModule(request)
+    evictions = 0
+    with _PREPARED_LOCK:
+        if key in _PREPARED:
+            entry = _PREPARED[key]
+            _PREPARED.move_to_end(key)
+            return entry, True, 0
+        _PREPARED[key] = entry
+        while len(_PREPARED) > max(1, capacity):
+            _PREPARED.popitem(last=False)
+            evictions += 1
+    return entry, False, evictions
+
+
+# -- per-loop analysis helpers ------------------------------------------------
 
 def _analyze_with_timeout(client: PDGClient, loop,
                           timeout_s: Optional[float]):
@@ -155,6 +337,8 @@ def _analyze_with_timeout(client: PDGClient, loop,
     thread.join(timeout_s)
     return box[0] if box else None
 
+
+# -- shard evaluation (legacy mode) ------------------------------------------
 
 def run_shard(task: ShardTask) -> ShardResult:
     """Evaluate one shard start-to-finish (runs in a pool worker).
@@ -197,8 +381,11 @@ def _run_shard(task: ShardTask) -> ShardResult:
         entry=request.entry,
         profile_digest=profile_digest(profiles),
         hot_loops=tuple(h.name for h in hot),
+        hot_fractions={h.name: h.time_fraction for h in hot},
         fingerprints=module_fingerprints(module),
         header_fingerprint=module_header_fingerprint(module),
+        executed_functions=executed_function_scope(module, profiles,
+                                                   request.entry),
     )
 
     wanted = set(task.loops) if task.loops else None
@@ -235,6 +422,117 @@ def _run_shard(task: ShardTask) -> ShardResult:
                          workload=request.name).inc(evals)
     result.module_evals = system.stats.total_module_evals
     result.orchestrator_queries = system.stats.queries
+    result.busy_s = time.perf_counter() - started
+    result.metrics = registry.snapshot()
+    return result
+
+
+# -- loop-task evaluation (queue mode) ---------------------------------------
+
+def run_loop_task(task: LoopTask) -> LoopTaskResult:
+    """Evaluate one loop task (runs in a pool worker).
+
+    Mirrors :func:`run_shard`'s tracing contract: with a
+    :class:`TraceSpec` attached, the worker traces the task under its
+    own context and ships the spans back for adoption.
+    """
+    if task.trace is None:
+        return _run_loop_task(task)
+    tracer = task.trace.build()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("loop_task", cat="task",
+                         workload=task.request.name,
+                         system=task.request.system,
+                         loop=task.loop or "*") as span:
+            result = _run_loop_task(task)
+            span.set(prepared="hit" if result.prepared_hit else "miss",
+                     discovery=task.loop is None)
+    finally:
+        set_tracer(previous)
+    result.spans = tracer.export()
+    return result
+
+
+def _run_loop_task(task: LoopTask) -> LoopTaskResult:
+    request = task.request
+    started = time.perf_counter()
+    registry = MetricsRegistry()
+    tracer = current_tracer()
+
+    entry, hit, evictions = _prepared_module(request,
+                                             task.prepared_cache_size)
+    result = LoopTaskResult(
+        version_key=entry.version_key,
+        workload=request.name,
+        system=request.system,
+        entry=request.entry,
+        loop=task.loop,
+        hot_loops=tuple(h.name for h in entry.hot),
+        hot_fractions={h.name: h.time_fraction for h in entry.hot},
+        profile_digest=entry.profile_digest,
+        prepared_hit=hit,
+        prepared_evictions=evictions,
+        setup_s=0.0 if hit else entry.setup_s,
+    )
+    if not hit or task.loop is None:
+        # Fingerprints/scope travel once per populated entry (and on
+        # every discovery task, which feeds the scheduler's store
+        # path); plain-loop hits skip them to keep pickling light.
+        result.fingerprints = entry.fingerprints
+        result.header_fingerprint = entry.header_fingerprint
+        result.executed_functions = entry.executed_functions
+
+    if task.loop is None:                     # discovery: roster only
+        result.busy_s = time.perf_counter() - started
+        result.metrics = registry.snapshot()
+        return result
+
+    h = entry.hot_by_name.get(task.loop)
+    if h is None:
+        # Requested loop is not in the profile's hot roster (explicit
+        # loop subsets may name cold loops).  Shard mode silently
+        # omits such loops; answer=None keeps the modes identical.
+        result.busy_s = time.perf_counter() - started
+        result.metrics = registry.snapshot()
+        return result
+
+    system = entry.system
+    with entry.lock:
+        reset_consulted = getattr(system.coordinator, "reset_consulted",
+                                  lambda: None)
+        reset_consulted()
+        evals_before = dict(system.stats.module_evals)
+        total_before = system.stats.total_module_evals
+        queries_before = system.stats.queries
+        loop_started = time.perf_counter()
+        with tracer.span("loop", cat="loop", loop=h.name,
+                         workload=request.name,
+                         system=request.system) as loop_span:
+            pdg = _analyze_with_timeout(entry.client, h.loop,
+                                        task.loop_timeout_s)
+            latency = time.perf_counter() - loop_started
+            loop_span.set(timed_out=pdg is None)
+        for module_name, evals in sorted(
+                system.stats.module_evals.items()):
+            delta = evals - evals_before.get(module_name, 0)
+            if delta:
+                registry.counter("module_evals", module=module_name,
+                                 workload=request.name).inc(delta)
+        result.module_evals = system.stats.total_module_evals - total_before
+        result.orchestrator_queries = system.stats.queries - queries_before
+    registry.histogram("loop_latency_s", workload=request.name,
+                       system=request.system).record(latency)
+    if pdg is None:
+        result.answer = fallback_answer(request.name, request.system,
+                                        h.name, h.time_fraction)
+        # An abandoned analysis thread may still be mutating this
+        # system; drop the entry so the next task rebuilds cleanly.
+        _evict_prepared(entry.version_key)
+    else:
+        result.answer = summarize_pdg(request.name, request.system, pdg,
+                                      h.time_fraction, latency)
+        result.footprint = loop_footprint(system, h.loop)
     result.busy_s = time.perf_counter() - started
     result.metrics = registry.snapshot()
     return result

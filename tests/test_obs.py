@@ -500,12 +500,14 @@ class TestTelemetry:
         expected = "\n".join([
             "service telemetry",
             "-----------------",
-            "  requests         3 (2 shards dispatched, "
-            "1 deduplicated in-flight)",
+            "  requests         3 (2 shards, 0 loop tasks dispatched "
+            "(0 discovery), 1 deduplicated in-flight)",
             "  loops            4 computed, 2 from cache "
             "(1 via footprint revalidation), 0 conservative fallback",
             "  result cache     5 hits / 5 misses (hit rate 50.0%, "
-            "2 incremental probes)",
+            "2 incremental probes, 0 profile-roster reuses)",
+            "  prepared modules 0 hits / 0 misses (hit rate 0.0%, "
+            "0 evictions, setup 0.00s billed once)",
             "  robustness       1 shard timeouts, 0 worker failures",
             "  orchestrators    10 queries, 40 module evaluations",
             "  workers          2 (utilization 0.0%, "
@@ -527,7 +529,11 @@ def _traced_batch(sample_every=1):
     tracer = TraceContext(sample_every=sample_every)
     set_tracer(tracer)
     try:
-        scheduler = BatchScheduler(workers=0, executor="inline")
+        # Legacy shard mode: these tests pin the per-shard timeline
+        # (the queue-mode loop_task timeline is covered in
+        # test_service_queue.py).
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="shard")
         requests = [
             AnalysisRequest("w1", make_source(), system="scaf"),
             AnalysisRequest("w2", make_source(iters=80), system="scaf"),

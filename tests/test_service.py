@@ -40,11 +40,23 @@ from repro.service import (
     loop_answer_from_dict,
     loop_answer_to_dict,
     request_for_workload,
+    reset_prepared_cache,
     run_shard,
     summarize_pdg,
     system_module_roster,
 )
 from repro.service.telemetry import LatencyHistogram
+
+
+@pytest.fixture(autouse=True)
+def _fresh_prepared_cache():
+    # The worker-resident prepared-module cache is process-global; with
+    # the inline/thread executors that process is the test process, so
+    # isolate each test from modules prepared (and orchestrator memos
+    # warmed) by its predecessors.
+    reset_prepared_cache()
+    yield
+    reset_prepared_cache()
 
 
 def make_source(iters: int = 60, rare_store: bool = True,
@@ -414,7 +426,7 @@ class TestScheduler:
             return _canned_result(task)
 
         scheduler = BatchScheduler(workers=0, executor="inline",
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         a = AnalysisRequest("a", make_source(), system="caf")
         b = AnalysisRequest("b", make_source(), system="caf")  # same key
         c = AnalysisRequest("c", make_source(iters=80), system="caf")
@@ -429,7 +441,7 @@ class TestScheduler:
             raise RuntimeError("worker died")
 
         scheduler = BatchScheduler(workers=1, executor="thread",
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         request = AnalysisRequest("a", make_source(), system="caf",
                                   loops=("@main:%loop",))
         [answers] = scheduler.run_batch([request])
@@ -444,7 +456,7 @@ class TestScheduler:
             return _canned_result(task)
 
         scheduler = BatchScheduler(workers=1, executor="thread",
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         good = AnalysisRequest("good", make_source(), system="caf")
         bad = AnalysisRequest("bad", make_source(iters=80), system="caf",
                               loops=("@main:%loop",))
@@ -460,7 +472,7 @@ class TestScheduler:
 
         scheduler = BatchScheduler(workers=1, executor="thread",
                                    shard_timeout_s=0.05,
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         request = AnalysisRequest("a", make_source(), system="caf",
                                   loops=("@main:%loop",))
         [answers] = scheduler.run_batch([request])
@@ -474,7 +486,7 @@ class TestScheduler:
 
         scheduler = BatchScheduler(workers=2, executor="inline",
                                    max_pending_shards=1,
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         requests = [AnalysisRequest(f"r{i}", make_source(iters=55 + i),
                                     system="caf") for i in range(5)]
         scheduler.run_batch(requests)
@@ -522,7 +534,7 @@ class TestScheduler:
 
         scheduler = BatchScheduler(workers=4, executor="inline",
                                    max_shards_per_request=4,
-                                   shard_runner=runner)
+                                   mode="shard", shard_runner=runner)
         request = AnalysisRequest("a", make_source(), system="caf",
                                   loops=("l1", "l2", "l3", "l4"))
         scheduler.run_batch([request])

@@ -1,0 +1,397 @@
+"""Queue-mode scheduler tests: the loop-granular global work queue,
+the worker-resident prepared-module cache, crash recovery, and the
+zero-interpretation roster-reuse fast path.
+
+Shard-mode behavior (and the queue/shard shared plumbing: dedup,
+cache probe, degradation counters) is covered in test_service.py;
+this file pins what is *specific* to the queue rewrite:
+
+- queue mode and legacy shard mode return identical answers on all
+  four systems (property test);
+- a worker death mid-queue degrades only the dead task's loop, the
+  executor is rebuilt, and the rest of the queue completes;
+- K loop tasks of one module on one worker pay module setup
+  (parse + verify + profile) exactly once;
+- prepared-cache hits are not re-billed setup time, and the
+  busy/setup split reconciles;
+- a provably-execution-preserving edit reuses the prior hot-loop
+  roster with zero interpretation;
+- the traced queue timeline nests loop tasks under dispatch spans
+  with queue-wait and prepared-cache attributes.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.service.scheduler as scheduler_mod
+import repro.service.worker as worker_mod
+from repro.obs.stats import trace_document
+from repro.obs.trace import NOOP, TraceContext, set_tracer, validate_spans
+from repro.service import (
+    AnalysisRequest,
+    BatchScheduler,
+    ResultCache,
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_FALLBACK,
+    prepared_cache_keys,
+    reset_prepared_cache,
+    run_loop_task,
+)
+
+SYSTEMS = ("caf", "confluence", "scaf", "memory-speculation")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_prepared_cache():
+    reset_prepared_cache()
+    yield
+    reset_prepared_cache()
+    set_tracer(NOOP)
+
+
+def two_loop_source(step1: int = 1, step2: int = 1,
+                    dead_step: int = 1) -> str:
+    """Two hot loops in separate functions, plus ``@dead`` which is
+    defined but never called — editing it provably preserves the
+    training run."""
+    return f"""
+global @acc1 : i32 = 0
+global @acc2 : i32 = 0
+
+func @dead(i32 %x) -> i32 {{
+entry:
+  %y = add i32 %x, {dead_step}
+  ret i32 %y
+}}
+
+func @work1() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %a = load i32* @acc1
+  %a2 = add i32 %a, {step1}
+  store i32 %a2, i32* @acc1
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 60
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @acc1
+  ret i32 %r
+}}
+
+func @work2() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %a = load i32* @acc2
+  %a2 = add i32 %a, {step2}
+  store i32 %a2, i32* @acc2
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 80
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @acc2
+  ret i32 %r
+}}
+
+func @main() -> i32 {{
+entry:
+  %x = call @work1()
+  %y = call @work2()
+  %s = add i32 %x, %y
+  ret i32 %s
+}}
+"""
+
+
+def identities(answer_lists):
+    return [[a.identity() for a in answers] for answers in answer_lists]
+
+
+# -- queue mode == shard mode (the correctness gate) -------------------------
+
+class TestQueueShardEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(system=st.sampled_from(SYSTEMS),
+           step1=st.integers(min_value=1, max_value=3),
+           step2=st.integers(min_value=1, max_value=3),
+           dup=st.booleans())
+    def test_property_queue_equals_shard(self, system, step1, step2, dup):
+        """For every analysis system and module shape, the global work
+        queue returns the same answers (loop for loop, pair for pair)
+        as the legacy per-request shard fan-out."""
+        requests = [AnalysisRequest(
+            "q", two_loop_source(step1=step1, step2=step2), system=system)]
+        if dup:
+            requests.append(requests[0])
+
+        reset_prepared_cache()
+        queue_sched = BatchScheduler(workers=0, executor="inline",
+                                     mode="queue")
+        queued = queue_sched.run_batch(requests)
+        assert queue_sched.telemetry.snapshot().loop_tasks_dispatched > 0
+
+        reset_prepared_cache()
+        shard_sched = BatchScheduler(workers=0, executor="inline",
+                                     mode="shard")
+        sharded = shard_sched.run_batch(requests)
+        assert shard_sched.telemetry.snapshot().shards_dispatched > 0
+
+        assert identities(queued) == identities(sharded)
+
+
+# -- crash recovery ----------------------------------------------------------
+
+class TestCrashAndRebuild:
+    def test_worker_death_mid_queue_degrades_one_loop(self):
+        """Kill the worker on one specific loop task: that loop falls
+        back conservatively, the executor is rebuilt, and every other
+        task in the queue still completes with real answers."""
+        crashed = []
+        lock = threading.Lock()
+
+        def flaky_runner(task):
+            if task.loop is not None and task.loop.startswith("@work2"):
+                with lock:
+                    first = not crashed
+                    crashed.append(task.loop)
+                if first:
+                    raise RuntimeError("simulated worker death")
+            return run_loop_task(task)
+
+        scheduler = BatchScheduler(workers=2, executor="thread",
+                                   mode="queue", loop_runner=flaky_runner)
+        first_executor = scheduler_mod._make_executor  # sanity: importable
+        assert first_executor is not None
+        requests = [
+            AnalysisRequest("victim", two_loop_source(), system="scaf"),
+            AnalysisRequest("bystander", two_loop_source(step1=2),
+                            system="caf"),
+        ]
+        results = scheduler.run_batch(requests)
+        executor_after = scheduler._executor
+        scheduler.close()
+
+        assert crashed, "the injected crash never fired"
+        by_loop = {a.loop: a for a in results[0]}
+        assert by_loop["@work2:%loop"].status == STATUS_FALLBACK
+        assert by_loop["@work2:%loop"].no_dep_percent == 0.0
+        assert by_loop["@work1:%loop"].status == STATUS_COMPUTED
+        # The bystander request rode the same global queue and was
+        # untouched by the crash.
+        assert all(a.status == STATUS_COMPUTED for a in results[1])
+        snap = scheduler.telemetry.snapshot()
+        assert snap.shards_failed == 1
+        assert snap.loops_fallback == 1
+        # The pool was rebuilt after the breakage (a fresh executor
+        # object drained the remaining queue).
+        assert executor_after is not None
+
+    def test_discovery_death_degrades_whole_request(self):
+        """If the roster was never discovered, the conservative
+        fallback covers the request's unknown demand."""
+        def dead_runner(task):
+            raise RuntimeError("worker never came up")
+
+        scheduler = BatchScheduler(workers=1, executor="thread",
+                                   mode="queue", loop_runner=dead_runner)
+        [answers] = scheduler.run_batch(
+            [AnalysisRequest("doomed", two_loop_source(), system="scaf")])
+        scheduler.close()
+        assert answers, "degraded request must still answer"
+        assert all(a.status == STATUS_FALLBACK for a in answers)
+
+
+# -- prepared-module cache ---------------------------------------------------
+
+class TestPreparedModuleCache:
+    def test_module_setup_paid_once_for_all_loop_tasks(self, monkeypatch):
+        """The acceptance criterion: a module split across K loop
+        tasks on one worker is parsed / verified / profiled exactly
+        once — the discovery task populates the prepared cache and
+        every loop task hits it."""
+        profiled = []
+        real_profilers = worker_mod.run_profilers
+        monkeypatch.setattr(
+            worker_mod, "run_profilers",
+            lambda *a, **k: profiled.append(1) or real_profilers(*a, **k))
+
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="queue")
+        [answers] = scheduler.run_batch(
+            [AnalysisRequest("once", two_loop_source(), system="scaf")])
+
+        assert len(answers) == 2
+        assert all(a.status == STATUS_COMPUTED for a in answers)
+        assert len(profiled) == 1, (
+            f"module setup ran {len(profiled)} times for "
+            f"{len(answers)} loop tasks; expected exactly once")
+        snap = scheduler.telemetry.snapshot()
+        # Discovery misses, then one hit per loop task.
+        assert snap.prepared_misses == 1
+        assert snap.prepared_hits == len(answers)
+        assert snap.prepared_hit_rate == pytest.approx(2 / 3)
+        assert prepared_cache_keys(), "prepared module should be resident"
+
+    def test_lru_evicts_beyond_capacity(self):
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="queue", prepared_cache_size=1)
+        requests = [
+            AnalysisRequest(f"m{i}", two_loop_source(step1=i + 1),
+                            system="caf")
+            for i in range(3)
+        ]
+        scheduler.run_batch(requests)
+        snap = scheduler.telemetry.snapshot()
+        assert len(prepared_cache_keys()) == 1
+        assert snap.prepared_evictions >= 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(workers=0, executor="inline",
+                           prepared_cache_size=0)
+
+
+# -- utilization accounting --------------------------------------------------
+
+class TestSetupAttribution:
+    def test_hits_are_not_rebilled_setup(self):
+        """Setup cost is attributed to the task that populated the
+        prepared cache; later hits bill zero additional setup, and the
+        busy/setup split reconciles (setup is a subset of busy)."""
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="queue")
+        request = AnalysisRequest("bill", two_loop_source(), system="scaf")
+        scheduler.run_batch([request])
+        first = scheduler.telemetry.snapshot()
+        assert first.setup_s > 0.0
+        assert first.busy_s >= first.setup_s
+
+        # Same module again: the prepared cache is warm, so every task
+        # hits and NO additional setup may be billed.
+        scheduler2 = BatchScheduler(workers=0, executor="inline",
+                                    mode="queue")
+        scheduler2.run_batch([request])
+        second = scheduler2.telemetry.snapshot()
+        assert second.prepared_misses == 0
+        assert second.prepared_hits > 0
+        assert second.setup_s == 0.0
+        assert second.busy_s > 0.0
+
+    def test_utilization_report_reconciles(self):
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="queue")
+        scheduler.run_batch(
+            [AnalysisRequest("recon", two_loop_source(), system="scaf")])
+        snap = scheduler.telemetry.snapshot()
+        # Worker busy time is task wall time; it must cover the billed
+        # setup and stay within the batch wall clock (inline executor:
+        # one lane, no overlap).
+        assert 0.0 < snap.setup_s <= snap.busy_s <= snap.wall_s + 1e-6
+
+
+# -- zero-interpretation roster reuse ----------------------------------------
+
+class TestRosterReuse:
+    def _run(self, source, cache, monkeypatch=None, forbid_interp=False):
+        scheduler = BatchScheduler(workers=0, executor="inline",
+                                   mode="queue", cache=cache)
+        if forbid_interp:
+            def _boom(*a, **k):
+                raise AssertionError(
+                    "prepare_request ran: the probe interpreted the "
+                    "module instead of reusing the prior roster")
+            monkeypatch.setattr(scheduler_mod, "prepare_request", _boom)
+            monkeypatch.setattr(worker_mod, "run_profilers", _boom)
+        try:
+            return (scheduler.run_batch(
+                [AnalysisRequest("reuse", source, system="scaf")]),
+                scheduler.telemetry.snapshot())
+        finally:
+            if forbid_interp:
+                monkeypatch.undo()
+
+    def test_edit_outside_executed_scope_reuses_roster(
+            self, tmp_path, monkeypatch):
+        """Editing a never-executed function reuses the prior run's
+        hot-loop roster and fractions with ZERO interpretation: both
+        the scheduler-side profiler (``prepare_request``) and the
+        worker-side one (``run_profilers``) are replaced with bombs
+        for the warm run, which must still serve every loop."""
+        cache = ResultCache(str(tmp_path / "cache.sqlite"))
+        cold, cold_snap = self._run(two_loop_source(dead_step=1), cache)
+        assert all(a.status == STATUS_COMPUTED
+                   for answers in cold for a in answers)
+        assert cold_snap.profile_reuses == 0
+        cold_ids = identities(cold)
+
+        reset_prepared_cache()
+        warm, snap = self._run(two_loop_source(dead_step=7), cache,
+                               monkeypatch, forbid_interp=True)
+        assert [a.status for answers in warm for a in answers] \
+            == [STATUS_CACHED, STATUS_CACHED]
+        assert snap.profile_reuses == 1
+        assert snap.incremental_probes == 1
+        assert snap.module_evals == 0
+        assert snap.loop_tasks_dispatched == 0
+        assert identities(warm) == cold_ids
+
+    def test_edit_inside_executed_scope_reprofiles(self, tmp_path):
+        """Touching an executed function breaks the proof: the probe
+        must fall back to re-profiling (and recompute the dirty loop)."""
+        cache = ResultCache(str(tmp_path / "cache.sqlite"))
+        self._run(two_loop_source(step2=1), cache)
+        reset_prepared_cache()
+        warm, snap = self._run(two_loop_source(step2=3), cache)
+        assert snap.profile_reuses == 0
+        assert snap.incremental_probes == 1
+        statuses = {a.loop: a.status for answers in warm for a in answers}
+        assert statuses["@work1:%loop"] == STATUS_CACHED
+        assert statuses["@work2:%loop"] == STATUS_COMPUTED
+
+
+# -- traced queue timeline ---------------------------------------------------
+
+class TestQueueTracing:
+    def test_loop_tasks_nest_under_dispatch_with_wait_and_cache_attrs(
+            self, tmp_path):
+        tracer = TraceContext(sample_every=1)
+        set_tracer(tracer)
+        try:
+            scheduler = BatchScheduler(workers=0, executor="inline",
+                                       mode="queue")
+            scheduler.run_batch([
+                AnalysisRequest("t1", two_loop_source(), system="scaf"),
+                AnalysisRequest("t2", two_loop_source(step1=2),
+                                system="caf"),
+            ])
+        finally:
+            set_tracer(NOOP)
+        spans = tracer.export()
+        assert validate_spans(spans) == []
+        by_id = {s["id"]: s for s in spans}
+        dispatches = [s for s in spans if s["cat"] == "dispatch"]
+        tasks = [s for s in spans if s["cat"] == "task"]
+        assert dispatches and tasks
+        for d in dispatches:
+            assert d["attrs"]["queue_wait_s"] >= 0.0
+            assert "discovery" in d["attrs"]
+        for t in tasks:
+            assert by_id[t["parent"]]["cat"] == "dispatch"
+            assert t["attrs"]["prepared"] in ("hit", "miss")
+        # The offline stats document recomputes the cache traffic from
+        # the artifact alone.
+        import json
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+        doc = trace_document(str(path))
+        assert doc["valid"]
+        cache_doc = doc["prepared_cache"]
+        assert cache_doc["hits"] + cache_doc["misses"] == len(tasks)
+        assert cache_doc["hits"] >= 1
