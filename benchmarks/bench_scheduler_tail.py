@@ -57,6 +57,15 @@ SIM_HUGE_LOOP_S = 0.5
 SIM_TINY_LOOP_S = 0.01
 SIM_TINY_SETUP_S = 0.01
 
+#: Profiled dynamic-instruction totals for the simulated modules.  A
+#: tiny module's single loop owns 90% of its (minuscule) training run
+#: while each huge loop is only 1/8 of its (enormous) one — raw time
+#: fractions would LPT-order every tiny loop ahead of every huge
+#: loop, exactly backwards.  Weighting fraction by the module's total
+#: profiled instructions restores the true longest-first order.
+SIM_HUGE_INSTRUCTIONS = 2_000_000
+SIM_TINY_INSTRUCTIONS = 5_000
+
 _TINY = """
 global @cell : i32 = 0
 
@@ -153,18 +162,20 @@ def run_equality(mode: str, requests):
 # -- half 2: tail latency (cost-model simulation) ----------------------------
 
 def _sim_plan(requests):
-    """name -> (roster, fractions, per-loop cost, setup cost)."""
+    """name -> (roster, fractions, per-loop cost, setup cost,
+    profiled instruction total)."""
     plan = {}
     for request in requests:
         if request.name == "huge":
             roster = tuple(f"@work{k}:%loop" for k in range(HUGE_LOOPS))
             plan[request.name] = (
                 roster, {n: 1.0 / HUGE_LOOPS for n in roster},
-                SIM_HUGE_LOOP_S, SIM_SETUP_S)
+                SIM_HUGE_LOOP_S, SIM_SETUP_S, SIM_HUGE_INSTRUCTIONS)
         else:
             roster = ("@main:%loop",)
             plan[request.name] = (roster, {"@main:%loop": 0.9},
-                                  SIM_TINY_LOOP_S, SIM_TINY_SETUP_S)
+                                  SIM_TINY_LOOP_S, SIM_TINY_SETUP_S,
+                                  SIM_TINY_INSTRUCTIONS)
     return plan
 
 
@@ -199,7 +210,8 @@ class _SimWorkers:
 
         started = time.perf_counter()
         request = task.request
-        roster, fractions, loop_s, setup_s = self.plan[request.name]
+        roster, fractions, loop_s, setup_s, instrs = \
+            self.plan[request.name]
         hit = self._prepared(request.version_key(), setup_s,
                              task.prepared_cache_size)
         answer = None
@@ -214,14 +226,16 @@ class _SimWorkers:
             system=request.system, entry=request.entry, loop=task.loop,
             answer=answer, hot_loops=roster, hot_fractions=dict(fractions),
             profile_digest="sim", busy_s=busy,
-            setup_s=0.0 if hit else setup_s, prepared_hit=hit)
+            setup_s=0.0 if hit else setup_s, prepared_hit=hit,
+            total_instructions=instrs)
 
     def run_shard(self, task):
         from repro.service import ShardResult, fallback_answer
 
         started = time.perf_counter()
         request = task.request
-        roster, fractions, loop_s, setup_s = self.plan[request.name]
+        roster, fractions, loop_s, setup_s, instrs = \
+            self.plan[request.name]
         loops = task.loops or roster
         time.sleep(setup_s + loop_s * len(loops))
         answers = [fallback_answer(request.name, request.system, name,
@@ -232,7 +246,8 @@ class _SimWorkers:
             system=request.system, entry=request.entry,
             profile_digest="sim", hot_loops=roster,
             hot_fractions=dict(fractions), answers=answers,
-            busy_s=time.perf_counter() - started)
+            busy_s=time.perf_counter() - started,
+            total_instructions=instrs)
 
 
 def run_simulated(mode: str, requests):
@@ -316,6 +331,8 @@ def _write_json(queue_doc, shard_doc, equality, smoke: bool) -> None:
                          "huge_loop": SIM_HUGE_LOOP_S,
                          "tiny_loop": SIM_TINY_LOOP_S,
                          "tiny_setup": SIM_TINY_SETUP_S},
+        "profiled_instructions": {"huge": SIM_HUGE_INSTRUCTIONS,
+                                  "tiny": SIM_TINY_INSTRUCTIONS},
         "smoke": smoke,
         "answers_identical": equality,
         "queue": rounded(queue_doc),

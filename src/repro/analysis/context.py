@@ -7,7 +7,7 @@ computed once per module and shared.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..ir import BasicBlock, Function, Module
 from .callgraph import CallGraph
@@ -26,6 +26,29 @@ class AnalysisContext:
                         DominatorTree] = {}
         self._loops: Dict[int, LoopInfo] = {}
         self._scev: Dict[int, ScalarEvolution] = {}
+        self._scan_trace: Set[Tuple[str, str]] = set()
+
+    # -- scan tracing ------------------------------------------------------
+    #
+    # Whole-module sweeps (a global's user scan, separation-site
+    # enumeration) consult state outside the caller's reachable
+    # functions.  Analyses record what they swept here so the service
+    # layer can put exactly those entities — not the entire module
+    # header — into a cached answer's dependence footprint.
+
+    def note_scan(self, kind: str, name: str) -> None:
+        """Record that the current analysis swept ``kind``/``name``
+        (e.g. ``("global", "counter")`` for a users-of-global scan or
+        ``("function", "helper")`` for a profile-site anchor)."""
+        self._scan_trace.add((kind, name))
+
+    def reset_scan_trace(self) -> None:
+        """Clear the trace before analysing a new loop."""
+        self._scan_trace = set()
+
+    def scan_trace(self) -> FrozenSet[Tuple[str, str]]:
+        """Everything swept since the last :meth:`reset_scan_trace`."""
+        return frozenset(self._scan_trace)
 
     @property
     def callgraph(self) -> CallGraph:

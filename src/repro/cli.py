@@ -12,9 +12,17 @@ Commands
              ``--workers``/``--cache-dir`` route the request through
              the serving layer, ``--json`` emits the service schema
 ``batch``    answer many workloads through the batched, parallel,
-             cached dependence-query service (``repro.service``)
+             cached dependence-query service (``repro.service``);
+             ``--daemon ADDR`` (or ``REPRO_DAEMON``) reuses a running
+             ``repro serve`` instead of spinning up a pool
+``serve``    run the resident analysis daemon: a persistent worker
+             fleet behind a Unix/TCP socket that many concurrent
+             clients share (``repro.daemon``)
+``submit``   send workloads to a running daemon and stream answers
+``shutdown`` ask a running daemon to drain and exit
 ``stats``    summarize a trace file produced by ``analyze``/``batch``
-             ``--trace`` (per-module attribution, span structure)
+             ``--trace`` (per-module attribution, span structure), or
+             — with ``--daemon ADDR`` — a live daemon over its socket
 
 ``analyze`` and ``batch`` accept ``--trace out.json`` to record an
 end-to-end span timeline (``repro.obs``): Chrome trace-event format
@@ -332,6 +340,98 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _daemon_addr(args) -> Optional[str]:
+    """Explicit ``--daemon`` beats the ``REPRO_DAEMON`` environment."""
+    return getattr(args, "daemon", None) or os.environ.get("REPRO_DAEMON")
+
+
+def _requests_for_targets(command: str, args) -> Optional[list]:
+    """Resolve target names (workloads and/or .ir files) to requests;
+    ``None`` after printing a diagnostic on bad input."""
+    from .service import request_for_file, request_for_workload
+    from .workloads import ALL_WORKLOADS, WORKLOADS
+
+    targets = list(args.targets)
+    if getattr(args, "all", False):
+        targets = [w.name for w in ALL_WORKLOADS]
+    if not targets:
+        print(f"{command}: no targets (name workloads/.ir files"
+              + (", or --all)" if hasattr(args, "all") else ")"),
+              file=sys.stderr)
+        return None
+
+    requests = []
+    for target in targets:
+        if target in WORKLOADS:
+            requests.append(request_for_workload(target,
+                                                 system=args.system))
+        elif os.path.exists(target):
+            requests.append(request_for_file(target, entry=args.entry,
+                                             system=args.system))
+        else:
+            print(f"{command}: unknown target {target!r} — not a "
+                  f"workload name or an IR file (workloads: "
+                  f"{', '.join(sorted(WORKLOADS))})", file=sys.stderr)
+            return None
+    return requests
+
+
+def _snapshot_from_dict(doc: dict):
+    """Rehydrate a TelemetrySnapshot from its wire dict (daemon
+    ``stats``), ignoring the derived-rate extras."""
+    from dataclasses import fields
+    from .service import TelemetrySnapshot
+    names = {f.name for f in fields(TelemetrySnapshot)}
+    return TelemetrySnapshot(**{k: v for k, v in doc.items()
+                                if k in names})
+
+
+def _batch_via_daemon(args, requests, addr: str) -> Optional[int]:
+    """Run the batch on a resident daemon; ``None`` means the daemon
+    was unreachable and the caller should fall back in-process."""
+    from .daemon import DaemonClient, DaemonError
+    from .service import format_report, loop_answer_to_dict
+
+    try:
+        client = DaemonClient(addr)
+    except (OSError, ValueError, ConnectionError) as exc:
+        print(f"batch: daemon at {addr} unreachable ({exc}); "
+              f"falling back to in-process pool", file=sys.stderr)
+        return None
+    started = time.perf_counter()
+    try:
+        with client:
+            answers = client.run_batch(requests)
+            stats = client.stats()
+    except DaemonError as exc:
+        print(f"batch: daemon at {addr} refused the batch ({exc})",
+              file=sys.stderr)
+        return 1
+    wall_s = time.perf_counter() - started
+
+    if args.json:
+        print(json.dumps({
+            "system": args.system,
+            "wall_s": wall_s,
+            "daemon": stats["daemon"],
+            "loops": [loop_answer_to_dict(a) for group in answers
+                      for a in group],
+            "telemetry": stats["telemetry"],
+        }, indent=2, default=str))
+        return 0
+    for request, group in zip(requests, answers):
+        if not group:
+            print(f"{request.name}: no hot loops")
+            continue
+        _print_loop_answers(group, request.system,
+                            prefix=f"{request.name}/")
+    print()
+    print(format_report(_snapshot_from_dict(stats["telemetry"])))
+    print(f"  batch wall-clock {wall_s:.2f}s "
+          f"(served by daemon at {addr})")
+    return 0
+
+
 def cmd_batch(args) -> int:
     tracer = _start_trace(args)
     try:
@@ -347,32 +447,17 @@ def _cmd_batch(args) -> int:
         ServiceConfig,
         format_report,
         loop_answer_to_dict,
-        request_for_file,
-        request_for_workload,
     )
-    from .workloads import ALL_WORKLOADS, WORKLOADS
 
-    targets = list(args.targets)
-    if args.all:
-        targets = [w.name for w in ALL_WORKLOADS]
-    if not targets:
-        print("batch: no targets (name workloads/.ir files, or --all)",
-              file=sys.stderr)
+    requests = _requests_for_targets("batch", args)
+    if requests is None:
         return 2
 
-    requests = []
-    for target in targets:
-        if target in WORKLOADS:
-            requests.append(request_for_workload(target,
-                                                 system=args.system))
-        elif os.path.exists(target):
-            requests.append(request_for_file(target, entry=args.entry,
-                                             system=args.system))
-        else:
-            print(f"batch: unknown target {target!r} — not a workload "
-                  f"name or an IR file (workloads: "
-                  f"{', '.join(sorted(WORKLOADS))})", file=sys.stderr)
-            return 2
+    addr = _daemon_addr(args)
+    if addr:
+        status = _batch_via_daemon(args, requests, addr)
+        if status is not None:
+            return status
 
     config = ServiceConfig(workers=args.workers, executor=args.executor,
                            cache_dir=args.cache_dir,
@@ -406,8 +491,147 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the resident analysis daemon until a shutdown drains it."""
+    from .daemon import AnalysisDaemon, DaemonConfig
+    from .service import ServiceConfig
+
+    tracer = _start_trace(args)
+    addr = args.addr or _default_daemon_addr()
+    service = ServiceConfig(workers=args.workers, executor=args.executor,
+                            cache_dir=args.cache_dir,
+                            shard_timeout_s=args.timeout,
+                            incremental=not args.no_incremental,
+                            prepared_cache_size=args.prepared_cache_size,
+                            idle_ttl_s=args.idle_ttl)
+    daemon = AnalysisDaemon(DaemonConfig(
+        addr=addr, service=service,
+        max_queue_depth=args.max_queue_depth,
+        max_client_jobs=args.max_client_jobs,
+        drain_timeout_s=args.drain_timeout))
+    print(f"repro daemon: serving at {addr} "
+          f"({args.workers} workers, {args.executor} executor)",
+          flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _finish_trace(args, tracer)
+    print("repro daemon: drained and exited")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Send a batch to a running daemon and stream its answers."""
+    from .daemon import DaemonClient, DaemonError
+    from .service import loop_answer_from_dict, loop_answer_to_dict
+
+    addr = _daemon_addr(args) or _default_daemon_addr()
+    requests = _requests_for_targets("submit", args)
+    if requests is None:
+        return 2
+    try:
+        client = DaemonClient(addr)
+    except (OSError, ValueError, ConnectionError) as exc:
+        print(f"submit: no daemon at {addr} ({exc}); start one with "
+              f"`repro serve`", file=sys.stderr)
+        return 2
+    try:
+        with client:
+            if args.json:
+                answers = client.run_batch(requests)
+                print(json.dumps({
+                    "system": args.system,
+                    "daemon": addr,
+                    "loops": [loop_answer_to_dict(a) for g in answers
+                              for a in g],
+                }, indent=2, default=str))
+                return 0
+
+            def show(doc):
+                a = loop_answer_from_dict(doc)
+                _print_loop_answers([a], args.system,
+                                    prefix=f"{a.workload}/")
+
+            client.run_batch(requests, on_answer=show)
+            return 0
+    except DaemonError as exc:
+        kind = ("busy" if exc.busy else
+                "draining" if exc.shutting_down else "error")
+        print(f"submit: daemon {kind}: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_shutdown(args) -> int:
+    """Ask a running daemon to drain in-flight work and exit."""
+    from .daemon import DaemonClient, DaemonError
+
+    addr = _daemon_addr(args) or _default_daemon_addr()
+    try:
+        with DaemonClient(addr) as client:
+            client.shutdown()
+    except (OSError, ValueError, ConnectionError, DaemonError) as exc:
+        print(f"shutdown: no daemon at {addr} ({exc})", file=sys.stderr)
+        return 1
+    print(f"shutdown: daemon at {addr} is draining")
+    return 0
+
+
+def _default_daemon_addr() -> str:
+    from .daemon import DEFAULT_ADDR
+    return DEFAULT_ADDR
+
+
+def _stats_via_daemon(args, addr: str) -> int:
+    """``repro stats --daemon``: read a live daemon over its socket."""
+    from .daemon import DaemonClient, DaemonError
+    from .service import format_report
+
+    try:
+        with DaemonClient(addr) as client:
+            stats = client.stats()
+    except (OSError, ValueError, ConnectionError, DaemonError) as exc:
+        print(f"stats: no daemon at {addr} ({exc})", file=sys.stderr)
+        return 1
+    if args.check:
+        missing = [k for k in ("daemon", "telemetry") if k not in stats]
+        if missing:
+            print(f"stats: daemon reply missing {missing}",
+                  file=sys.stderr)
+            return 1
+        d = stats["daemon"]
+        print(f"daemon ok: pid {d['pid']} at {d['addr']}, up "
+              f"{d['uptime_s']:.1f}s, {d['jobs_completed']} jobs done")
+        return 0
+    if args.json:
+        print(json.dumps(stats, indent=2, default=str))
+        return 0
+    d = stats["daemon"]
+    print(f"daemon at {d['addr']} (pid {d['pid']}, protocol "
+          f"{d['protocol']}, up {d['uptime_s']:.1f}s)")
+    print(f"  sessions {d['sessions']}, jobs active {d['jobs_active']} "
+          f"/ completed {d['jobs_completed']} / shed {d['jobs_shed']}, "
+          f"queue depth {d['queue_depth']}"
+          + (", draining" if d["draining"] else ""))
+    print()
+    print(format_report(_snapshot_from_dict(stats["telemetry"])))
+    return 0
+
+
 def cmd_stats(args) -> int:
-    """Summarize (or validate) an exported trace file offline."""
+    """Summarize (or validate) an exported trace file offline, or a
+    live daemon when ``--daemon`` is given."""
+    # A named trace file wins over the REPRO_DAEMON environment; an
+    # explicit --daemon always wins.
+    addr = getattr(args, "daemon", None) or (
+        None if args.file else os.environ.get("REPRO_DAEMON"))
+    if addr:
+        return _stats_via_daemon(args, addr)
+    if not args.file:
+        print("stats: name a trace file or pass --daemon ADDR",
+              file=sys.stderr)
+        return 2
     from .obs import (
         load_trace,
         summarize_trace,
@@ -541,18 +765,96 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="record every N-th query subtree "
                               "(default 1)")
+    p_batch.add_argument("--daemon", default=None, metavar="ADDR",
+                         help="reuse a running `repro serve` at ADDR "
+                              "(unix:/path.sock or host:port; the "
+                              "REPRO_DAEMON environment variable works "
+                              "too); falls back to the in-process pool "
+                              "if unreachable")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident analysis daemon: persistent worker fleet "
+             "behind a socket")
+    p_serve.add_argument("--addr", default=None,
+                         help="listen address (unix:/path.sock or "
+                              "host:port; default unix socket in cwd)")
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--executor",
+                         choices=("process", "thread", "inline"),
+                         default="process")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent result-cache directory")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-shard deadline in seconds")
+    p_serve.add_argument("--no-incremental", action="store_true",
+                         help="disable footprint-based incremental "
+                              "reuse of cached answers across edits")
+    p_serve.add_argument("--prepared-cache-size", type=int,
+                         default=None, metavar="N",
+                         help="worker-resident prepared-module LRU "
+                              "capacity")
+    p_serve.add_argument("--idle-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="tear idle workers down after this long "
+                              "and respawn lazily on the next task")
+    p_serve.add_argument("--max-queue-depth", type=int, default=256,
+                         help="shed submits with BUSY beyond this "
+                              "engine queue depth")
+    p_serve.add_argument("--max-client-jobs", type=int, default=4,
+                         help="per-session in-flight job window")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         help="seconds shutdown waits for in-flight "
+                              "jobs")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="record the daemon's span timeline on "
+                              "exit (all sessions, one tree)")
+    p_serve.add_argument("--trace-sample", type=int, default=1,
+                         metavar="N")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="send workloads to a running daemon and stream answers")
+    p_submit.add_argument("targets", nargs="*",
+                          help="workload names and/or .ir files")
+    p_submit.add_argument("--all", action="store_true",
+                          help="submit all 16 registered workloads")
+    p_submit.add_argument("--entry", default="main",
+                          help="entry function for .ir file targets")
+    p_submit.add_argument("--system", choices=sorted(SYSTEM_BUILDERS),
+                          default="scaf")
+    p_submit.add_argument("--daemon", default=None, metavar="ADDR",
+                          help="daemon address (default REPRO_DAEMON "
+                               "or the default unix socket)")
+    p_submit.add_argument("--json", action="store_true",
+                          help="emit answers as JSON")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_down = sub.add_parser(
+        "shutdown", help="ask a running daemon to drain and exit")
+    p_down.add_argument("--daemon", default=None, metavar="ADDR",
+                        help="daemon address (default REPRO_DAEMON or "
+                             "the default unix socket)")
+    p_down.set_defaults(func=cmd_shutdown)
 
     p_stats = sub.add_parser(
         "stats",
-        help="summarize a --trace file (attribution, span structure)")
-    p_stats.add_argument("file", help="trace file from analyze/batch "
-                                      "--trace")
+        help="summarize a --trace file (attribution, span structure) "
+             "or a live daemon (--daemon)")
+    p_stats.add_argument("file", nargs="?", default=None,
+                         help="trace file from analyze/batch --trace")
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable summary")
     p_stats.add_argument("--check", action="store_true",
                          help="validate only: exit nonzero unless the "
-                              "trace parses and spans nest correctly")
+                              "trace parses and spans nest correctly "
+                              "(with --daemon: the daemon answers "
+                              "sanely)")
+    p_stats.add_argument("--daemon", default=None, metavar="ADDR",
+                         help="summarize a live daemon over its "
+                              "socket instead of a trace file")
     p_stats.set_defaults(func=cmd_stats)
     return parser
 

@@ -121,6 +121,14 @@ class Orchestrator:
         #: touched since the last :meth:`reset_consulted` — the raw
         #: material of a cached answer's dependence footprint.
         self.consulted_functions: Set[str] = set()
+        #: Scan notes (see AnalysisContext.note_scan) recorded while a
+        #: memoized query was first evaluated, replayed on every hit:
+        #: a later loop served from the memo still depends on the
+        #: whole-module sweeps the original evaluation performed.
+        self._scan_notes: dict = {}
+        self._analysis_context = next(
+            (m.context for m in self.modules
+             if getattr(m, "context", None) is not None), None)
 
     # -- public API --------------------------------------------------------
 
@@ -145,6 +153,7 @@ class Orchestrator:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._scan_notes.clear()
         self.stats.cache_size = 0
 
     def reset_stats(self) -> None:
@@ -209,6 +218,7 @@ class Orchestrator:
             if key in self._cache:
                 self.stats.cache_hits += 1
                 self._cache.move_to_end(key)
+                self._replay_scan_notes(key)
                 if tracer.enabled:
                     tracer.event("cache_hit", depth=depth)
                 return self._cache[key]
@@ -219,6 +229,7 @@ class Orchestrator:
                 if stripped_key in self._cache:
                     self.stats.cache_hits += 1
                     self._cache.move_to_end(stripped_key)
+                    self._replay_scan_notes(stripped_key)
                     if tracer.enabled:
                         tracer.event("cache_hit", depth=depth,
                                      stripped=True)
@@ -233,6 +244,8 @@ class Orchestrator:
 
         self._inflight.add(key)
         cuts_before = self.stats.cycles_cut
+        ctx = self._analysis_context
+        scans_before = ctx.scan_trace() if ctx is not None else frozenset()
         try:
             result = self._evaluate_modules(query, depth)
         finally:
@@ -245,13 +258,26 @@ class Orchestrator:
         cycle_tainted = self.stats.cycles_cut > cuts_before
         if self.config.use_cache and not cycle_tainted:
             self._cache[key] = result
+            if ctx is not None:
+                scans = ctx.scan_trace() - scans_before
+                if scans:
+                    self._scan_notes[key] = scans
             limit = self.config.max_cache_entries
             if limit is not None:
                 while len(self._cache) > limit:
-                    self._cache.popitem(last=False)
+                    evicted, _ = self._cache.popitem(last=False)
+                    self._scan_notes.pop(evicted, None)
                     self.stats.cache_evictions += 1
             self.stats.cache_size = len(self._cache)
         return result
+
+    def _replay_scan_notes(self, key: tuple) -> None:
+        """Re-record the whole-module sweeps behind a memoized answer
+        into the analysis context's (possibly reset) scan trace."""
+        notes = self._scan_notes.get(key)
+        if notes and self._analysis_context is not None:
+            for kind, name in notes:
+                self._analysis_context.note_scan(kind, name)
 
     def _evaluate_modules(self, query: Query, depth: int
                           ) -> Tuple[QueryResponse, FrozenSet[str]]:

@@ -1,0 +1,46 @@
+"""repro.daemon: a resident analysis service over a socket.
+
+``repro serve`` keeps one :class:`~repro.service.DependenceService`
+alive behind a Unix or TCP socket, so worker-resident state — the
+prepared-module LRU, roster digests, warmed sqlite cache handles —
+survives across submissions instead of dying with each ``repro
+batch`` process.  Clients speak newline-delimited JSON
+(:mod:`repro.daemon.protocol`); the server multiplexes every client
+session onto the one shared work queue (:mod:`repro.service.engine`)
+with per-client admission control and typed ``BUSY`` shedding.
+"""
+
+from .client import DaemonClient, DaemonError, daemon_available
+from .protocol import (
+    DEFAULT_ADDR,
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_VERB,
+    PROTOCOL_VERSION,
+    parse_addr,
+    request_from_wire,
+    request_to_wire,
+)
+from .server import AnalysisDaemon, DaemonConfig
+
+__all__ = [
+    "AnalysisDaemon",
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonError",
+    "DEFAULT_ADDR",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_INTERNAL",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_JOB",
+    "ERR_UNKNOWN_VERB",
+    "PROTOCOL_VERSION",
+    "daemon_available",
+    "parse_addr",
+    "request_from_wire",
+    "request_to_wire",
+]

@@ -70,7 +70,9 @@ from .module import Module
 from .builder import IRBuilder
 from .printer import format_function, format_instruction, format_module, format_type
 from .fingerprint import (
+    SCOPED_FOOTPRINT_SENTINEL,
     function_fingerprint,
+    module_content_fingerprints,
     module_fingerprints,
     module_header_fingerprint,
 )
@@ -90,8 +92,9 @@ __all__ = [
     "StoreInst", "SwitchInst", "UnreachableInst",
     "BasicBlock", "Function", "Module", "IRBuilder",
     "format_function", "format_instruction", "format_module", "format_type",
-    "function_fingerprint", "module_fingerprints",
-    "module_header_fingerprint",
+    "SCOPED_FOOTPRINT_SENTINEL",
+    "function_fingerprint", "module_content_fingerprints",
+    "module_fingerprints", "module_header_fingerprint",
     "ParseError", "parse_module",
     "VerificationError", "verify_module",
 ]

@@ -17,17 +17,21 @@ Three granularities:
   which every function can reference and which therefore join every
   dependence footprint;
 - :func:`module_fingerprints` — the per-function map for a whole
-  module, the input to footprint digests.
+  module, the input to footprint digests;
+- :func:`module_content_fingerprints` — the per-function map plus one
+  entry per struct and per global, so footprints can name exactly the
+  header entities they scanned instead of hashing the whole header.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Dict, List
 
 from .function import Function
 from .module import Module
 from .printer import _format_initializer, format_function, format_type
+from .values import GlobalVariable
 
 
 def _sha256(text: str) -> str:
@@ -67,3 +71,66 @@ def module_fingerprints(module: Module) -> Dict[str, str]:
     """Per-function content hashes for every function in ``module``."""
     return {name: function_fingerprint(fn)
             for name, fn in module.functions.items()}
+
+
+#: Marker entry present in every scoped footprint (and in every
+#: :func:`module_content_fingerprints` map) so digest computation can
+#: tell a per-entity footprint from a legacy header-wide one.
+SCOPED_FOOTPRINT_SENTINEL = "meta:scoped"
+
+_SCOPED_SENTINEL_HASH = _sha256("repro scoped footprint v1")
+
+
+def _struct_decl(name: str, fields) -> str:
+    body = ", ".join(format_type(f) for f in fields)
+    return f"struct %{name} {{ {body} }}"
+
+
+def _global_decl(gv: GlobalVariable) -> str:
+    prefix = "const global" if gv.is_constant else "global"
+    return (f"{prefix} @{gv.name} : {format_type(gv.value_type)}"
+            f" = {_format_initializer(gv.initializer)}")
+
+
+def module_content_fingerprints(module: Module) -> Dict[str, str]:
+    """Per-entity content hashes: functions plus header entities.
+
+    Extends :func:`module_fingerprints` with one entry per header
+    entity, keyed by kind-prefixed name so the namespaces cannot
+    collide with function names (which never contain ``:``):
+
+    - ``struct:NAME`` — the struct's printed declaration;
+    - ``global:NAME`` — the global's printed declaration (type,
+      constness, initializer), for footprints that merely *reference*
+      the global;
+    - ``globalusers:NAME`` — the declaration plus the fingerprints of
+      every function whose instructions mention the global, for
+      footprints produced by whole-module scans over a global's users
+      (adding a referencing function elsewhere must invalidate those);
+    - ``meta:scoped`` — a constant sentinel every scoped footprint
+      carries, so a loop that scanned *no* header entity still opts
+      out of the conservative whole-header hash.
+
+    An edit that only adds an unrelated global or struct changes the
+    module header hash but none of these entries, which is the whole
+    point: cached answers keyed on scoped footprints survive it.
+    """
+    fps = module_fingerprints(module)
+    users: Dict[str, List[str]] = {}
+    for fn in module.defined_functions:
+        seen = set()
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, GlobalVariable) and op.name not in seen:
+                    seen.add(op.name)
+                    users.setdefault(op.name, []).append(fn.name)
+    for st in module.structs.values():
+        fps[f"struct:{st.name}"] = _sha256(_struct_decl(st.name, st.fields))
+    for gv in module.globals.values():
+        decl = _global_decl(gv)
+        fps[f"global:{gv.name}"] = _sha256(decl)
+        parts = [decl] + [f"{name} {fps[name]}"
+                          for name in sorted(users.get(gv.name, ()))]
+        fps[f"globalusers:{gv.name}"] = _sha256("\n".join(parts))
+    fps[SCOPED_FOOTPRINT_SENTINEL] = _SCOPED_SENTINEL_HASH
+    return fps

@@ -157,8 +157,12 @@ def capture_instructions(context, value: Value) -> Optional[List[Instruction]]:
     Returns the list of capturing instructions, or None if the
     analysis gave up (e.g. the pointer flows through a phi).
     """
-    from ...ir import ICmpInst, StoreInst
+    from ...ir import GlobalVariable, ICmpInst, StoreInst
 
+    if isinstance(value, GlobalVariable):
+        # users_of sweeps every defined function; footprints must cover
+        # this global's user set, not just the caller's reachable code.
+        context.note_scan("global", value.name)
     captures: List[Instruction] = []
     seen = set()
     work: List[Value] = [value]

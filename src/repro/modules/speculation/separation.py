@@ -78,6 +78,15 @@ class _SeparationBase(AnalysisModule):
         by the points-to module with Must/SubAlias."""
         sites = sorted(self._sites(query.loop),
                        key=site_order_key)[:MAX_SITES]
+        # Site enumeration reads anchors in functions that may lie
+        # outside the query's reachable set; record them so cached
+        # footprints cover every function whose edit could move or
+        # remove a candidate site.
+        for site in sites:
+            fn = getattr(getattr(site.anchor, "parent", None),
+                         "parent", None)
+            if fn is not None:
+                self.context.note_scan("function", fn.name)
         base, _ = strip_pointer(loc.pointer)
         for site in sites:
             if base is site.anchor:

@@ -36,6 +36,13 @@ prior hot-loop roster *without re-interpreting* an edited module when
 the edit is provably outside every executed function.  Pre-v3 rows
 migrate with empty provenance and simply never allow roster reuse.
 
+Schema v4 adds ``total_instructions`` to the meta row: the training
+run's total dynamic instruction count, which scales the per-loop time
+fractions into absolute LPT weights comparable *across* modules (a
+tiny module's 90% loop no longer outranks a huge module's 12% loops
+in the global work queue).  Migrated rows default to 0 and fall back
+to fraction-only ordering.
+
 The cache is only ever touched from the scheduler process (workers
 stream results back instead of writing), so a single connection with
 a process-level lock suffices; WAL mode keeps concurrent CLI
@@ -74,7 +81,8 @@ CREATE TABLE IF NOT EXISTS meta (
     created_at     REAL NOT NULL,
     hot_fractions        TEXT NOT NULL DEFAULT '{}',
     executed_functions   TEXT NOT NULL DEFAULT '[]',
-    profile_scope_digest TEXT NOT NULL DEFAULT ''
+    profile_scope_digest TEXT NOT NULL DEFAULT '',
+    total_instructions   INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS answers (
     version_key      TEXT NOT NULL,
@@ -88,7 +96,7 @@ CREATE TABLE IF NOT EXISTS answers (
 );
 """
 
-#: v1 -> v2 -> v3 column additions, applied to databases created
+#: v1 -> v2 -> v3 -> v4 column additions, applied to databases created
 #: before the incremental-reanalysis / profile-provenance schemas.
 _MIGRATIONS = {
     "meta": (
@@ -96,6 +104,7 @@ _MIGRATIONS = {
         ("hot_fractions", "TEXT NOT NULL DEFAULT '{}'"),
         ("executed_functions", "TEXT NOT NULL DEFAULT '[]'"),
         ("profile_scope_digest", "TEXT NOT NULL DEFAULT ''"),
+        ("total_instructions", "INTEGER NOT NULL DEFAULT 0"),
     ),
     "answers": (
         ("lineage_key", "TEXT NOT NULL DEFAULT ''"),
@@ -133,6 +142,9 @@ class CacheEntryMeta:
     #: header in the producing module; an edited module with an equal
     #: recomputed digest provably replays the same execution.
     profile_scope_digest: str = ""
+    #: Total dynamic instructions of the training run (v4; 0 on
+    #: migrated rows).  Scales fractions into absolute LPT weights.
+    total_instructions: int = 0
 
 
 @dataclass(frozen=True)
@@ -180,7 +192,7 @@ class ResultCache:
     _META_COLUMNS = ("version_key, workload, system, entry, modules,"
                      " profile_digest, hot_loops, created_at, lineage_key,"
                      " hot_fractions, executed_functions,"
-                     " profile_scope_digest")
+                     " profile_scope_digest, total_instructions")
 
     @staticmethod
     def _meta_from_row(row) -> CacheEntryMeta:
@@ -195,6 +207,7 @@ class ResultCache:
             hot_fractions=json.loads(row[9] or "{}"),
             executed_functions=tuple(json.loads(row[10] or "[]")),
             profile_scope_digest=row[11] or "",
+            total_instructions=int(row[12] or 0),
         )
 
     def meta(self, version_key: str) -> Optional[CacheEntryMeta]:
@@ -324,7 +337,8 @@ class ResultCache:
               header_fingerprint: str = "",
               hot_fractions: Mapping[str, float] = {},
               executed_functions: Sequence[str] = (),
-              profile_scope_digest: str = "") -> None:
+              profile_scope_digest: str = "",
+              total_instructions: int = 0) -> None:
         """Insert or refresh one version key's results atomically.
 
         ``footprints`` maps loop name to the consulted-function names
@@ -359,14 +373,15 @@ class ResultCache:
                 "INSERT OR REPLACE INTO meta (version_key, lineage_key,"
                 " workload, system, entry, modules, profile_digest,"
                 " hot_loops, created_at, hot_fractions,"
-                " executed_functions, profile_scope_digest)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                " executed_functions, profile_scope_digest,"
+                " total_instructions)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (version_key, lineage_key, workload, system, entry,
                  json.dumps(list(modules)), profile_digest,
                  json.dumps(list(hot_loops)), now,
                  json.dumps(dict(hot_fractions), sort_keys=True),
                  json.dumps(list(executed_functions)),
-                 profile_scope_digest))
+                 profile_scope_digest, int(total_instructions)))
             self._conn.executemany(
                 "INSERT OR REPLACE INTO answers (version_key, loop_name,"
                 " lineage_key, footprint, footprint_digest, stored_at,"

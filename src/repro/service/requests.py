@@ -153,14 +153,27 @@ def loop_footprint_digest(footprint: Sequence[str],
     recomputed at probe time against the *edited* module: equal digests
     mean every consulted function (and the globals/structs header) is
     byte-identical, so the cached answer is still the answer.
+
+    Two footprint dialects coexist.  Legacy footprints name only
+    functions (no ``:`` in any entry) and conservatively fold the
+    whole-module header hash into the digest.  *Scoped* footprints
+    (any entry contains ``:`` — ``global:``, ``globalusers:``,
+    ``struct:``, and always the ``meta:scoped`` sentinel) name the
+    exact header entities the analysis scanned, with per-entity hashes
+    from :func:`repro.ir.module_content_fingerprints`; the
+    whole-header hash is then *excluded* so edits to unrelated globals
+    or structs cannot invalidate the answer.
     """
+    names = sorted(set(footprint))
+    scoped = any(":" in name for name in names)
     pairs = []
-    for name in sorted(set(footprint)):
+    for name in names:
         fingerprint = fingerprints.get(name)
         if fingerprint is None:
             return None
         pairs.append([name, fingerprint])
-    return _digest({"header": header_fingerprint, "functions": pairs})
+    header = "" if scoped else header_fingerprint
+    return _digest({"header": header, "functions": pairs})
 
 
 def profile_digest(profiles) -> str:

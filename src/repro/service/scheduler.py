@@ -51,15 +51,14 @@ Batches of :class:`AnalysisRequest` flow through four stages:
 from __future__ import annotations
 
 import concurrent.futures as cf
-import heapq
-import itertools
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..clients import hot_loops
 from ..ir import (
-    module_fingerprints,
+    module_content_fingerprints,
     module_header_fingerprint,
     parse_module,
     verify_module,
@@ -68,6 +67,13 @@ from ..obs.trace import TraceSpec, current_tracer
 from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
     fallback_answer
 from .cache import ResultCache
+from .engine import (  # noqa: F401  (re-exported for tests and callers)
+    Ticket,
+    WorkEngine,
+    _InlineExecutor,
+    _make_executor,
+    lpt_weight,
+)
 from .requests import AnalysisRequest, loop_footprint_digest, \
     profile_digest, system_module_roster
 from .telemetry import ServiceTelemetry
@@ -88,32 +94,24 @@ from .worker import (
 UNKNOWN_LOOPS = "*"
 
 
-class _InlineExecutor:
-    """A no-concurrency executor for tests and --workers 0 debugging."""
+class _QueueBatch:
+    """One ``run_batch`` call's share of the shared work engine.
 
-    def submit(self, fn, *args):
-        future: cf.Future = cf.Future()
-        try:
-            future.set_result(fn(*args))
-        except Exception as exc:  # mirror pool behaviour for task errors
-            future.set_exception(exc)
-        # KeyboardInterrupt/SystemExit propagate: turning them into a
-        # future exception would swallow a user's ctrl-C as a shard
-        # degradation.
-        return future
+    The engine outlives batches and may interleave several at once
+    (the daemon's sessions); each batch counts down its own tickets
+    and wakes its waiting thread when the last one lands.  All fields
+    except the event are mutated only on the engine's dispatcher
+    thread.
+    """
 
-    def shutdown(self, wait: bool = True, **kwargs) -> None:
-        pass
+    __slots__ = ("remaining", "submitted", "event", "fatal", "on_answer")
 
-
-def _make_executor(kind: str, workers: int):
-    if kind == "inline" or workers <= 0:
-        return _InlineExecutor()
-    if kind == "thread":
-        return cf.ThreadPoolExecutor(max_workers=workers)
-    if kind == "process":
-        return cf.ProcessPoolExecutor(max_workers=workers)
-    raise ValueError(f"unknown executor kind: {kind!r}")
+    def __init__(self, on_answer=None):
+        self.remaining = 0
+        self.submitted = 0
+        self.event = threading.Event()
+        self.fatal: Optional[BaseException] = None
+        self.on_answer = on_answer
 
 
 @dataclass
@@ -128,6 +126,9 @@ class _KeyWork:
     hot_loops: Tuple[str, ...] = ()     # discovered roster
     #: Loop name -> profiled time fraction (LPT ordering + persistence).
     hot_fractions: Dict[str, float] = field(default_factory=dict)
+    #: Total dynamic instructions of the training run; scales the
+    #: time fractions into cross-module-comparable LPT weights.
+    total_instructions: int = 0
     profile_digest: str = ""
     answers: Dict[str, LoopAnswer] = field(default_factory=dict)
     degraded: bool = False
@@ -164,6 +165,7 @@ class BatchScheduler:
                  incremental: bool = True,
                  mode: str = "queue",
                  prepared_cache_size: Optional[int] = None,
+                 idle_ttl_s: Optional[float] = None,
                  shard_runner: Callable[[ShardTask], ShardResult] = run_shard,
                  loop_runner: Callable[[LoopTask], LoopTaskResult]
                  = run_loop_task):
@@ -199,14 +201,44 @@ class BatchScheduler:
         self.prepared_cache_size = prepared_cache_size
         self._shard_runner = shard_runner
         self._loop_runner = loop_runner
-        self._executor = None
+        #: The resident work engine: the global queue, the bounded
+        #: in-flight window, and the executor all live here so they
+        #: survive from one run_batch to the next (and, through the
+        #: daemon, from one client session to the next).
+        self.engine = WorkEngine(
+            executor_kind=self.executor_kind,
+            workers=self.workers,
+            max_pending=self.max_pending_shards,
+            telemetry=self.telemetry,
+            loop_runner=loop_runner,
+            task_timeout_s=shard_timeout_s,
+            idle_ttl_s=idle_ttl_s,
+        )
+
+    # The executor is owned by the engine; these accessors keep the
+    # legacy shard-mode drain loop (and its rebuild-on-crash code)
+    # working unchanged against `self._executor`.
+    @property
+    def _executor(self):
+        return self.engine.executor_or_none()
+
+    @_executor.setter
+    def _executor(self, executor) -> None:
+        self.engine.set_executor(executor)
 
     # -- public API ----------------------------------------------------------
 
-    def run_batch(self, requests: Sequence[AnalysisRequest]
+    def run_batch(self, requests: Sequence[AnalysisRequest],
+                  client: str = "",
+                  on_answer: Optional[Callable] = None
                   ) -> List[List[LoopAnswer]]:
         """Answer every request; the i-th result list matches
-        ``requests[i]`` (one LoopAnswer per requested hot loop)."""
+        ``requests[i]`` (one LoopAnswer per requested hot loop).
+
+        ``client`` tags this batch's queue tickets so a daemon session
+        can be cancelled wholesale; ``on_answer(request, answer)`` is
+        invoked per computed loop as results stream back (the daemon's
+        streaming hook) on the engine's dispatcher thread."""
         started = time.perf_counter()
         tel = self.telemetry
         tel.count("requests", len(requests))
@@ -220,7 +252,7 @@ class BatchScheduler:
                 pending = self._probe_cache(work)
             if pending:
                 if self.mode == "queue":
-                    self._fan_out_queue(pending, work)
+                    self._fan_out_queue(pending, work, client, on_answer)
                 else:
                     self._fan_out(pending, work)
             with tracer.span("store_results", cat="scheduler"):
@@ -232,9 +264,7 @@ class BatchScheduler:
         return [self._answers_for(request, work) for request in requests]
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        self.engine.close()
 
     # -- stage 1: dedup ------------------------------------------------------
 
@@ -280,6 +310,7 @@ class BatchScheduler:
                 entry.profile_digest = meta.profile_digest if meta else ""
                 if meta is not None:
                     entry.hot_fractions = dict(meta.hot_fractions)
+                    entry.total_instructions = meta.total_instructions
                 entry.answers = {a.loop: a for a in cached}
                 continue
             if self.incremental and self._probe_incremental(entry):
@@ -340,7 +371,7 @@ class BatchScheduler:
             verify_module(module)
         except Exception:
             return None  # unparseable: let the worker report
-        fingerprints = module_fingerprints(module)
+        fingerprints = module_content_fingerprints(module)
         header = module_header_fingerprint(module)
         digest = loop_footprint_digest(prior.executed_functions,
                                        fingerprints, header)
@@ -350,6 +381,7 @@ class BatchScheduler:
         entry.header_fingerprint = header
         entry.profile_digest = prior.profile_digest
         entry.executed_functions = prior.executed_functions
+        entry.total_instructions = prior.total_instructions
         self.telemetry.count("profile_reuses")
         current_tracer().event("profile_reuse",
                                workload=entry.request.name)
@@ -370,11 +402,12 @@ class BatchScheduler:
             hot = hot_loops(profiles)
             if not hot:
                 return False
-            entry.fingerprints = module_fingerprints(module)
+            entry.fingerprints = module_content_fingerprints(module)
             entry.header_fingerprint = module_header_fingerprint(module)
             entry.profile_digest = profile_digest(profiles)
             entry.executed_functions = executed_function_scope(
                 module, profiles, entry.request.entry)
+            entry.total_instructions = profiles.total_instructions
             roster = tuple(h.name for h in hot)
             fractions = {h.name: h.time_fraction for h in hot}
         entry.hot_fractions = dict(fractions)
@@ -559,6 +592,7 @@ class BatchScheduler:
             meta = self.cache.meta(key)
             if meta is not None and meta.hot_loops:
                 entry.hot_fractions = dict(meta.hot_fractions)
+                entry.total_instructions = meta.total_instructions
                 return meta.hot_loops, dict(meta.hot_fractions)
         if entry.loops:
             # Explicit demand: the worker resolves hot-ness per loop
@@ -566,178 +600,137 @@ class BatchScheduler:
             return entry.loops, dict(entry.hot_fractions)
         return None
 
-    def _push_task(self, heap: list, seq, key: str, task: LoopTask,
-                   enqueued_at: float) -> None:
-        # Discovery tasks first (they unlock further work), then
-        # longest-processing-time-first by profiled time fraction; the
-        # unique sequence number breaks ties before the unorderable
-        # payload is ever compared.
-        kind = 0 if task.loop is None else 1
-        heapq.heappush(heap, (kind, -task.time_fraction, next(seq),
-                              key, task, enqueued_at))
-
     def _loop_task(self, entry: _KeyWork, loop: Optional[str],
                    fraction: float, trace) -> LoopTask:
         return LoopTask(entry.request, loop, self.loop_timeout_s,
                         fraction, trace, self.prepared_cache_size)
 
+    def _loop_ticket(self, batch: _QueueBatch, key: str,
+                     entry: _KeyWork, loop: Optional[str],
+                     fraction: float, trace, client: str,
+                     trace_parent, started: float,
+                     work: Dict[str, _KeyWork]) -> Ticket:
+        # Discovery tasks carry weight 0 (they sort first by kind
+        # anyway); loop tasks are LPT-ordered by instruction-weighted
+        # time fraction so priorities compare across modules.
+        weight = (0.0 if loop is None
+                  else lpt_weight(fraction, entry.total_instructions))
+
+        def deliver(ticket, outcome, result, error):
+            self._queue_deliver(batch, work, started, trace, client,
+                                trace_parent, ticket, outcome, result,
+                                error)
+
+        return Ticket(self._loop_task(entry, loop, fraction, trace),
+                      key=key, weight=weight, deliver=deliver,
+                      client=client, trace_parent=trace_parent)
+
     def _fan_out_queue(self, keys: List[str],
-                       work: Dict[str, _KeyWork]) -> None:
-        """Dispatch one global LPT-ordered task queue for the batch."""
+                       work: Dict[str, _KeyWork],
+                       client: str = "",
+                       on_answer: Optional[Callable] = None) -> None:
+        """Feed the batch's tasks to the resident work engine and wait
+        for its share of deliveries to complete."""
         tracer = current_tracer()
         trace = (TraceSpec(sample_every=tracer.sample_every)
                  if tracer.enabled else None)
-        seq = itertools.count()
-        heap: list = []
-        now = time.perf_counter()
+        started = time.perf_counter()
+        batch = _QueueBatch(on_answer=on_answer)
         immediate: List[_KeyWork] = []
-        for key in keys:
-            entry = work[key]
-            known = self._known_roster(key, entry)
-            if known is None:
-                entry.outstanding = 1
-                self._push_task(heap, seq, key,
-                                self._loop_task(entry, None, 0.0, trace),
-                                now)
-                continue
-            roster, fractions = known
-            wanted = tuple(entry.loops or roster)
-            entry.outstanding = len(wanted)
-            if not wanted:
-                immediate.append(entry)
-                continue
-            for name in wanted:
-                self._push_task(heap, seq, key,
-                                self._loop_task(entry, name,
-                                                fractions.get(name, 0.0),
-                                                trace),
-                                now)
-
-        if self._executor is None:
-            self._executor = _make_executor(self.executor_kind, self.workers)
 
         with tracer.span("fan_out", cat="scheduler",
                          mode="queue") as span:
+            parent = getattr(span, "id", None)
+            tickets: List[Ticket] = []
+            for key in keys:
+                entry = work[key]
+                known = self._known_roster(key, entry)
+                if known is None:
+                    entry.outstanding = 1
+                    tickets.append(self._loop_ticket(
+                        batch, key, entry, None, 0.0, trace, client,
+                        parent, started, work))
+                    continue
+                roster, fractions = known
+                wanted = tuple(entry.loops or roster)
+                entry.outstanding = len(wanted)
+                if not wanted:
+                    immediate.append(entry)
+                    continue
+                for name in wanted:
+                    tickets.append(self._loop_ticket(
+                        batch, key, entry, name,
+                        fractions.get(name, 0.0), trace, client,
+                        parent, started, work))
+
             for entry in immediate:
                 self._finish_key(entry, 0.0)
-            dispatched = self._drain_queue(heap, seq, work, trace)
-            span.set(tasks=dispatched)
+            if tickets:
+                batch.remaining = len(tickets)
+                batch.submitted = len(tickets)
+                self.engine.submit(tickets)
+                batch.event.wait()
+                if batch.fatal is not None:
+                    raise batch.fatal
+            span.set(tasks=batch.submitted)
 
-    def _drain_queue(self, heap: list, seq,
-                     work: Dict[str, _KeyWork], trace) -> int:
-        tel = self.telemetry
-        tracer = current_tracer()
-        started = time.perf_counter()
-
-        def task_done(entry: _KeyWork) -> None:
-            entry.outstanding -= 1
-            if entry.outstanding <= 0:
-                self._finish_key(entry, time.perf_counter() - started)
-
-        #: future -> (key, task, submit time, dispatch span)
-        inflight: Dict[cf.Future,
-                       Tuple[str, LoopTask, float, object]] = {}
-        dispatched = 0
-        while heap or inflight:
-            # Backpressure: the same bounded window as shard mode.
-            while heap and len(inflight) < self.max_pending_shards:
-                _, _, _, key, task, enqueued_at = heapq.heappop(heap)
-                dispatched += 1
-                tel.count("loop_tasks_dispatched")
-                if task.loop is None:
-                    tel.count("discovery_tasks")
-                tel.enqueue()
-                submitted = time.perf_counter()
-                wait_s = submitted - enqueued_at
-                tel.queue_wait.record(wait_s)
-                span = tracer.begin("dispatch", cat="dispatch",
-                                    workload=task.request.name,
-                                    system=task.request.system,
-                                    loop=task.loop or UNKNOWN_LOOPS,
-                                    discovery=task.loop is None,
-                                    queue_wait_s=wait_s)
+    def _queue_deliver(self, batch: _QueueBatch,
+                       work: Dict[str, _KeyWork], started: float,
+                       trace, client: str, trace_parent,
+                       ticket: Ticket, outcome: str,
+                       result: Optional[LoopTaskResult],
+                       error: Optional[BaseException]) -> None:
+        """Handle one engine delivery (dispatcher thread)."""
+        if outcome == "fatal":
+            batch.fatal = error
+            batch.event.set()
+            return
+        entry = work[ticket.key]
+        task = ticket.task
+        if outcome == "ok":
+            self._absorb_task(entry, result)
+            if task.loop is None:
+                more = self._enqueue_discovered(
+                    batch, ticket.key, entry, result, trace, client,
+                    trace_parent, started, work)
+                entry.outstanding += more
+                batch.remaining += more
+                batch.submitted += more
+            elif (batch.on_answer is not None
+                    and result.answer is not None):
                 try:
-                    future = self._executor.submit(self._loop_runner, task)
+                    batch.on_answer(entry.request, result.answer)
                 except Exception:
-                    tel.dequeue()
-                    span.end(status="submit_failure")
-                    self._degrade_task(work[key], task, "failure")
-                    task_done(work[key])
-                    continue
-                inflight[future] = (key, task, submitted, span)
-            if not inflight:
-                continue
+                    pass  # a broken stream must not sink the batch
+        elif outcome == "timeout":
+            self._degrade_task(entry, task, "timeout")
+        elif outcome == "cancelled":
+            self._degrade_task(entry, task, "cancelled")
+        else:  # failure (worker crash or submit failure)
+            self._degrade_task(entry, task, "failure")
+        entry.outstanding -= 1
+        if entry.outstanding <= 0:
+            self._finish_key(entry, time.perf_counter() - started)
+        batch.remaining -= 1
+        if batch.remaining <= 0:
+            batch.event.set()
 
-            timeout = None
-            if self.shard_timeout_s is not None:
-                now = time.perf_counter()
-                timeout = max(0.0, min(
-                    submitted + self.shard_timeout_s - now
-                    for (_, _, submitted, _) in inflight.values()))
-            done, _ = cf.wait(list(inflight), timeout=timeout,
-                              return_when=cf.FIRST_COMPLETED)
-
-            if not done and self.shard_timeout_s is not None:
-                now = time.perf_counter()
-                for future, (key, task, submitted, span) \
-                        in list(inflight.items()):
-                    if now - submitted >= self.shard_timeout_s:
-                        del inflight[future]
-                        tel.dequeue()
-                        future.cancel()
-                        span.end(status="timeout")
-                        self._degrade_task(work[key], task, "timeout")
-                        task_done(work[key])
-                continue
-
-            for future in done:
-                key, task, submitted, span = inflight.pop(future)
-                tel.dequeue()
-                entry = work[key]
-                try:
-                    result = future.result()
-                except Exception:
-                    # Worker crash: only this task's loop degrades; the
-                    # pool is rebuilt so the rest of the queue runs.
-                    span.end(status="worker_crash")
-                    self._degrade_task(entry, task, "failure")
-                    task_done(entry)
-                    try:
-                        self._executor.shutdown(wait=False)
-                    except Exception:
-                        pass
-                    self._executor = _make_executor(self.executor_kind,
-                                                    self.workers)
-                    continue
-                span.end(status="completed",
-                         prepared="hit" if result.prepared_hit
-                         else "miss")
-                tracer.adopt(result.spans, parent_id=getattr(
-                    span, "id", None))
-                self._absorb_task(entry, result)
-                tel.request_latency.record(
-                    time.perf_counter() - submitted)
-                if task.loop is None:
-                    dispatched_more = self._enqueue_discovered(
-                        heap, seq, key, entry, result, trace)
-                    entry.outstanding += dispatched_more
-                task_done(entry)
-        return dispatched
-
-    def _enqueue_discovered(self, heap: list, seq, key: str,
+    def _enqueue_discovered(self, batch: _QueueBatch, key: str,
                             entry: _KeyWork, result: LoopTaskResult,
-                            trace) -> int:
+                            trace, client: str, trace_parent,
+                            started: float,
+                            work: Dict[str, _KeyWork]) -> int:
         """A discovery task reported the roster: enqueue its loops."""
         wanted = tuple(entry.loops or result.hot_loops)
         fractions = result.hot_fractions
-        now = time.perf_counter()
-        for name in wanted:
-            self._push_task(heap, seq, key,
-                            self._loop_task(entry, name,
-                                            fractions.get(name, 0.0),
-                                            trace),
-                            now)
-        return len(wanted)
+        tickets = [self._loop_ticket(batch, key, entry, name,
+                                     fractions.get(name, 0.0), trace,
+                                     client, trace_parent, started,
+                                     work)
+                   for name in wanted]
+        if tickets:
+            self.engine.submit(tickets)
+        return len(tickets)
 
     # -- stage 4: collect ----------------------------------------------------
 
@@ -746,6 +739,8 @@ class BatchScheduler:
         entry.hot_loops = result.hot_loops or entry.hot_loops
         if result.hot_fractions:
             entry.hot_fractions = dict(result.hot_fractions)
+        if result.total_instructions:
+            entry.total_instructions = result.total_instructions
         entry.profile_digest = result.profile_digest or entry.profile_digest
         entry.fingerprints = result.fingerprints or entry.fingerprints
         entry.header_fingerprint = (result.header_fingerprint
@@ -772,6 +767,8 @@ class BatchScheduler:
         entry.hot_loops = result.hot_loops or entry.hot_loops
         if result.hot_fractions:
             entry.hot_fractions = dict(result.hot_fractions)
+        if result.total_instructions:
+            entry.total_instructions = result.total_instructions
         entry.profile_digest = result.profile_digest or entry.profile_digest
         entry.fingerprints = result.fingerprints or entry.fingerprints
         entry.header_fingerprint = (result.header_fingerprint
@@ -817,8 +814,10 @@ class BatchScheduler:
         """Conservative fallback for one loop task (or an unknown
         roster, when a discovery task died)."""
         tel = self.telemetry
-        tel.count("shards_timed_out" if reason == "timeout"
-                  else "shards_failed")
+        if reason == "timeout":
+            tel.count("shards_timed_out")
+        elif reason != "cancelled":  # cancels are billed by the engine
+            tel.count("shards_failed")
         if task.loop is not None:
             loops: Tuple[str, ...] = (task.loop,)
         else:
@@ -863,6 +862,7 @@ class BatchScheduler:
                 hot_fractions=entry.hot_fractions,
                 executed_functions=entry.executed_functions,
                 profile_scope_digest=scope_digest,
+                total_instructions=entry.total_instructions,
             )
 
     def _answers_for(self, request: AnalysisRequest,

@@ -69,6 +69,10 @@ class ServiceConfig:
     #: module + context + profiles + built system per version key);
     #: ``None`` uses the worker default.
     prepared_cache_size: Optional[int] = None
+    #: Tear the worker fleet down after this many idle seconds and
+    #: lazily respawn on the next task (the daemon's scale-down);
+    #: ``None`` keeps workers resident forever.
+    idle_ttl_s: Optional[float] = None
     #: Default orchestrator config stamped onto requests that carry
     #: none (lets callers pick join/bailout policies service-wide).
     orchestrator: Optional[OrchestratorConfig] = None
@@ -108,6 +112,7 @@ class DependenceService:
             incremental=self.config.incremental,
             mode=self.config.mode,
             prepared_cache_size=self.config.prepared_cache_size,
+            idle_ttl_s=self.config.idle_ttl_s,
         )
 
     # -- serving -------------------------------------------------------------

@@ -58,6 +58,9 @@ _COUNTERS = (
     "wall_s",
     "busy_s",
     "setup_s",
+    "tasks_cancelled",
+    "fleet_rebuilds",
+    "fleet_scale_downs",
 )
 
 
@@ -104,6 +107,13 @@ class TelemetrySnapshot:
     #: Full registry dump: every labeled series (per-module evals,
     #: per-workload latencies) with raw histogram buckets.
     metrics: Dict = field(default_factory=dict)
+    #: Queued tasks swept when their client went away (daemon
+    #: disconnect/cancel) or the engine closed mid-queue.
+    tasks_cancelled: int = 0
+    #: Executor rebuilds after a worker crash (queue mode).
+    fleet_rebuilds: int = 0
+    #: Idle-TTL worker-fleet teardowns (the daemon's scale-down).
+    fleet_scale_downs: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -202,6 +212,9 @@ class ServiceTelemetry:
             queue_wait=self.queue_wait.summary(),
             request_completion=self.request_completion.summary(),
             metrics=self.registry.snapshot(),
+            tasks_cancelled=value("tasks_cancelled"),
+            fleet_rebuilds=value("fleet_rebuilds"),
+            fleet_scale_downs=value("fleet_scale_downs"),
         )
 
 
@@ -252,4 +265,10 @@ def format_report(snap: TelemetrySnapshot) -> str:
         lines.append(_lat("queue wait", snap.queue_wait))
     if snap.request_completion.get("count"):
         lines.append(_lat("req completion", snap.request_completion))
+    if snap.tasks_cancelled or snap.fleet_rebuilds \
+            or snap.fleet_scale_downs:
+        lines.append(
+            f"  fleet            {snap.tasks_cancelled} tasks cancelled, "
+            f"{snap.fleet_rebuilds} rebuilds, "
+            f"{snap.fleet_scale_downs} idle scale-downs")
     return "\n".join(lines)

@@ -46,7 +46,12 @@ from ..core.framework import (
     build_scaf,
 )
 from ..ir import (
-    module_fingerprints,
+    SCOPED_FOOTPRINT_SENTINEL,
+    ArrayType,
+    GlobalVariable,
+    PointerType,
+    StructType,
+    module_content_fingerprints,
     module_header_fingerprint,
     parse_module,
     verify_module,
@@ -91,6 +96,9 @@ class ShardResult:
     #: roster (feeds the queue scheduler's LPT ordering and the
     #: roster-reuse fast path of the incremental probe).
     hot_fractions: Dict[str, float] = field(default_factory=dict)
+    #: Total dynamic instructions of the training run; scales the
+    #: fractions into cross-module-comparable LPT weights.
+    total_instructions: int = 0
     #: Loop name -> names of the functions its analysis consulted
     #: (callgraph reachability from the loop's function plus the
     #: orchestrator's consulted-function trace).
@@ -144,6 +152,8 @@ class LoopTaskResult:
     answer: Optional[LoopAnswer] = None
     hot_loops: Tuple[str, ...] = ()
     hot_fractions: Dict[str, float] = field(default_factory=dict)
+    #: Total dynamic instructions of the training run (LPT weighting).
+    total_instructions: int = 0
     profile_digest: str = ""
     fingerprints: Dict[str, str] = field(default_factory=dict)
     header_fingerprint: str = ""
@@ -187,14 +197,89 @@ def prepare_request(request: AnalysisRequest):
 
 def loop_footprint(system: DependenceAnalysis, loop) -> Tuple[str, ...]:
     """The dependence footprint of the loop just analyzed on
-    ``system``: every function whose content the answer may depend on.
+    ``system``: every entity whose content the answer may depend on.
+
+    Functions come from callgraph reachability plus the orchestrator's
+    consulted-function trace plus scan-trace anchors (separation-site
+    enumeration touches functions outside the reachable set).  On top
+    of those the footprint names the header entities the analysis
+    actually used — ``global:``/``globalusers:``/``struct:`` entries
+    plus the ``meta:scoped`` sentinel — so the footprint digest
+    (:func:`repro.service.requests.loop_footprint_digest`) no longer
+    has to fold in the whole-module header hash: edits to *unrelated*
+    globals or structs leave every one of these entries unchanged.
     """
-    reachable = system.context.callgraph.reachable_from(loop.function)
+    context = system.context
+    module = context.module
+    reachable = context.callgraph.reachable_from(loop.function)
     names = {fn.name for fn in reachable}
     consulted = getattr(system.coordinator, "consulted_functions", None)
     if consulted:
         names.update(set(consulted))
-    return tuple(sorted(names))
+    scanned_globals = set()
+    for kind, name in context.scan_trace():
+        if kind == "function":
+            names.add(name)
+        elif kind == "global":
+            scanned_globals.add(name)
+    # Globals any footprint function references: their declaration
+    # (type, constness, initializer) feeds points-to and interval
+    # reasoning even without a users scan.
+    referenced = set()
+    for fname in names:
+        fn = module.functions.get(fname)
+        if fn is None or fn.is_declaration:
+            continue
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, GlobalVariable):
+                    referenced.add(op.name)
+    entries = set(names)
+    entries.update(f"global:{g}" for g in referenced | scanned_globals)
+    # Whole-module sweeps over a global's users additionally depend on
+    # *which functions* mention it, anywhere in the module.
+    entries.update(f"globalusers:{g}" for g in scanned_globals)
+    entries.update(
+        f"struct:{s}" for s in _reachable_structs(
+            module, names, referenced | scanned_globals))
+    entries.add(SCOPED_FOOTPRINT_SENTINEL)
+    return tuple(sorted(entries))
+
+
+def _reachable_structs(module, function_names, global_names):
+    """Names of struct types transitively reachable from the types the
+    given functions and globals use (field-sensitive reasoning reads
+    struct layouts, so they join the footprint)."""
+    work = []
+    for name in function_names:
+        fn = module.functions.get(name)
+        if fn is None:
+            continue
+        work.extend(arg.type for arg in fn.args)
+        if not fn.is_declaration:
+            for inst in fn.instructions():
+                work.append(inst.type)
+                work.extend(op.type for op in inst.operands)
+    for gname in global_names:
+        gv = module.globals.get(gname)
+        if gv is not None:
+            work.append(gv.value_type)
+    seen = set()
+    while work:
+        ty = work.pop()
+        if isinstance(ty, PointerType):
+            work.append(ty.pointee)
+        elif isinstance(ty, ArrayType):
+            work.append(ty.element)
+        elif isinstance(ty, StructType):
+            if ty.name in seen:
+                continue
+            seen.add(ty.name)
+            # Resolve through the module's registry so recursive types
+            # (fields compared by name) still close over their fields.
+            st = module.structs.get(ty.name, ty)
+            work.extend(st.fields)
+    return seen
 
 
 def executed_function_scope(module, profiles, entry: str
@@ -254,7 +339,7 @@ class PreparedModule:
         self.system = build_system(request.system, module, context,
                                    profiles, request.config)
         self.client = PDGClient(self.system)
-        self.fingerprints = module_fingerprints(module)
+        self.fingerprints = module_content_fingerprints(module)
         self.header_fingerprint = module_header_fingerprint(module)
         self.profile_digest = profile_digest(profiles)
         self.executed_functions = executed_function_scope(
@@ -382,7 +467,8 @@ def _run_shard(task: ShardTask) -> ShardResult:
         profile_digest=profile_digest(profiles),
         hot_loops=tuple(h.name for h in hot),
         hot_fractions={h.name: h.time_fraction for h in hot},
-        fingerprints=module_fingerprints(module),
+        total_instructions=profiles.total_instructions,
+        fingerprints=module_content_fingerprints(module),
         header_fingerprint=module_header_fingerprint(module),
         executed_functions=executed_function_scope(module, profiles,
                                                    request.entry),
@@ -398,6 +484,7 @@ def _run_shard(task: ShardTask) -> ShardResult:
                               lambda: None)
     for h in selected:
         reset_consulted()
+        context.reset_scan_trace()
         loop_started = time.perf_counter()
         with tracer.span("loop", cat="loop", loop=h.name,
                          workload=request.name,
@@ -470,6 +557,7 @@ def _run_loop_task(task: LoopTask) -> LoopTaskResult:
         loop=task.loop,
         hot_loops=tuple(h.name for h in entry.hot),
         hot_fractions={h.name: h.time_fraction for h in entry.hot},
+        total_instructions=entry.profiles.total_instructions,
         profile_digest=entry.profile_digest,
         prepared_hit=hit,
         prepared_evictions=evictions,
@@ -502,6 +590,7 @@ def _run_loop_task(task: LoopTask) -> LoopTaskResult:
         reset_consulted = getattr(system.coordinator, "reset_consulted",
                                   lambda: None)
         reset_consulted()
+        entry.context.reset_scan_trace()
         evals_before = dict(system.stats.module_evals)
         total_before = system.stats.total_module_evals
         queries_before = system.stats.queries

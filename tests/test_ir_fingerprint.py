@@ -1,7 +1,9 @@
 """Tests for the canonical content fingerprints (repro.ir.fingerprint)."""
 
 from repro.ir import (
+    SCOPED_FOOTPRINT_SENTINEL,
     function_fingerprint,
+    module_content_fingerprints,
     module_fingerprints,
     module_header_fingerprint,
     parse_module,
@@ -68,3 +70,56 @@ def test_header_fingerprint_tracks_globals_not_functions():
         TWO_FUNCS.replace("@cell : i32 = 0", "@cell : i32 = 7")))
     assert fn_edit == base
     assert global_edit != base
+
+
+# -- per-entity (scoped) fingerprints ----------------------------------------
+
+STRUCT_FUNCS = "struct %pair { i32, i32 }\n" + TWO_FUNCS
+
+
+def test_content_fingerprints_cover_every_entity():
+    fps = module_content_fingerprints(parse_module(STRUCT_FUNCS))
+    assert {"helper", "main", "struct:pair", "global:cell",
+            "globalusers:cell", SCOPED_FOOTPRINT_SENTINEL} == set(fps)
+    # The plain function entries agree with module_fingerprints.
+    base = module_fingerprints(parse_module(STRUCT_FUNCS))
+    assert {n: fps[n] for n in base} == base
+
+
+def test_unrelated_global_leaves_scoped_entries_unchanged():
+    """The satellite invariant: adding an unused global changes the
+    whole-header hash but no per-entity fingerprint."""
+    base = module_content_fingerprints(parse_module(STRUCT_FUNCS))
+    padded_src = "global @pad : i32 = 7\n" + STRUCT_FUNCS
+    padded = module_content_fingerprints(parse_module(padded_src))
+    assert {n: padded[n] for n in base} == base
+    assert module_header_fingerprint(parse_module(padded_src)) != \
+        module_header_fingerprint(parse_module(STRUCT_FUNCS))
+
+
+def test_global_initializer_edit_changes_global_entries():
+    base = module_content_fingerprints(parse_module(TWO_FUNCS))
+    edited = module_content_fingerprints(parse_module(
+        TWO_FUNCS.replace("@cell : i32 = 0", "@cell : i32 = 7")))
+    assert edited["global:cell"] != base["global:cell"]
+    assert edited["globalusers:cell"] != base["globalusers:cell"]
+
+
+def test_new_referencing_function_changes_only_globalusers():
+    """A users-of-global scan depends on *which* functions mention the
+    global; a mere reference footprint (global:) does not."""
+    base = module_content_fingerprints(parse_module(TWO_FUNCS))
+    extended = module_content_fingerprints(parse_module(
+        TWO_FUNCS + "\nfunc @extra() -> i32 {\nentry:\n"
+        "  %v = load i32* @cell\n  ret i32 %v\n}\n"))
+    assert extended["globalusers:cell"] != base["globalusers:cell"]
+    assert extended["global:cell"] == base["global:cell"]
+    assert extended["main"] == base["main"]
+
+
+def test_struct_field_edit_changes_struct_entry():
+    base = module_content_fingerprints(parse_module(STRUCT_FUNCS))
+    edited = module_content_fingerprints(parse_module(
+        STRUCT_FUNCS.replace("{ i32, i32 }", "{ i32, f64 }")))
+    assert edited["struct:pair"] != base["struct:pair"]
+    assert edited["main"] == base["main"]

@@ -709,6 +709,136 @@ class TestIncremental:
         assert warm.telemetry.incremental_probes == 0
 
 
+# -- scoped footprints: header edits stop invalidating everything ------------
+
+_SCOPED_WORKER = """
+func @w{j}() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %a = load i32* @acc{j}
+  %a2 = add i32 %a, %i
+  store i32 %a2, i32* @acc{j}
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, {iters}
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @acc{j}
+  ret i32 %r
+}}
+"""
+
+#: Four sibling hot loops (~25% of profiled time each), every one
+#: touching its own global, so a header edit used to dirty all of them.
+SCOPED_LOOPS_SOURCE = (
+    "{extra}"
+    + "".join(f"global @acc{j} : i32 = 0\n" for j in range(4))
+    + "".join(_SCOPED_WORKER.replace("{j}", str(j)) for j in range(4))
+    + """
+func @main() -> i32 {{
+entry:
+  %x0 = call @w0()
+  %x1 = call @w1()
+  %x2 = call @w2()
+  %x3 = call @w3()
+  %s0 = add i32 %x0, %x1
+  %s1 = add i32 %s0, %x2
+  %s2 = add i32 %s1, %x3
+  ret i32 %s2
+}}
+"""
+)
+
+
+class TestScopedFootprints:
+    """Satellite: per-scan footprint tracing.  Whole-module sweeps
+    record exactly which header entities they read, so an edit adding
+    an *unrelated* global or struct revalidates every cached loop
+    instead of recomputing the world."""
+
+    def _batch(self, cache_dir: str, extra: str = ""):
+        requests = [
+            AnalysisRequest(
+                f"scoped{k}",
+                SCOPED_LOOPS_SOURCE.format(extra=extra,
+                                           iters=60 + 2 * k),
+                system="scaf")
+            for k in range(4)
+        ]
+        config = ServiceConfig(workers=0, executor="inline",
+                               cache_dir=cache_dir)
+        with DependenceService(config) as service:
+            return service.run_batch(requests)
+
+    def test_unused_global_edit_reuses_all_sixteen_loops(self, tmp_path):
+        cold = self._batch(str(tmp_path))
+        assert len(cold.flat()) == 16
+        assert all(a.status == STATUS_COMPUTED for a in cold.flat())
+        reset_prepared_cache()
+        warm = self._batch(str(tmp_path), extra="global @pad : i32 = 7\n")
+        assert all(a.status == STATUS_CACHED for a in warm.flat())
+        assert warm.telemetry.loops_incremental == 16
+        assert warm.telemetry.loop_tasks_dispatched == 0
+        assert warm.telemetry.module_evals == 0
+        assert identities(warm.flat()) == identities(cold.flat())
+
+    def test_unused_struct_edit_reuses_all_sixteen_loops(self, tmp_path):
+        cold = self._batch(str(tmp_path))
+        reset_prepared_cache()
+        warm = self._batch(str(tmp_path),
+                           extra="struct %pad { i32, f64 }\n")
+        assert all(a.status == STATUS_CACHED for a in warm.flat())
+        assert warm.telemetry.loops_incremental == 16
+        assert warm.telemetry.loop_tasks_dispatched == 0
+        assert identities(warm.flat()) == identities(cold.flat())
+
+    def test_touched_global_edit_still_invalidates(self, tmp_path):
+        """Sanity bound: editing a global a loop *does* read must not
+        be revalidated away — only the untouched loops stay cached."""
+        self._batch(str(tmp_path))
+        reset_prepared_cache()
+        requests = [
+            AnalysisRequest(
+                f"scoped{k}",
+                SCOPED_LOOPS_SOURCE.format(
+                    extra="", iters=60 + 2 * k).replace(
+                        "@acc0 : i32 = 0", "@acc0 : i32 = 5"),
+                system="scaf")
+            for k in range(4)
+        ]
+        config = ServiceConfig(workers=0, executor="inline",
+                               cache_dir=str(tmp_path))
+        with DependenceService(config) as service:
+            dirty = service.run_batch(requests)
+        by_status = {s: [a.loop for a in dirty.flat() if a.status == s]
+                     for s in (STATUS_COMPUTED, STATUS_CACHED)}
+        assert all("@w0:" in loop for loop in by_status[STATUS_COMPUTED])
+        assert len(by_status[STATUS_COMPUTED]) == 4
+        assert len(by_status[STATUS_CACHED]) == 12
+
+    def test_worker_footprints_are_scoped(self):
+        from repro.ir import SCOPED_FOOTPRINT_SENTINEL
+        request = AnalysisRequest(
+            "scoped", SCOPED_LOOPS_SOURCE.format(extra="", iters=60),
+            system="scaf")
+        result = run_shard(ShardTask(request))
+        assert result.footprints
+        for loop, footprint in result.footprints.items():
+            assert SCOPED_FOOTPRINT_SENTINEL in footprint
+            assert any(n.startswith("global:") for n in footprint)
+
+    def test_capture_scan_is_traced(self):
+        from repro.modules.memory.common import capture_instructions
+        module = parse_module(SCOPED_LOOPS_SOURCE.format(extra="",
+                                                         iters=60))
+        context = AnalysisContext(module)
+        capture_instructions(context, module.globals["acc0"])
+        assert ("global", "acc0") in context.scan_trace()
+        context.reset_scan_trace()
+        assert context.scan_trace() == frozenset()
+
+
 # -- the contract property ---------------------------------------------------
 
 @settings(max_examples=6, deadline=None,

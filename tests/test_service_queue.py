@@ -395,3 +395,85 @@ class TestQueueTracing:
         cache_doc = doc["prepared_cache"]
         assert cache_doc["hits"] + cache_doc["misses"] == len(tasks)
         assert cache_doc["hits"] >= 1
+
+
+# -- LPT ordering across modules ---------------------------------------------
+
+class _FakeRequest:
+    def __init__(self, name):
+        self.name = name
+        self.system = "scaf"
+
+
+class _FakeTask:
+    """Just enough surface for the dispatcher (request labels, loop)."""
+
+    def __init__(self, workload, loop):
+        self.request = _FakeRequest(workload)
+        self.loop = loop
+
+
+class TestLptOrdering:
+    """The cross-module priority fix: LPT ranks by *absolute*
+    instruction volume (fraction x module total), not by the raw
+    profiled time fraction, which is only comparable within one
+    module."""
+
+    def test_lpt_weight_scales_fraction_by_module_size(self):
+        from repro.service.engine import lpt_weight
+
+        tiny = lpt_weight(0.9, 5_000)        # 90% of a toy run
+        huge = lpt_weight(0.125, 2_000_000)  # 12.5% of a massive run
+        assert huge > tiny
+        # No recorded total (pre-v4 cache rows): bare fraction, which
+        # reproduces the old within-module ordering.
+        assert lpt_weight(0.9, 0) == pytest.approx(0.9)
+        assert lpt_weight(0.4, 0) < lpt_weight(0.9, 0)
+
+    def _execution_order(self, specs):
+        """Enqueue (workload, loop, fraction, total) tickets in one
+        submit on a single-slot engine and return the order the
+        runner saw them."""
+        from types import SimpleNamespace
+
+        from repro.service.engine import Ticket, WorkEngine, lpt_weight
+        from repro.service.telemetry import ServiceTelemetry
+
+        order, outcomes = [], []
+
+        def runner(task):
+            order.append(task.loop)
+            return SimpleNamespace(prepared_hit=False, spans=[])
+
+        engine = WorkEngine("inline", 0, max_pending=1,
+                            telemetry=ServiceTelemetry(1),
+                            loop_runner=runner)
+        try:
+            engine.submit([
+                Ticket(_FakeTask(workload, loop), key=workload,
+                       weight=lpt_weight(fraction, total),
+                       deliver=lambda t, o, r, e: outcomes.append(o))
+                for workload, loop, fraction, total in specs])
+            assert engine.drain(timeout_s=10.0)
+        finally:
+            engine.close()
+        assert all(o == "ok" for o in outcomes)
+        return order
+
+    def test_huge_module_loops_run_before_tinier_high_fractions(self):
+        specs = [
+            ("tiny0", "@t0", 0.9, 5_000),
+            ("huge", "@h0", 0.125, 2_000_000),
+            ("tiny1", "@t1", 0.9, 5_000),
+            ("huge", "@h1", 0.125, 2_000_000),
+        ]
+        order = self._execution_order(specs)
+        assert order == ["@h0", "@h1", "@t0", "@t1"]
+
+    def test_zero_totals_fall_back_to_fraction_order(self):
+        specs = [
+            ("a", "@small", 0.2, 0),
+            ("b", "@big", 0.8, 0),
+            ("c", "@mid", 0.5, 0),
+        ]
+        assert self._execution_order(specs) == ["@big", "@mid", "@small"]
