@@ -49,7 +49,7 @@ from .core.framework import (
     build_memory_speculation,
     build_scaf,
 )
-from .interp import Interpreter
+from .interp import CompiledInterpreter, make_interpreter
 from .ir import format_module, parse_module, verify_module
 from .profiling import run_profilers
 
@@ -71,10 +71,13 @@ def _load(path: str):
 
 def cmd_run(args) -> int:
     module = _load(args.file)
-    interp = Interpreter(module)
+    interp = make_interpreter(module)
     result = interp.run(args.entry)
+    engine = "compiled" if isinstance(interp, CompiledInterpreter) \
+        else "tree"
     print(f"result: {result}")
-    print(f"instructions executed: {interp.total_instructions()}")
+    print(f"instructions executed: {interp.total_instructions()} "
+          f"({engine} engine)")
     return 0
 
 
@@ -668,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="execute a textual-IR program")
     p_run.add_argument("file")
     p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--no-compile", action="store_true",
+                       help="force the tree-walking interpreter (skip "
+                            "closure compilation)")
     p_run.set_defaults(func=cmd_run)
 
     p_fmt = sub.add_parser("fmt", help="parse, verify, pretty-print")
@@ -679,6 +685,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--entry", default="main")
     p_prof.add_argument("--json", action="store_true",
                         help="machine-readable profiler summary")
+    p_prof.add_argument("--no-compile", action="store_true",
+                        help="force the tree-walking interpreter (skip "
+                             "closure compilation)")
     p_prof.set_defaults(func=cmd_profile)
 
     p_an = sub.add_parser("analyze", help="hot-loop dependence coverage")
@@ -720,6 +729,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "format; JSONL when PATH ends in .jsonl)")
     p_an.add_argument("--trace-sample", type=int, default=1, metavar="N",
                       help="record every N-th query subtree (default 1)")
+    p_an.add_argument("--no-compile", action="store_true",
+                      help="force the tree-walking interpreter (skip "
+                           "closure compilation)")
     p_an.set_defaults(func=cmd_analyze)
 
     p_batch = sub.add_parser(
@@ -771,6 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "REPRO_DAEMON environment variable works "
                               "too); falls back to the in-process pool "
                               "if unreachable")
+    p_batch.add_argument("--no-compile", action="store_true",
+                         help="force the tree-walking interpreter "
+                              "(skip closure compilation)")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -812,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit (all sessions, one tree)")
     p_serve.add_argument("--trace-sample", type=int, default=1,
                          metavar="N")
+    p_serve.add_argument("--no-compile", action="store_true",
+                         help="force the tree-walking interpreter "
+                              "(skip closure compilation)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -861,6 +879,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_compile", False):
+        # The env var (not set_compilation_enabled) so the choice
+        # survives into ProcessPoolExecutor workers.
+        os.environ["REPRO_NO_COMPILE"] = "1"
     return args.func(args)
 
 

@@ -1,5 +1,15 @@
 """IR interpreter with simulated memory and instrumentation hooks."""
 
+from .compile import (
+    CompiledInterpreter,
+    CompiledModule,
+    CompileError,
+    cached_compiled_module,
+    compilation_enabled,
+    compile_module,
+    make_interpreter,
+    set_compilation_enabled,
+)
 from .hooks import ExecutionListener, HookBus, LoopRecord
 from .interpreter import Interpreter, InterpreterError, LoopStats
 from .memory import (
@@ -12,6 +22,9 @@ from .memory import (
 )
 
 __all__ = [
+    "CompiledInterpreter", "CompiledModule", "CompileError",
+    "cached_compiled_module", "compilation_enabled", "compile_module",
+    "make_interpreter", "set_compilation_enabled",
     "ExecutionListener", "HookBus", "LoopRecord",
     "Interpreter", "InterpreterError", "LoopStats",
     "GLOBAL_BASE", "HEAP_BASE", "MemoryFault", "MemoryObject",

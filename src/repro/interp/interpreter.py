@@ -347,9 +347,10 @@ class Interpreter:
         if op.startswith("f"):
             result = _FLOAT_OPS[op](a, b)
         else:
-            result = _INT_OPS[op](int(a), int(b))
+            bits = inst.type.bits if isinstance(inst.type, IntType) else 64
+            result = _INT_OPS[op](int(a), int(b), bits)
             if isinstance(inst.type, IntType):
-                result = _wrap_int(result, inst.type.bits)
+                result = _wrap_int(result, bits)
         frame.registers[id(inst)] = result
 
     def _exec_icmp(self, frame: _Frame, inst: ICmpInst):
@@ -507,39 +508,87 @@ class _Return:
         self.value = value
 
 
-def _sdiv(a: int, b: int) -> int:
+def _sdiv(a: int, b: int, bits: int) -> int:
     if b == 0:
         raise InterpreterError("integer division by zero")
     q = abs(a) // abs(b)
     return -q if (a < 0) != (b < 0) else q
 
 
-def _srem(a: int, b: int) -> int:
-    return a - _sdiv(a, b) * b
+def _srem(a: int, b: int, bits: int) -> int:
+    return a - _sdiv(a, b, bits) * b
 
 
-_INT_OPS: Dict[str, Callable[[int, int], int]] = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "mul": lambda a, b: a * b,
+def _udiv(a: int, b: int, bits: int) -> int:
+    # Unsigned semantics: both operands reinterpreted at the operand
+    # type's width, not |a| (wrong for every negative value).
+    if b == 0:
+        return 0
+    mask = (1 << bits) - 1
+    return (a & mask) // (b & mask)
+
+
+def _urem(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        return 0
+    mask = (1 << bits) - 1
+    return (a & mask) % (b & mask)
+
+
+def _lshr(a: int, b: int, bits: int) -> int:
+    # Logical shift must zero-extend at the *type's* width: masking a
+    # negative i32 with the 64-bit mask shifted in 32 bogus one bits.
+    return (a & ((1 << bits) - 1)) >> (b & (bits - 1))
+
+
+#: Integer ops take ``(a, b, bits)`` — ``bits`` is the operand type's
+#: width, threaded so unsigned ops can mask correctly per width.
+_INT_OPS: Dict[str, Callable[[int, int, int], int]] = {
+    "add": lambda a, b, bits: a + b,
+    "sub": lambda a, b, bits: a - b,
+    "mul": lambda a, b, bits: a * b,
     "sdiv": _sdiv,
-    "udiv": lambda a, b: abs(a) // abs(b) if b else 0,
+    "udiv": _udiv,
     "srem": _srem,
-    "urem": lambda a, b: abs(a) % abs(b) if b else 0,
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-    "shl": lambda a, b: a << (b & 63),
-    "lshr": lambda a, b: (a & 0xFFFFFFFFFFFFFFFF) >> (b & 63),
-    "ashr": lambda a, b: a >> (b & 63),
+    "urem": _urem,
+    "and": lambda a, b, bits: a & b,
+    "or": lambda a, b, bits: a | b,
+    "xor": lambda a, b, bits: a ^ b,
+    "shl": lambda a, b, bits: a << (b & 63),
+    "lshr": _lshr,
+    "ashr": lambda a, b, bits: a >> (b & 63),
 }
+
+#: One shared NaN object: both engines return *this* NaN so profile
+#: dictionaries (which compare via identity-shortcut equality) match
+#: even though NaN != NaN.
+_NAN = float("nan")
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b != 0.0:
+        return a / b
+    # IEEE-style zero-divisor corners: 0/0 and NaN/0 are NaN (the old
+    # code returned +inf for both); +-x/0 keeps the dividend's sign.
+    if a == 0.0 or a != a:
+        return _NAN
+    return math.inf if a > 0 else -math.inf
+
+
+def _frem(a: float, b: float) -> float:
+    try:
+        return math.fmod(a, b)
+    except ValueError:
+        # fmod(x, 0.0) and fmod(inf, y) raise in Python; IEEE says NaN.
+        return _NAN
+
 
 _FLOAT_OPS: Dict[str, Callable[[float, float], float]] = {
     "fadd": lambda a, b: a + b,
     "fsub": lambda a, b: a - b,
     "fmul": lambda a, b: a * b,
-    "fdiv": lambda a, b: a / b if b != 0.0 else math.inf * (1 if a >= 0 else -1),
-    "frem": lambda a, b: math.fmod(a, b),
+    "fdiv": _fdiv,
+    "frem": _frem,
 }
 
 _CMP_OPS = {

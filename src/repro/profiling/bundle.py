@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Union
 
 from ..analysis import AnalysisContext, Loop
-from ..interp import Interpreter, LoopStats
+from ..interp import CompiledInterpreter, Interpreter, LoopStats, \
+    make_interpreter
 from ..ir import Module
 from ..obs.trace import current_tracer
 from .edge import EdgeProfile, EdgeProfiler
@@ -30,20 +31,36 @@ class ProfileBundle:
     loop_stats: Dict[Loop, LoopStats] = field(default_factory=dict)
     total_instructions: int = 0
     exit_value: Union[int, float, None] = None
+    #: Which execution engine produced the run: "compiled" (closure-
+    #: compiled hot path) or "tree" (the tree-walking oracle).  The
+    #: two are observably identical; recorded for observability only
+    #: (excluded from profile digests).
+    engine: str = "tree"
 
 
 def run_profilers(module: Module,
                   analysis: Optional[AnalysisContext] = None,
                   entry: str = "main",
                   args: Sequence[Union[int, float]] = (),
-                  max_steps: int = 50_000_000) -> ProfileBundle:
+                  max_steps: int = 50_000_000,
+                  compile: Optional[bool] = None) -> ProfileBundle:
     """Execute ``entry`` once with every profiler attached.
 
     This is the offline training run of §2.2: the returned bundle is
     the only dynamic information the speculation modules ever see.
+
+    ``compile`` selects the execution engine: ``True`` forces the
+    closure-compiled engine, ``False`` the tree-walker, ``None``
+    (default) follows :func:`repro.interp.compilation_enabled`
+    (the ``--no-compile`` / ``REPRO_NO_COMPILE`` opt-out).  The
+    compiled artifact is memoized on ``analysis``, so repeat runs
+    against a prepared module's context skip recompilation.
     """
     analysis = analysis or AnalysisContext(module)
-    interp = Interpreter(module, analysis, max_steps=max_steps)
+    interp = make_interpreter(module, analysis, max_steps=max_steps,
+                              compile=compile)
+    engine = "compiled" if isinstance(interp, CompiledInterpreter) \
+        else "tree"
 
     edge = EdgeProfiler()
     value = ValueProfiler()
@@ -56,7 +73,7 @@ def run_profilers(module: Module,
 
     tracer = current_tracer()
     with tracer.span("profile", cat="profile", entry=entry,
-                     profilers=6) as span:
+                     profilers=6, engine=engine) as span:
         with tracer.span("interpret", cat="profile"):
             result = interp.run(entry, args)
         with tracer.span("finalize", cat="profile"):
@@ -73,4 +90,5 @@ def run_profilers(module: Module,
         loop_stats=interp.loop_stats,
         total_instructions=interp.total_instructions(),
         exit_value=result,
+        engine=engine,
     )

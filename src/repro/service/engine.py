@@ -44,6 +44,7 @@ import time
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from ..interp import compilation_enabled, set_compilation_enabled
 from ..obs.trace import current_tracer
 from .worker import LoopTask
 
@@ -66,13 +67,25 @@ class _InlineExecutor:
         pass
 
 
+def _pool_worker_init(compile_enabled: bool) -> None:
+    """Adopt the coordinator's interpreter-engine choice in a pool
+    worker process.  ``REPRO_NO_COMPILE`` crosses the process boundary
+    on its own (children inherit the environment), but a programmatic
+    :func:`repro.interp.set_compilation_enabled` override would not —
+    this initializer forwards whichever is in force."""
+    set_compilation_enabled(compile_enabled)
+
+
 def _make_executor(kind: str, workers: int):
     if kind == "inline" or workers <= 0:
         return _InlineExecutor()
     if kind == "thread":
         return cf.ThreadPoolExecutor(max_workers=workers)
     if kind == "process":
-        return cf.ProcessPoolExecutor(max_workers=workers)
+        return cf.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(compilation_enabled(),))
     raise ValueError(f"unknown executor kind: {kind!r}")
 
 

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis import AnalysisContext
 from ..clients import PDGClient, hot_loops
+from ..interp import cached_compiled_module
 from ..core.framework import (
     DependenceAnalysis,
     build_caf,
@@ -325,7 +326,7 @@ class PreparedModule:
     __slots__ = ("version_key", "module", "context", "profiles", "hot",
                  "hot_by_name", "system", "client", "fingerprints",
                  "header_fingerprint", "profile_digest",
-                 "executed_functions", "setup_s", "lock")
+                 "executed_functions", "compiled", "setup_s", "lock")
 
     def __init__(self, request: AnalysisRequest):
         started = time.perf_counter()
@@ -334,6 +335,12 @@ class PreparedModule:
         self.module = module
         self.context = context
         self.profiles = profiles
+        # The closure-compiled execution artifact the training run
+        # left on the context (None when compilation was off or fell
+        # back).  Pinned here so it stays warm with the entry: later
+        # re-profiles of this prepared module (e.g. speculative
+        # re-validation) reuse the compiled functions across batches.
+        self.compiled = cached_compiled_module(context)
         self.hot = hot_loops(profiles)
         self.hot_by_name = {h.name: h for h in self.hot}
         self.system = build_system(request.system, module, context,
