@@ -1,0 +1,252 @@
+"""Tiered cache: a daemon fleet sharing warm answers through an L2.
+
+The collaboration premise the tier exists for: dependence answers are
+expensive to compute and cheap to revalidate, so one daemon's work
+should warm *every* daemon.  Here daemon A (its own sqlite L1, an L2
+attached) analyzes a set of multi-loop modules and publishes its
+bundles write-behind; daemon B starts with a **cold, empty L1** in a
+different directory and the same L2, and must serve the same requests
+from read-through adoption alone — no module evaluation.
+
+Then the L2 dies mid-run (the fake server severs every connection and
+refuses new ones) and daemon B takes a batch of *edited* modules whose
+version keys force fresh L2 probes: the tier must degrade to L1-only
+with typed error counters and **zero failed queries**, answers
+byte-identical to a cold recompute of the edited sources.
+
+Reported/asserted (both runs):
+
+- daemon B's warm phase serves >= 80% of loop answers from cache with
+  ``module_evals == 0``, answers identical to a no-cache recompute;
+- the L2 saw >= 1 write (daemon A) and >= 1 read-through GET hit
+  (daemon B);
+- the dead-L2 phase records L2 errors, no STATUS_FALLBACK answers,
+  and answers identical to a no-cache recompute of the edits.
+
+Everything lands in ``BENCH_cache.json`` at the repo root.
+``REPRO_CACHE_SMOKE=1`` shrinks the module set for CI.
+"""
+
+import json
+import os
+import time
+
+from common import emit, format_table
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_cache.json")
+
+
+def module_source(tag: int, loops: int, iters: int,
+                  extra: str = "") -> str:
+    """One hot loop per function with real memory traffic, content
+    varied per ``tag`` so every module is a distinct version key."""
+    parts, calls = [], []
+    for k in range(loops):
+        name = f"m{tag}w{k}"
+        parts.append(f"global @{name}c0 : i32 = 0\n")
+        parts.append(f"global @{name}c1 : i32 = 0\n")
+        parts.append(f"""
+func @{name}() -> i32 {{
+entry:
+  br %loop
+loop:
+  %i = phi i32 [0, %entry], [%i2, %loop]
+  %v0 = load i32* @{name}c0
+  %s0 = add i32 %v0, {tag + k + 1}
+  store i32 %s0, i32* @{name}c0
+  %v1 = load i32* @{name}c1
+  %s1 = add i32 %v1, %s0
+  store i32 %s1, i32* @{name}c1
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, {iters}
+  condbr i1 %c, %loop, %exit
+exit:
+  %r = load i32* @{name}c0
+  ret i32 %r
+}}
+""")
+        calls.append(f"  %r{k} = call @{name}()")
+    parts.append("func @main() -> i32 {\nentry:\n" + "\n".join(calls)
+                 + "\n  ret i32 0\n}\n")
+    return extra + "".join(parts)
+
+
+def build_requests(modules: int, loops: int, iters: int,
+                   extra: str = ""):
+    from repro.service import AnalysisRequest
+    return [AnalysisRequest(f"tiered{tag}",
+                            module_source(tag, loops, iters, extra),
+                            system="scaf")
+            for tag in range(modules)]
+
+
+def identities(groups):
+    return [[a.identity() for a in answers] for answers in groups]
+
+
+def _service_config(cache_dir, l2_url):
+    from repro.service import ServiceConfig
+    return ServiceConfig(workers=2, executor="thread",
+                         cache_dir=cache_dir, cache_l2=l2_url,
+                         l2_timeout_s=0.5, l2_reconnect_s=0.2)
+
+
+def run_cold(requests):
+    """No-cache recompute: the byte-identity baseline."""
+    from repro.service import (DependenceService, ServiceConfig,
+                               reset_prepared_cache)
+    reset_prepared_cache()
+    config = ServiceConfig(workers=2, executor="thread")
+    with DependenceService(config) as service:
+        return service.run_batch(requests).answers
+
+
+def run_daemon_batch(config, requests):
+    """One daemon lifetime: run the batch, snapshot stats, stop (the
+    stop flushes the write-behind queue into the L2)."""
+    from repro.daemon import AnalysisDaemon, DaemonClient
+    from repro.service import reset_prepared_cache
+
+    reset_prepared_cache()
+    daemon = AnalysisDaemon(config).start_background()
+    try:
+        with DaemonClient(config.addr) as client:
+            groups = client.run_batch(requests)
+            stats = client.stats()
+    finally:
+        daemon.stop()
+    return groups, stats
+
+
+def test_cache_tier(benchmark, tmp_path):
+    from repro.cachetier import FakeRespServer
+    from repro.daemon import DaemonConfig
+    from repro.service import STATUS_FALLBACK
+
+    smoke = bool(os.environ.get("REPRO_CACHE_SMOKE"))
+    modules = 2 if smoke else 3
+    loops = 3 if smoke else 4
+    iters = 60 if smoke else 120
+
+    requests = build_requests(modules, loops, iters)
+    edited = build_requests(modules, loops, iters,
+                            extra="global @pad : i32 = 7\n")
+
+    def once():
+        server = FakeRespServer().start()
+        try:
+            # Daemon A computes and publishes write-behind.
+            config_a = DaemonConfig(
+                addr=f"unix:.repro-tier-a-{os.getpid()}.sock",
+                service=_service_config(str(tmp_path / "l1a"),
+                                        server.url))
+            started = time.perf_counter()
+            a_groups, _a_stats = run_daemon_batch(config_a, requests)
+            a_wall = time.perf_counter() - started
+            l2_stores = server.stores  # daemon A's close flushed
+
+            # Daemon B: cold L1, warm L2 — read-through only.
+            config_b = DaemonConfig(
+                addr=f"unix:.repro-tier-b-{os.getpid()}.sock",
+                service=_service_config(str(tmp_path / "l1b"),
+                                        server.url))
+            started = time.perf_counter()
+            b_groups, b_stats = run_daemon_batch(config_b, requests)
+            b_wall = time.perf_counter() - started
+
+            # Kill the L2 mid-run: edited sources force fresh probes
+            # against the dead remote, reusing daemon B's L1.
+            server.stop()
+            config_c = DaemonConfig(
+                addr=f"unix:.repro-tier-c-{os.getpid()}.sock",
+                service=_service_config(str(tmp_path / "l1b"),
+                                        server.url))
+            dead_groups, dead_stats = run_daemon_batch(config_c, edited)
+        finally:
+            server.stop()
+
+        cold = run_cold(requests)
+        cold_edited = run_cold(edited)
+        return (a_groups, a_wall, l2_stores, b_groups, b_stats, b_wall,
+                dead_groups, dead_stats, cold, cold_edited)
+
+    (a_groups, a_wall, l2_stores, b_groups, b_stats, b_wall,
+     dead_groups, dead_stats, cold, cold_edited) = \
+        benchmark.pedantic(once, rounds=1, iterations=1)
+
+    warm_tel = b_stats["telemetry"]
+    dead_tel = dead_stats["telemetry"]
+    total_answers = sum(len(g) for g in b_groups)
+    from_cache = warm_tel["loops_from_cache"]
+    cache_ratio = from_cache / total_answers if total_answers else 0.0
+    fallbacks = sum(1 for g in dead_groups for a in g
+                    if a.status == STATUS_FALLBACK)
+
+    table = format_table(
+        ["phase", "wall(s)", "answers", "from_cache", "l2_hits",
+         "l2_errors", "module_evals"],
+        [["A: compute+publish", f"{a_wall:.2f}",
+          str(sum(len(g) for g in a_groups)), "0", "0", "0", "-"],
+         ["B: cold L1, warm L2", f"{b_wall:.2f}", str(total_answers),
+          str(from_cache), str(warm_tel["l2_hits"]),
+          str(warm_tel["l2_errors"]),
+          str(warm_tel["module_evals"])],
+         ["B: L2 killed, edits", "-",
+          str(sum(len(g) for g in dead_groups)),
+          str(dead_tel["loops_from_cache"]), str(dead_tel["l2_hits"]),
+          str(dead_tel["l2_errors"]), str(dead_tel["module_evals"])]],
+        title=f"Tiered cache: {modules} modules x {loops} loops, "
+              f"two daemons, one L2")
+    report = table + (
+        f"\n\nwarm-phase cache ratio: {cache_ratio:.1%} "
+        f"(target >= 80%); L2 stores {l2_stores}; "
+        f"dead-L2 fallbacks: {fallbacks} (target 0)\n")
+    emit("cache_tier_smoke.txt" if smoke else "cache_tier.txt", report)
+
+    warm_identical = identities(b_groups) == identities(cold)
+    dead_identical = identities(dead_groups) == identities(cold_edited)
+    payload = {
+        "benchmark": "bench_cache_tier",
+        "smoke": smoke,
+        "modules": modules,
+        "loops_per_module": loops,
+        "warm": {
+            "wall_s": round(b_wall, 6),
+            "answers": total_answers,
+            "loops_from_cache": from_cache,
+            "cache_ratio": round(cache_ratio, 4),
+            "l2_hits": warm_tel["l2_hits"],
+            "l2_writes_published": l2_stores,
+            "module_evals": warm_tel["module_evals"],
+            "answers_identical": warm_identical,
+        },
+        "l2_killed": {
+            "answers": sum(len(g) for g in dead_groups),
+            "l2_errors": dead_tel["l2_errors"],
+            "failed_queries": fallbacks,
+            "answers_identical": dead_identical,
+        },
+    }
+    with open(BENCH_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    # The collaboration headline: daemon A's work warmed daemon B.
+    assert l2_stores >= 1, "daemon A published nothing to the L2"
+    assert warm_tel["l2_hits"] >= 1, (
+        "daemon B's cold L1 never read through to the warm L2")
+    assert cache_ratio >= 0.8, (
+        f"only {cache_ratio:.1%} of daemon B's answers came from the "
+        f"shared cache")
+    assert warm_tel["module_evals"] == 0, (
+        "daemon B evaluated modules despite a warm L2")
+    assert warm_identical, "shared-cache answers diverged from recompute"
+
+    # Graceful degradation: a dead L2 never fails a query.
+    assert dead_tel["l2_errors"] >= 1, (
+        "the dead L2 was never probed — the degradation path is untested")
+    assert fallbacks == 0, (
+        f"{fallbacks} queries failed after the L2 died")
+    assert dead_identical, (
+        "L1-only answers diverged from recompute after the L2 died")

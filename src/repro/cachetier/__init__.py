@@ -1,0 +1,42 @@
+"""Tiered result cache: local sqlite L1 + pluggable remote L2.
+
+SCAF's collaboration premise is that an expensive dependence answer is
+computed once and reused by every client.  :mod:`repro.service.cache`
+gives one host that property; this package extends it to a *fleet*:
+
+- :mod:`backend` — the :class:`CacheBackend` protocol every remote
+  tier implements, the typed :class:`L2Error` hierarchy degradation
+  keys off, and :func:`backend_from_url` (``redis://host:port``);
+- :mod:`resp` — a dependency-free redis-protocol (RESP) TCP client,
+  so any redis-compatible server can be the shared tier;
+- :mod:`fakeserver` — an in-memory RESP server with fault injection
+  (refused connects, mid-request disconnects, slow replies) for tests
+  and single-box fleet demos;
+- :mod:`tiered` — :class:`TieredCache`, a drop-in
+  :class:`~repro.service.cache.ResultCache` stand-in composing L1 and
+  L2 with read-through, write-behind, and graceful degradation.
+"""
+
+from .backend import (
+    CacheBackend,
+    L2ConnectError,
+    L2Error,
+    L2ProtocolError,
+    L2TimeoutError,
+    backend_from_url,
+)
+from .fakeserver import FakeRespServer
+from .resp import RespBackend
+from .tiered import TieredCache
+
+__all__ = [
+    "CacheBackend",
+    "FakeRespServer",
+    "L2ConnectError",
+    "L2Error",
+    "L2ProtocolError",
+    "L2TimeoutError",
+    "RespBackend",
+    "TieredCache",
+    "backend_from_url",
+]

@@ -1,0 +1,98 @@
+"""The remote-tier protocol and its typed failure modes.
+
+A cache backend is a small key-value surface — enough to hold one
+JSON *bundle* per version key plus one membership set per lineage key
+(see :mod:`repro.cachetier.tiered` for the key schema).  Everything a
+backend can get wrong is funneled into the :class:`L2Error` hierarchy
+so :class:`~repro.cachetier.tiered.TieredCache` can classify failures
+into per-type counters and demote to L1-only without ever surfacing a
+remote problem to a query.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+
+class L2Error(Exception):
+    """Base of every remote-tier failure; carries a counter label."""
+
+    #: Label value for the ``l2_errors{type=...}`` counter family.
+    kind = "io"
+
+
+class L2ConnectError(L2Error):
+    """The remote refused, reset, or never answered a connection."""
+
+    kind = "connect"
+
+
+class L2TimeoutError(L2Error):
+    """The remote accepted the request but blew the deadline."""
+
+    kind = "timeout"
+
+
+class L2ProtocolError(L2Error):
+    """The remote answered with something that is not valid RESP (or
+    an explicit ``-ERR``) — treated as seriously as a dead remote."""
+
+    kind = "protocol"
+
+
+class CacheBackend(ABC):
+    """What a remote tier must speak.  Values are opaque bytes; sets
+    hold short member strings (version keys).  Every method either
+    succeeds or raises an :class:`L2Error` subclass — backends never
+    return partial results."""
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """The value stored at ``key``, or ``None`` when absent."""
+
+    @abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` at ``key``, replacing any prior value."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key`` (a no-op when absent)."""
+
+    @abstractmethod
+    def sadd(self, key: str, member: str) -> None:
+        """Add ``member`` to the set at ``key`` (created on demand)."""
+
+    @abstractmethod
+    def smembers(self, key: str) -> Tuple[str, ...]:
+        """Every member of the set at ``key`` (empty when absent)."""
+
+    @abstractmethod
+    def ping(self) -> bool:
+        """Liveness probe; ``True`` or raises."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the connection; later calls may lazily reconnect."""
+
+
+def backend_from_url(url: str, timeout_s: float = 1.0) -> CacheBackend:
+    """Build a backend from a ``--cache-l2`` URL.
+
+    ``redis://host:port`` (or bare ``host:port``) selects the RESP TCP
+    backend — which is also how tests and demos reach the in-memory
+    :class:`~repro.cachetier.fakeserver.FakeRespServer`, since it
+    speaks the same protocol on a real socket.
+    """
+    from .resp import RespBackend
+
+    rest = url[len("redis://"):] if url.startswith("redis://") else url
+    if "://" in rest:
+        scheme = url.split("://", 1)[0]
+        raise ValueError(f"unsupported cache-l2 scheme {scheme!r} "
+                         f"(expected redis://host:port)")
+    host, sep, port = rest.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"cache-l2 url {url!r} needs host:port")
+    return RespBackend(host or "127.0.0.1", int(port),
+                       timeout_s=timeout_s)

@@ -1,0 +1,206 @@
+"""An in-memory RESP server for tests and single-box fleet demos.
+
+The same spirit as SNIPPETS.md's ``_FakeQdrant``: a dict-backed stand-
+in that speaks the *real* wire protocol, so the production
+:class:`~repro.cachetier.resp.RespBackend` is exercised end to end —
+but over a loopback socket with deterministic fault injection:
+
+- ``refuse_connections`` — accept() then immediately close, the shape
+  of a crashed or firewalled remote;
+- ``drop_after_requests`` — serve N commands total, then sever every
+  connection mid-request (the half-written-reply failure mode);
+- ``response_delay_s`` — stall each reply, long enough to blow the
+  client's socket deadline when a test wants timeouts.
+
+All state is shared across connections, so two daemons pointed at one
+``FakeRespServer`` genuinely share a warm tier.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Dict, Optional, Set
+
+from .resp import _CRLF, read_reply
+
+
+class FakeRespServer:
+    """Threaded loopback RESP server over plain dicts."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 refuse_connections: bool = False,
+                 drop_after_requests: Optional[int] = None,
+                 response_delay_s: float = 0.0):
+        self.host = host
+        self.port = port
+        self.refuse_connections = refuse_connections
+        self.drop_after_requests = drop_after_requests
+        self.response_delay_s = response_delay_s
+        self.strings: Dict[str, bytes] = {}
+        self.sets: Dict[str, Set[str]] = {}
+        self.connections = 0
+        self.commands = 0
+        self.gets = 0
+        self.stores = 0
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._live: Set[socket.socket] = set()
+
+    @property
+    def url(self) -> str:
+        return f"redis://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FakeRespServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fake-resp-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Kill the listener *and* sever live connections — later
+        connects get ECONNREFUSED and in-flight clients see EOF, which
+        is how a bench 'kills the L2 mid-run'."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                # shutdown() first: close() alone does not wake a
+                # thread blocked in accept(), which would keep the
+                # kernel socket (and the port) alive.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._lock:
+            live = list(self._live)
+            self._live.clear()
+        for conn in live:
+            try:
+                # RST instead of FIN: no TIME_WAIT, so a revived server
+                # can rebind the same port immediately.
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "FakeRespServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self.connections += 1
+            if self.refuse_connections:
+                conn.close()
+                continue
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             name="fake-resp-conn", daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._live.add(conn)
+        rfile = conn.makefile("rb")
+        try:
+            while not self._stopping.is_set():
+                try:
+                    frame = read_reply(rfile)
+                except Exception:
+                    return  # client went away or sent garbage
+                if self._stopping.is_set():
+                    return  # stopped while blocked in the read
+                if not isinstance(frame, list) or not frame:
+                    return
+                with self._lock:
+                    self.commands += 1
+                    dropping = (self.drop_after_requests is not None
+                                and self.commands > self.drop_after_requests)
+                if dropping:
+                    return  # sever mid-request: no reply at all
+                if self.response_delay_s:
+                    self._stopping.wait(self.response_delay_s)
+                reply = self._dispatch(frame)
+                try:
+                    conn.sendall(reply)
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                self._live.discard(conn)
+            for closer in (rfile, conn):
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def _dispatch(self, frame) -> bytes:
+        name = frame[0]
+        name = (name.decode() if isinstance(name, bytes)
+                else str(name)).upper()
+        args = [a.decode() if isinstance(a, bytes) else str(a)
+                for a in frame[1:]]
+        raw_args = frame[1:]
+        with self._lock:
+            if name == "PING":
+                return b"+PONG" + _CRLF
+            if name == "GET" and len(args) == 1:
+                self.gets += 1
+                value = self.strings.get(args[0])
+                if value is None:
+                    return b"$-1" + _CRLF
+                return b"$%d" % len(value) + _CRLF + value + _CRLF
+            if name == "SET" and len(args) == 2:
+                self.stores += 1
+                value = raw_args[1]
+                self.strings[args[0]] = (value if isinstance(value, bytes)
+                                         else str(value).encode())
+                return b"+OK" + _CRLF
+            if name == "DEL" and args:
+                removed = sum(1 for k in args
+                              if self.strings.pop(k, None) is not None
+                              or self.sets.pop(k, None) is not None)
+                return b":%d" % removed + _CRLF
+            if name == "SADD" and len(args) >= 2:
+                members = self.sets.setdefault(args[0], set())
+                added = sum(1 for m in args[1:] if m not in members)
+                members.update(args[1:])
+                return b":%d" % added + _CRLF
+            if name == "SMEMBERS" and len(args) == 1:
+                members = sorted(self.sets.get(args[0], ()))
+                out = [b"*%d" % len(members), _CRLF]
+                for m in members:
+                    data = m.encode()
+                    out += [b"$%d" % len(data), _CRLF, data, _CRLF]
+                return b"".join(out)
+        return b"-ERR unknown command " + name.encode() + _CRLF

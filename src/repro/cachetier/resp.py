@@ -1,0 +1,170 @@
+"""A dependency-free redis-protocol (RESP) client backend.
+
+The container ships no redis client library, and the five commands the
+tiered cache needs (GET/SET/DEL/SADD/SMEMBERS plus PING) are a page of
+protocol: requests are arrays of bulk strings, replies are one of five
+type-prefixed frames.  One persistent TCP connection per backend; any
+socket or protocol failure closes it and raises a typed
+:class:`~repro.cachetier.backend.L2Error`, and the *next* command
+reconnects lazily — which is exactly the retry cadence
+:class:`~repro.cachetier.tiered.TieredCache`'s cooldown wants.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple, Union
+
+from .backend import (
+    CacheBackend,
+    L2ConnectError,
+    L2Error,
+    L2ProtocolError,
+    L2TimeoutError,
+)
+
+_CRLF = b"\r\n"
+
+
+def encode_command(parts: List[Union[str, bytes]]) -> bytes:
+    """One request frame: an array of bulk strings."""
+    out = [b"*%d" % len(parts), _CRLF]
+    for part in parts:
+        data = part.encode() if isinstance(part, str) else part
+        out += [b"$%d" % len(data), _CRLF, data, _CRLF]
+    return b"".join(out)
+
+
+def read_reply(rfile):
+    """Parse one reply frame from a buffered binary reader.
+
+    Returns ``bytes`` (bulk/simple string), ``int``, ``None`` (null
+    bulk), or a ``list`` of those (arrays).  ``-ERR`` replies and
+    malformed frames raise :class:`L2ProtocolError`; EOF mid-frame
+    raises :class:`L2ConnectError` (the peer hung up on us).
+    """
+    line = rfile.readline()
+    if not line:
+        raise L2ConnectError("connection closed by remote")
+    if not line.endswith(_CRLF):
+        raise L2ProtocolError("truncated reply line")
+    kind, body = line[:1], line[1:-2]
+    if kind == b"+":
+        return body
+    if kind == b"-":
+        raise L2ProtocolError(f"remote error: {body.decode(errors='replace')}")
+    if kind == b":":
+        return int(body)
+    if kind == b"$":
+        length = int(body)
+        if length < 0:
+            return None
+        data = rfile.read(length + 2)
+        if len(data) != length + 2 or not data.endswith(_CRLF):
+            raise L2ConnectError("connection closed mid-bulk")
+        return data[:-2]
+    if kind == b"*":
+        count = int(body)
+        if count < 0:
+            return None
+        return [read_reply(rfile) for _ in range(count)]
+    raise L2ProtocolError(f"unknown reply type {kind!r}")
+
+
+class RespBackend(CacheBackend):
+    """RESP over one persistent TCP connection (lazily established)."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 1.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout_s)
+        except socket.timeout as exc:
+            raise L2TimeoutError(f"connect to {self.host}:{self.port} "
+                                 f"timed out") from exc
+        except OSError as exc:
+            raise L2ConnectError(f"connect to {self.host}:{self.port} "
+                                 f"failed: {exc}") from exc
+        sock.settimeout(self.timeout_s)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _drop_connection(self) -> None:
+        sock, rfile = self._sock, self._rfile
+        self._sock = self._rfile = None
+        for closer in (rfile, sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def _command(self, *parts: Union[str, bytes]):
+        """Send one command and read its reply, dropping the
+        connection on any failure so the next command starts clean."""
+        with self._lock:
+            self._ensure_connected()
+            try:
+                self._sock.sendall(encode_command(list(parts)))
+                return read_reply(self._rfile)
+            except L2Error:
+                self._drop_connection()
+                raise
+            except socket.timeout as exc:
+                self._drop_connection()
+                raise L2TimeoutError(
+                    f"{parts[0]!r} timed out after {self.timeout_s}s"
+                ) from exc
+            except OSError as exc:
+                self._drop_connection()
+                raise L2ConnectError(f"{parts[0]!r} failed: {exc}") from exc
+
+    # -- CacheBackend --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        reply = self._command("GET", key)
+        if reply is not None and not isinstance(reply, bytes):
+            raise L2ProtocolError(f"GET returned {type(reply).__name__}")
+        return reply
+
+    def put(self, key: str, value: bytes) -> None:
+        self._command("SET", key, value)
+
+    def delete(self, key: str) -> None:
+        self._command("DEL", key)
+
+    def sadd(self, key: str, member: str) -> None:
+        self._command("SADD", key, member)
+
+    def smembers(self, key: str) -> Tuple[str, ...]:
+        reply = self._command("SMEMBERS", key)
+        if reply is None:
+            return ()
+        if not isinstance(reply, list):
+            raise L2ProtocolError(
+                f"SMEMBERS returned {type(reply).__name__}")
+        return tuple(sorted(
+            m.decode() if isinstance(m, bytes) else str(m)
+            for m in reply))
+
+    def ping(self) -> bool:
+        reply = self._command("PING")
+        if reply != b"PONG":
+            raise L2ProtocolError(f"PING returned {reply!r}")
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()

@@ -244,6 +244,7 @@ def _analyze_via_service(args) -> int:
     workers = args.workers if args.workers is not None else 4
     config = ServiceConfig(workers=workers, executor=args.executor,
                            cache_dir=args.cache_dir,
+                           cache_l2=_cache_l2(args),
                            shard_timeout_s=args.timeout,
                            incremental=not args.no_incremental,
                            mode="queue" if args.queue else "shard",
@@ -346,6 +347,12 @@ def _cmd_analyze(args) -> int:
 def _daemon_addr(args) -> Optional[str]:
     """Explicit ``--daemon`` beats the ``REPRO_DAEMON`` environment."""
     return getattr(args, "daemon", None) or os.environ.get("REPRO_DAEMON")
+
+
+def _cache_l2(args) -> Optional[str]:
+    """Explicit ``--cache-l2`` beats ``REPRO_CACHE_L2``."""
+    return (getattr(args, "cache_l2", None)
+            or os.environ.get("REPRO_CACHE_L2"))
 
 
 def _requests_for_targets(command: str, args) -> Optional[list]:
@@ -464,6 +471,7 @@ def _cmd_batch(args) -> int:
 
     config = ServiceConfig(workers=args.workers, executor=args.executor,
                            cache_dir=args.cache_dir,
+                           cache_l2=_cache_l2(args),
                            shard_timeout_s=args.timeout,
                            incremental=not args.no_incremental,
                            mode="queue" if args.queue else "shard",
@@ -503,6 +511,7 @@ def cmd_serve(args) -> int:
     addr = args.addr or _default_daemon_addr()
     service = ServiceConfig(workers=args.workers, executor=args.executor,
                             cache_dir=args.cache_dir,
+                            cache_l2=_cache_l2(args),
                             shard_timeout_s=args.timeout,
                             incremental=not args.no_incremental,
                             prepared_cache_size=args.prepared_cache_size,
@@ -707,6 +716,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--cache-dir", default=None,
                       help="persistent result-cache directory "
                            "(implies the serving layer)")
+    p_an.add_argument("--cache-l2", default=None, metavar="URL",
+                      help="remote L2 cache tier (redis://host:port; "
+                           "the REPRO_CACHE_L2 environment variable "
+                           "works too); requires --cache-dir")
     p_an.add_argument("--executor",
                       choices=("process", "thread", "inline"),
                       default="process")
@@ -752,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="process")
     p_batch.add_argument("--cache-dir", default=None,
                          help="persistent result-cache directory")
+    p_batch.add_argument("--cache-l2", default=None, metavar="URL",
+                         help="remote L2 cache tier (redis://host:port; "
+                              "the REPRO_CACHE_L2 environment variable "
+                              "works too); requires --cache-dir")
     p_batch.add_argument("--timeout", type=float, default=None,
                          help="per-shard deadline in seconds")
     p_batch.add_argument("--json", action="store_true",
@@ -801,6 +818,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="process")
     p_serve.add_argument("--cache-dir", default=None,
                          help="persistent result-cache directory")
+    p_serve.add_argument("--cache-l2", default=None, metavar="URL",
+                         help="remote L2 cache tier shared by the "
+                              "daemon fleet (redis://host:port; the "
+                              "REPRO_CACHE_L2 environment variable "
+                              "works too); requires --cache-dir")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="per-shard deadline in seconds")
     p_serve.add_argument("--no-incremental", action="store_true",

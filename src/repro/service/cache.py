@@ -45,8 +45,16 @@ to fraction-only ordering.
 
 The cache is only ever touched from the scheduler process (workers
 stream results back instead of writing), so a single connection with
-a process-level lock suffices; WAL mode keeps concurrent CLI
-invocations sharing one cache directory safe.
+a process-level lock suffices; WAL mode plus a busy timeout (with one
+counted retry on lock contention) keeps concurrent CLI invocations
+and daemon fleets sharing one cache directory safe.
+
+As the L1 of a :class:`repro.cachetier.tiered.TieredCache`, the store
+also speaks *bundles*: :meth:`ResultCache.export_bundle` serializes
+one version key's meta row plus answer rows — digests verbatim, so a
+receiving host can revalidate footprints without the producing
+module — and :meth:`ResultCache.adopt_bundle` installs such a bundle
+as if it had been computed locally.
 """
 
 from __future__ import annotations
@@ -161,13 +169,22 @@ class ResultCache:
 
     FILENAME = "results.sqlite"
 
-    def __init__(self, cache_dir: str):
+    #: How long sqlite itself spins on a contended write lock before
+    #: surfacing ``database is locked`` (multi-process fleets sharing
+    #: one cache directory).
+    BUSY_TIMEOUT_MS = 5000
+
+    def __init__(self, cache_dir: str, registry=None):
         self.cache_dir = cache_dir
         os.makedirs(cache_dir, exist_ok=True)
         self.path = os.path.join(cache_dir, self.FILENAME)
         self._lock = threading.Lock()
+        self._lock_retries = (registry.counter("l1_lock_retries")
+                              if registry is not None else None)
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
+            self._conn.execute(
+                f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
             self._conn.executescript(_SCHEMA)
             self._migrate()
             self._conn.execute(_LINEAGE_INDEX)
@@ -176,6 +193,30 @@ class ResultCache:
             except sqlite3.DatabaseError:
                 pass  # read-only FS etc.: correctness is unaffected
             self._conn.commit()
+
+    def _with_retry(self, fn):
+        """One locked sqlite operation, retried once on contention.
+
+        ``busy_timeout`` already makes sqlite spin, so reaching the
+        ``database is locked`` error means a sibling process held the
+        write lock for several seconds — back off briefly and try once
+        more (counted as ``l1_lock_retries``) before giving up.
+        """
+        with self._lock:
+            try:
+                return fn()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if self._lock_retries is not None:
+                    self._lock_retries.inc()
+                try:
+                    self._conn.rollback()
+                except sqlite3.Error:
+                    pass
+                time.sleep(0.05)
+                return fn()
 
     def _migrate(self) -> None:
         """Add any v2 columns missing from a pre-incremental database."""
@@ -211,11 +252,10 @@ class ResultCache:
         )
 
     def meta(self, version_key: str) -> Optional[CacheEntryMeta]:
-        with self._lock:
-            row = self._conn.execute(
-                f"SELECT {self._META_COLUMNS} FROM meta"
-                " WHERE version_key = ?",
-                (version_key,)).fetchone()
+        row = self._with_retry(lambda: self._conn.execute(
+            f"SELECT {self._META_COLUMNS} FROM meta"
+            " WHERE version_key = ?",
+            (version_key,)).fetchone())
         if row is None:
             return None
         return self._meta_from_row(row)
@@ -232,12 +272,11 @@ class ResultCache:
         """
         if not lineage_key:
             return None
-        with self._lock:
-            row = self._conn.execute(
-                f"SELECT {self._META_COLUMNS} FROM meta"
-                " WHERE lineage_key = ? AND profile_scope_digest != ''"
-                " ORDER BY created_at DESC LIMIT 1",
-                (lineage_key,)).fetchone()
+        row = self._with_retry(lambda: self._conn.execute(
+            f"SELECT {self._META_COLUMNS} FROM meta"
+            " WHERE lineage_key = ? AND profile_scope_digest != ''"
+            " ORDER BY created_at DESC LIMIT 1",
+            (lineage_key,)).fetchone())
         if row is None:
             return None
         return self._meta_from_row(row)
@@ -255,10 +294,9 @@ class ResultCache:
         if meta is None:
             return None
         wanted = tuple(loops) or meta.hot_loops
-        with self._lock:
-            rows = dict(self._conn.execute(
-                "SELECT loop_name, payload FROM answers"
-                " WHERE version_key = ?", (version_key,)).fetchall())
+        rows = dict(self._with_retry(lambda: self._conn.execute(
+            "SELECT loop_name, payload FROM answers"
+            " WHERE version_key = ?", (version_key,)).fetchall()))
         if any(name not in rows for name in wanted):
             return None
         answers = []
@@ -273,10 +311,9 @@ class ResultCache:
         (Lets a cold cache skip the incremental probe entirely.)"""
         if not lineage_key:
             return False
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT 1 FROM answers WHERE lineage_key = ? LIMIT 1",
-                (lineage_key,)).fetchone()
+        row = self._with_retry(lambda: self._conn.execute(
+            "SELECT 1 FROM answers WHERE lineage_key = ? LIMIT 1",
+            (lineage_key,)).fetchone())
         return row is not None
 
     def lookup_footprints(self, lineage_key: str, loops: Sequence[str],
@@ -297,12 +334,11 @@ class ResultCache:
         if not wanted or not lineage_key:
             return {}
         placeholders = ",".join("?" * len(wanted))
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT loop_name, footprint, footprint_digest, payload,"
-                f" stored_at FROM answers WHERE lineage_key = ?"
-                f" AND loop_name IN ({placeholders})",
-                (lineage_key, *wanted)).fetchall()
+        rows = self._with_retry(lambda: self._conn.execute(
+            "SELECT loop_name, footprint, footprint_digest, payload,"
+            f" stored_at FROM answers WHERE lineage_key = ?"
+            f" AND loop_name IN ({placeholders})",
+            (lineage_key, *wanted)).fetchall())
         best: Dict[str, Tuple[float, FootprintHit]] = {}
         for loop_name, footprint_json, stored_digest, payload, stored_at \
                 in rows:
@@ -365,7 +401,14 @@ class ResultCache:
             rows.append((version_key, a.loop, lineage_key,
                          json.dumps(list(footprint)), digest or "", now,
                          json.dumps(doc, sort_keys=True)))
-        with self._lock:
+        meta_row = (version_key, lineage_key, workload, system, entry,
+                    json.dumps(list(modules)), profile_digest,
+                    json.dumps(list(hot_loops)), now,
+                    json.dumps(dict(hot_fractions), sort_keys=True),
+                    json.dumps(list(executed_functions)),
+                    profile_scope_digest, int(total_instructions))
+
+        def _write():
             # Explicit column lists: on a migrated v1 database the new
             # columns sit *after* payload, so positional VALUES would
             # scramble rows.
@@ -375,13 +418,7 @@ class ResultCache:
                 " hot_loops, created_at, hot_fractions,"
                 " executed_functions, profile_scope_digest,"
                 " total_instructions)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
-                (version_key, lineage_key, workload, system, entry,
-                 json.dumps(list(modules)), profile_digest,
-                 json.dumps(list(hot_loops)), now,
-                 json.dumps(dict(hot_fractions), sort_keys=True),
-                 json.dumps(list(executed_functions)),
-                 profile_scope_digest, int(total_instructions)))
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)", meta_row)
             self._conn.executemany(
                 "INSERT OR REPLACE INTO answers (version_key, loop_name,"
                 " lineage_key, footprint, footprint_digest, stored_at,"
@@ -389,13 +426,17 @@ class ResultCache:
                 rows)
             self._conn.commit()
 
+        self._with_retry(_write)
+
     def invalidate(self, version_key: str) -> None:
-        with self._lock:
+        def _delete():
             self._conn.execute("DELETE FROM meta WHERE version_key = ?",
                                (version_key,))
             self._conn.execute("DELETE FROM answers WHERE version_key = ?",
                                (version_key,))
             self._conn.commit()
+
+        self._with_retry(_delete)
 
     def prune(self, keep_keys: Sequence[str]) -> int:
         """Drop every version key not in ``keep_keys``; returns the
@@ -409,7 +450,8 @@ class ResultCache:
         live version keys.
         """
         keep = sorted(set(keep_keys))
-        with self._lock:
+
+        def _prune():
             self._conn.execute(
                 "CREATE TEMP TABLE IF NOT EXISTS keep_keys"
                 " (version_key TEXT PRIMARY KEY)")
@@ -424,14 +466,93 @@ class ResultCache:
             self._conn.execute(f"DELETE FROM answers WHERE {condition}")
             self._conn.execute("DELETE FROM keep_keys")
             self._conn.commit()
-        return removed
+            return removed
+
+        return self._with_retry(_prune)
+
+    # -- bundles (the tiered-cache transport format) -------------------------
+
+    #: Raw column order shared by export and adopt; values travel
+    #: verbatim (JSON strings stay strings) so footprint digests and
+    #: provenance survive a round-trip through a remote tier exactly.
+    _BUNDLE_META_COLUMNS = (
+        "version_key", "lineage_key", "workload", "system", "entry",
+        "modules", "profile_digest", "hot_loops", "created_at",
+        "hot_fractions", "executed_functions", "profile_scope_digest",
+        "total_instructions")
+    _BUNDLE_ANSWER_COLUMNS = (
+        "version_key", "loop_name", "lineage_key", "footprint",
+        "footprint_digest", "stored_at", "payload")
+
+    def export_bundle(self, version_key: str) -> Optional[Dict]:
+        """One version key's rows as a self-contained JSON-able dict,
+        or ``None`` when the key is absent (e.g. invalidated since)."""
+        meta_cols = ", ".join(self._BUNDLE_META_COLUMNS)
+        answer_cols = ", ".join(self._BUNDLE_ANSWER_COLUMNS)
+
+        def _read():
+            meta = self._conn.execute(
+                f"SELECT {meta_cols} FROM meta WHERE version_key = ?",
+                (version_key,)).fetchone()
+            answers = self._conn.execute(
+                f"SELECT {answer_cols} FROM answers"
+                " WHERE version_key = ? ORDER BY loop_name",
+                (version_key,)).fetchall()
+            return meta, answers
+
+        meta, answers = self._with_retry(_read)
+        if meta is None:
+            return None
+        return {
+            "v": 1,
+            "meta": dict(zip(self._BUNDLE_META_COLUMNS, meta)),
+            "answers": [dict(zip(self._BUNDLE_ANSWER_COLUMNS, row))
+                        for row in answers],
+        }
+
+    def adopt_bundle(self, bundle: Mapping) -> bool:
+        """Install a bundle exported by another host, as if computed
+        locally.  Returns ``False`` (adopting nothing) on an unknown
+        format version or a structurally incomplete bundle — a bad
+        remote payload must degrade to a cache miss, never corrupt L1.
+        """
+        if not isinstance(bundle, Mapping) or bundle.get("v") != 1:
+            return False
+        meta = bundle.get("meta")
+        answers = bundle.get("answers")
+        if not isinstance(meta, Mapping) or not isinstance(answers, list):
+            return False
+        try:
+            meta_row = tuple(meta[c] for c in self._BUNDLE_META_COLUMNS)
+            answer_rows = [
+                tuple(doc[c] for c in self._BUNDLE_ANSWER_COLUMNS)
+                for doc in answers]
+        except (KeyError, TypeError):
+            return False
+        if not isinstance(meta_row[0], str) or not meta_row[0]:
+            return False
+        meta_marks = ",".join("?" * len(self._BUNDLE_META_COLUMNS))
+        answer_marks = ",".join("?" * len(self._BUNDLE_ANSWER_COLUMNS))
+
+        def _write():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta"
+                f" ({', '.join(self._BUNDLE_META_COLUMNS)})"
+                f" VALUES ({meta_marks})", meta_row)
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO answers"
+                f" ({', '.join(self._BUNDLE_ANSWER_COLUMNS)})"
+                f" VALUES ({answer_marks})", answer_rows)
+            self._conn.commit()
+
+        self._with_retry(_write)
+        return True
 
     # -- admin ---------------------------------------------------------------
 
     def keys(self) -> List[str]:
-        with self._lock:
-            return [r[0] for r in self._conn.execute(
-                "SELECT version_key FROM meta ORDER BY created_at").fetchall()]
+        return self._with_retry(lambda: [r[0] for r in self._conn.execute(
+            "SELECT version_key FROM meta ORDER BY created_at").fetchall()])
 
     def close(self) -> None:
         with self._lock:

@@ -46,6 +46,20 @@ class ServiceConfig:
     executor: str = "process"
     #: Directory for the persistent result cache; ``None`` disables it.
     cache_dir: Optional[str] = None
+    #: Remote L2 cache tier URL (``redis://host:port``); requires
+    #: ``cache_dir`` (the sqlite L1) and wraps it in a
+    #: :class:`repro.cachetier.TieredCache` with read-through,
+    #: write-behind, and graceful degradation.  ``None`` stays L1-only.
+    cache_l2: Optional[str] = None
+    #: Socket deadline for one L2 operation; a blown deadline counts a
+    #: typed error and opens the degradation cooldown.
+    l2_timeout_s: float = 1.0
+    #: Seconds the tier stays demoted to L1-only after an L2 failure
+    #: before the next touch retries the remote.
+    l2_reconnect_s: float = 5.0
+    #: Bound on the write-behind queue; overflow sheds the oldest
+    #: pending publication (counted, never blocking).
+    l2_write_queue: int = 64
     #: Wall-clock deadline for one shard; overdue shards degrade to
     #: conservative answers.  ``None`` waits indefinitely.
     shard_timeout_s: Optional[float] = None
@@ -97,9 +111,9 @@ class DependenceService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
-        self.cache = (ResultCache(self.config.cache_dir)
-                      if self.config.cache_dir else None)
+        # Telemetry first: the cache tiers report into its registry.
         self.telemetry = ServiceTelemetry(max(1, self.config.workers))
+        self.cache = self._build_cache()
         self.scheduler = BatchScheduler(
             workers=self.config.workers,
             executor=self.config.executor,
@@ -141,6 +155,27 @@ class DependenceService:
         self.close()
 
     # -- internals -----------------------------------------------------------
+
+    def _build_cache(self):
+        """L1-only :class:`ResultCache`, or a :class:`TieredCache`
+        when ``cache_l2`` names a remote tier."""
+        if not self.config.cache_dir:
+            if self.config.cache_l2:
+                raise ValueError(
+                    "ServiceConfig.cache_l2 requires cache_dir "
+                    "(the local sqlite L1 the remote tier backs)")
+            return None
+        l1 = ResultCache(self.config.cache_dir,
+                         registry=self.telemetry.registry)
+        if not self.config.cache_l2:
+            return l1
+        from ..cachetier import TieredCache, backend_from_url
+        backend = backend_from_url(self.config.cache_l2,
+                                   timeout_s=self.config.l2_timeout_s)
+        return TieredCache(l1, backend,
+                           registry=self.telemetry.registry,
+                           reconnect_s=self.config.l2_reconnect_s,
+                           max_queue=self.config.l2_write_queue)
 
     def _with_default_config(self, request: AnalysisRequest
                              ) -> AnalysisRequest:

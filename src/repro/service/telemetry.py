@@ -61,6 +61,16 @@ _COUNTERS = (
     "tasks_cancelled",
     "fleet_rebuilds",
     "fleet_scale_downs",
+    # Tiered result cache (repro.cachetier): per-tier attribution.
+    "l1_hits",
+    "l1_misses",
+    "l1_lock_retries",
+    "l2_hits",
+    "l2_misses",
+    "l2_writes",
+    "l2_writes_shed",
+    "l2_writes_dropped",
+    "l2_errors",
 )
 
 
@@ -114,6 +124,20 @@ class TelemetrySnapshot:
     fleet_rebuilds: int = 0
     #: Idle-TTL worker-fleet teardowns (the daemon's scale-down).
     fleet_scale_downs: int = 0
+    #: Tiered result cache: local sqlite (L1) exact-lookup traffic.
+    l1_hits: int = 0
+    l1_misses: int = 0
+    #: Single retries after sqlite lock contention (multi-process L1).
+    l1_lock_retries: int = 0
+    #: Remote tier (L2): read-through hits/misses, write-behind
+    #: publishes, queue-overflow sheds, degraded-drop counts, and
+    #: typed failures (per-type series live in ``metrics``).
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_writes: int = 0
+    l2_writes_shed: int = 0
+    l2_writes_dropped: int = 0
+    l2_errors: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -215,6 +239,15 @@ class ServiceTelemetry:
             tasks_cancelled=value("tasks_cancelled"),
             fleet_rebuilds=value("fleet_rebuilds"),
             fleet_scale_downs=value("fleet_scale_downs"),
+            l1_hits=value("l1_hits"),
+            l1_misses=value("l1_misses"),
+            l1_lock_retries=value("l1_lock_retries"),
+            l2_hits=value("l2_hits"),
+            l2_misses=value("l2_misses"),
+            l2_writes=value("l2_writes"),
+            l2_writes_shed=value("l2_writes_shed"),
+            l2_writes_dropped=value("l2_writes_dropped"),
+            l2_errors=value("l2_errors"),
         )
 
 
@@ -271,4 +304,16 @@ def format_report(snap: TelemetrySnapshot) -> str:
             f"  fleet            {snap.tasks_cancelled} tasks cancelled, "
             f"{snap.fleet_rebuilds} rebuilds, "
             f"{snap.fleet_scale_downs} idle scale-downs")
+    tier_traffic = (snap.l1_hits + snap.l1_misses + snap.l2_hits
+                    + snap.l2_misses + snap.l2_writes + snap.l2_errors)
+    if tier_traffic:
+        lines.append(
+            f"  cache tiers      L1 {snap.l1_hits} hits / "
+            f"{snap.l1_misses} misses "
+            f"({snap.l1_lock_retries} lock retries); "
+            f"L2 {snap.l2_hits} hits / {snap.l2_misses} misses, "
+            f"{snap.l2_writes} writes "
+            f"({snap.l2_writes_shed} shed, "
+            f"{snap.l2_writes_dropped} dropped), "
+            f"{snap.l2_errors} errors")
     return "\n".join(lines)

@@ -285,15 +285,24 @@ def _reachable_structs(module, function_names, global_names):
 
 def executed_function_scope(module, profiles, entry: str
                             ) -> Tuple[str, ...]:
-    """Every function whose content could influence the training run.
+    """Every entity whose content could influence the training run.
 
-    Covers the entry, every defined function with at least one
+    Functions: the entry, every defined function with at least one
     executed block, and every declaration (builtin calls emit no block
     counts, and a declaration gaining a body must invalidate the
-    profile).  An edit whose changed fingerprints are all *outside*
-    this set provably cannot change the deterministic interpretation,
-    so the prior profile's hot-loop roster and time fractions can be
-    reused without re-interpreting the module.
+    profile).  On top of those, the scope names the header entities
+    deterministic interpretation actually reads — ``global:`` entries
+    for globals the executed functions reference (their initializers
+    seed memory) and ``struct:`` entries for layouts reachable from
+    executed types — plus the ``meta:scoped`` sentinel, so the scope
+    digest (:func:`repro.service.requests.loop_footprint_digest`) no
+    longer folds in the whole-module header hash.  An edit adding an
+    *unrelated* global or struct leaves every entry byte-identical:
+    the prior profile's hot-loop roster and time fractions reuse with
+    zero re-interpretation.  A brand-new function cannot affect the
+    run (nothing executed references it), and a declaration gaining a
+    body changes its own fingerprint — both stay sound without the
+    header.
     """
     names = {entry}
     for fn in module.functions.values():
@@ -301,7 +310,21 @@ def executed_function_scope(module, profiles, entry: str
             names.add(fn.name)
         elif any(profiles.edge.block_count(bb) for bb in fn.blocks):
             names.add(fn.name)
-    return tuple(sorted(names))
+    referenced = set()
+    for fname in names:
+        fn = module.functions.get(fname)
+        if fn is None or fn.is_declaration:
+            continue
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, GlobalVariable):
+                    referenced.add(op.name)
+    entries = set(names)
+    entries.update(f"global:{g}" for g in referenced)
+    entries.update(f"struct:{s}"
+                   for s in _reachable_structs(module, names, referenced))
+    entries.add(SCOPED_FOOTPRINT_SENTINEL)
+    return tuple(sorted(entries))
 
 
 def build_system(name: str, module, context, profiles,

@@ -783,6 +783,37 @@ class TestScopedFootprints:
         assert warm.telemetry.module_evals == 0
         assert identities(warm.flat()) == identities(cold.flat())
 
+    def _single(self, cache_dir: str, source: str):
+        config = ServiceConfig(workers=0, executor="inline",
+                               cache_dir=cache_dir)
+        with DependenceService(config) as service:
+            return service.run_batch(
+                [AnalysisRequest("scoped", source, system="scaf")])
+
+    def test_unused_global_edit_reuses_profile_roster(self, tmp_path):
+        """The executed-scope digest is itself scoped now: a global the
+        training run never touched does not perturb it, so the prior
+        hot-loop roster is reused with zero re-interpretation."""
+        base = SCOPED_LOOPS_SOURCE.format(extra="", iters=60)
+        cold = self._single(str(tmp_path), base)
+        reset_prepared_cache()
+        edited = SCOPED_LOOPS_SOURCE.format(
+            extra="global @pad : i32 = 7\n", iters=60)
+        warm = self._single(str(tmp_path), edited)
+        assert warm.telemetry.profile_reuses == 1
+        assert warm.telemetry.module_evals == 0
+        assert identities(warm.flat()) == identities(cold.flat())
+
+    def test_touched_global_edit_reprofiles(self, tmp_path):
+        """Editing a global the training run *does* read must defeat
+        roster reuse — the digest covers every scanned entity."""
+        base = SCOPED_LOOPS_SOURCE.format(extra="", iters=60)
+        self._single(str(tmp_path), base)
+        reset_prepared_cache()
+        edited = base.replace("@acc0 : i32 = 0", "@acc0 : i32 = 5")
+        dirty = self._single(str(tmp_path), edited)
+        assert dirty.telemetry.profile_reuses == 0
+
     def test_unused_struct_edit_reuses_all_sixteen_loops(self, tmp_path):
         cold = self._batch(str(tmp_path))
         reset_prepared_cache()
