@@ -88,6 +88,10 @@ class TieredCache:
         self._l2_put_s = reg.histogram("l2_put_s")
 
         self._down_until = 0.0
+        #: Optional lifecycle-event sink (``fn(name, **fields)``) —
+        #: the daemon's ``--log-json`` plugs in here so L2 cooldown
+        #: entry/exit show up as structured events.
+        self.on_event: Optional[callable] = None
         #: lineage_key -> monotonic deadline of the last successful pull.
         self._pulled_lineages: Dict[str, float] = {}
         self._cv = threading.Condition()
@@ -113,8 +117,20 @@ class TieredCache:
         kind = exc.kind if isinstance(exc, L2Error) else "io"
         self._l2_errors.inc()
         self.registry.counter("l2_errors", type=kind).inc()
+        entering = not self._l2_down()
         self._down_until = time.monotonic() + self.reconnect_s
         self._l2_degraded.set(1)
+        if entering:
+            self._emit("l2_cooldown_enter", kind=kind,
+                       reconnect_s=self.reconnect_s)
+
+    def _emit(self, name: str, **fields) -> None:
+        sink = self.on_event
+        if sink is not None:
+            try:
+                sink(name, **fields)
+            except Exception:
+                pass  # logging must never fail a cache call
 
     def _l2_call(self, fn, histogram=None):
         """Run one backend call; returns its result, or ``_DOWN`` when
@@ -132,6 +148,8 @@ class TieredCache:
             return _DOWN
         if histogram is not None:
             histogram.record(time.perf_counter() - started)
+        if self._l2_degraded.value:
+            self._emit("l2_cooldown_exit")
         self._l2_degraded.set(0)
         return result
 
@@ -226,6 +244,18 @@ class TieredCache:
         # L1 only: L2 is fleet-shared, and another daemon's live keys
         # are not ours to expire.
         return self.l1.prune(keep_keys)
+
+    def record_durations(self, version_key: str, lineage_key: str,
+                         durations: Mapping[str, float]) -> None:
+        # L1 only: measured wall times are host-specific (this
+        # machine's workers), so they never publish to the shared L2.
+        self.l1.record_durations(version_key, lineage_key, durations)
+
+    def lookup_durations(self, lineage_key: str) -> Dict[str, float]:
+        return self.l1.lookup_durations(lineage_key)
+
+    def lookup_durations_exact(self, version_key: str) -> Dict[str, float]:
+        return self.l1.lookup_durations_exact(version_key)
 
     # -- write-behind --------------------------------------------------------
 

@@ -23,6 +23,11 @@ Commands
 ``stats``    summarize a trace file produced by ``analyze``/``batch``
              ``--trace`` (per-module attribution, span structure), or
              — with ``--daemon ADDR`` — a live daemon over its socket
+             (``--flight`` dumps its flight recorder, ``--metrics``
+             its Prometheus exposition text)
+``top``      refreshing terminal dashboard over a running daemon:
+             recent rates, windowed latency percentiles, per-client
+             attribution, flight-recorder occupancy
 
 ``analyze`` and ``batch`` accept ``--trace out.json`` to record an
 end-to-end span timeline (``repro.obs``): Chrome trace-event format
@@ -520,10 +525,19 @@ def cmd_serve(args) -> int:
         addr=addr, service=service,
         max_queue_depth=args.max_queue_depth,
         max_client_jobs=args.max_client_jobs,
-        drain_timeout_s=args.drain_timeout))
+        drain_timeout_s=args.drain_timeout,
+        metrics_port=args.metrics_port,
+        window_s=args.window,
+        slow_threshold_s=args.slow_threshold,
+        flight_capacity=args.flight_capacity,
+        flight_dump_path=args.flight_dump,
+        log_json=args.log_json))
     print(f"repro daemon: serving at {addr} "
           f"({args.workers} workers, {args.executor} executor)",
           flush=True)
+    if args.metrics_port is not None:
+        print(f"repro daemon: metrics on http://127.0.0.1:"
+              f"{args.metrics_port}/metrics (+/healthz)", flush=True)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
@@ -602,6 +616,13 @@ def _stats_via_daemon(args, addr: str) -> int:
 
     try:
         with DaemonClient(addr) as client:
+            if getattr(args, "flight", False):
+                print(json.dumps(client.dump(), indent=2,
+                                 default=str))
+                return 0
+            if getattr(args, "metrics", False):
+                sys.stdout.write(client.metrics())
+                return 0
             stats = client.stats()
     except (OSError, ValueError, ConnectionError, DaemonError) as exc:
         print(f"stats: no daemon at {addr} ({exc})", file=sys.stderr)
@@ -628,7 +649,58 @@ def _stats_via_daemon(args, addr: str) -> int:
           + (", draining" if d["draining"] else ""))
     print()
     print(format_report(_snapshot_from_dict(stats["telemetry"])))
+    clients = stats.get("clients") or {}
+    if clients:
+        print()
+        print("per-client attribution")
+        print("----------------------")
+        for tag in sorted(clients):
+            c = clients[tag]
+            p95 = c.get("batch_latency", {}).get("p95_s", 0.0)
+            print(f"  {tag:<16s} {int(c.get('requests', 0))} requests, "
+                  f"{int(c.get('answers', 0))} answers, "
+                  f"{int(c.get('batches', 0))} batches, "
+                  f"{int(c.get('sheds', 0))} sheds, "
+                  f"batch p95 {p95 * 1e3:.1f}ms")
+    flight = stats.get("flight") or {}
+    if flight.get("recorded"):
+        print()
+        print(f"flight recorder: {flight['spans']}/{flight['capacity']} "
+              f"spans held, {flight['slow']} slow "
+              f"(threshold {flight['slow_threshold_s']:.2f}s), "
+              f"{flight['evicted']} evicted "
+              f"(--flight dumps the ring as JSON)")
     return 0
+
+
+def cmd_top(args) -> int:
+    """``repro top``: a refreshing terminal dashboard over a live
+    daemon's ``stats`` verb."""
+    from .daemon import DaemonClient, DaemonError
+    from .obs import render_top
+
+    addr = _daemon_addr(args) or _default_daemon_addr()
+    try:
+        while True:
+            try:
+                with DaemonClient(addr, timeout_s=5.0) as client:
+                    stats = client.stats()
+            except (OSError, ValueError, ConnectionError,
+                    DaemonError) as exc:
+                print(f"top: no daemon at {addr} ({exc})",
+                      file=sys.stderr)
+                return 1
+            frame = render_top(stats)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home, then the frame: flicker-free enough
+            # without curses.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(max(0.2, args.interval))
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_stats(args) -> int:
@@ -849,6 +921,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit (all sessions, one tree)")
     p_serve.add_argument("--trace-sample", type=int, default=1,
                          metavar="N")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve GET /metrics (Prometheus text) "
+                              "and /healthz over plain HTTP on this "
+                              "port (0 binds an ephemeral port)")
+    p_serve.add_argument("--window", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="rolling window for recent rates and "
+                              "latency percentiles (default 60s)")
+    p_serve.add_argument("--slow-threshold", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="tasks at or above this latency land in "
+                              "the flight recorder's slow-query log")
+    p_serve.add_argument("--flight-capacity", type=int, default=256,
+                         metavar="N",
+                         help="flight-recorder ring size (completed "
+                              "query spans held for dumps)")
+    p_serve.add_argument("--flight-dump", default=None, metavar="PATH",
+                         help="auto-dump the flight recorder here on "
+                              "task failure/timeout and on drain")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit NDJSON lifecycle events (sheds, "
+                              "recycles, L2 cooldowns, drain) on "
+                              "stderr")
     p_serve.add_argument("--no-compile", action="store_true",
                          help="force the tree-walking interpreter "
                               "(skip closure compilation)")
@@ -895,7 +991,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--daemon", default=None, metavar="ADDR",
                          help="summarize a live daemon over its "
                               "socket instead of a trace file")
+    p_stats.add_argument("--flight", action="store_true",
+                         help="with --daemon: print the flight "
+                              "recorder's dump (recent + slow query "
+                              "spans) as JSON")
+    p_stats.add_argument("--metrics", action="store_true",
+                         help="with --daemon: print the Prometheus "
+                              "exposition text")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running daemon")
+    p_top.add_argument("--daemon", default=None, metavar="ADDR",
+                       help="daemon address (default REPRO_DAEMON or "
+                            "the default unix socket)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period (default 2s)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit (no screen "
+                            "clearing; scripts and tests)")
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -43,8 +43,10 @@ class DaemonClient:
     """One session against a running ``repro serve``."""
 
     def __init__(self, addr: str = DEFAULT_ADDR,
-                 timeout_s: Optional[float] = None):
+                 timeout_s: Optional[float] = None,
+                 tag: Optional[str] = None):
         self.addr = addr
+        self.tag = tag
         kind, target = protocol.parse_addr(addr)
         if kind == "unix":
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -57,6 +59,9 @@ class DaemonClient:
         # unless the caller bounded us.
         self._sock.settimeout(timeout_s)
         self._rfile = self._sock.makefile("rb")
+        if tag:
+            # Register the friendly tag for per-client attribution.
+            self._rpc({"verb": "hello", "tag": tag})
 
     # -- plumbing ------------------------------------------------------------
 
@@ -127,6 +132,14 @@ class DaemonClient:
 
     def stats(self) -> Dict:
         return self._rpc({"verb": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus exposition text (protocol v2)."""
+        return self._rpc({"verb": "metrics"})["text"]
+
+    def dump(self) -> Dict:
+        """The daemon's flight-recorder dump (protocol v2)."""
+        return self._rpc({"verb": "dump"})["dump"]
 
     def recycle(self) -> Dict:
         return self._rpc({"verb": "recycle"})

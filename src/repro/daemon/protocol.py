@@ -19,6 +19,20 @@ bugs (``INTERNAL``).
 Addresses are ``unix:/path/to.sock`` or ``host:port``; a bare path
 (anything containing ``/`` or ending in ``.sock``) is taken as a Unix
 socket for convenience.
+
+Protocol v2 adds two observability verbs (v1 clients are unaffected —
+every v1 verb is unchanged):
+
+- ``{"verb": "metrics"}`` -> ``{"ok": true, "text": <Prometheus
+  exposition text>, "content_type": ...}`` — the same document the
+  optional ``--metrics-port`` HTTP listener serves at ``/metrics``;
+- ``{"verb": "dump"}`` -> ``{"ok": true, "dump": {...}}`` — the
+  flight recorder's ring of recent query spans plus the slow-query
+  log (see :class:`repro.obs.live.FlightRecorder`).
+
+``hello`` may now carry ``{"tag": <name>}``: a friendly client tag
+the daemon uses to label this session's per-client metric series
+instead of the ephemeral session id.
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 from ..core.orchestrator import OrchestratorConfig
 from ..service.requests import AnalysisRequest
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Default rendezvous for ``repro serve`` / ``repro submit``.
 DEFAULT_ADDR = "unix:.repro-daemon.sock"

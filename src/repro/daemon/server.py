@@ -26,18 +26,33 @@ engine's heap from unbounded growth).  A draining daemon answers
 ``SHUTTING_DOWN``.  Client disconnect sweeps the session's queued
 tickets out of the engine (releasing its queue slots) without touching
 other sessions' work.
+
+The daemon also carries the live ops plane (DESIGN.md §11): a
+:class:`~repro.obs.live.LiveOps` attached to the service telemetry
+feeds every delivered task into a rolling window and a flight
+recorder; the ``metrics`` verb (and the optional ``--metrics-port``
+plain-HTTP listener's ``/metrics``) renders the whole registry as
+Prometheus exposition text, ``/healthz`` flips to 503 while
+draining, ``dump`` snapshots the flight recorder, and ``--log-json``
+streams NDJSON lifecycle events (sheds, recycles, L2 cooldowns,
+drain) to stderr.  Per-client series (``client_requests{client=..}``
+et al.) are aggregated into ``stats()["clients"]``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures as cf
+import json
 import os
+import sys
 import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.expo import render_prometheus, window_gauges
+from ..obs.live import JsonLogger, LiveOps
 from ..obs.trace import current_tracer
 from ..service.answers import loop_answer_to_dict
 from ..service.service import DependenceService, ServiceConfig
@@ -69,6 +84,23 @@ class DaemonConfig:
     #: Threads available for blocking ``run_batch`` calls; bounds the
     #: number of batches the daemon advances concurrently.
     job_threads: int = 16
+    #: When set, a plain-HTTP listener serves ``GET /metrics``
+    #: (Prometheus text) and ``GET /healthz`` on this port (0 binds
+    #: an ephemeral port, resolved in :attr:`metrics_addr`).
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    #: Rolling-window geometry for recent-traffic rates/percentiles.
+    window_s: float = 60.0
+    window_bucket_s: float = 1.0
+    #: Flight recorder: ring capacity and the slow-query threshold.
+    flight_capacity: int = 256
+    slow_threshold_s: float = 1.0
+    #: When set, the flight recorder dumps here automatically on task
+    #: failure/timeout and on drain (and ``repro stats --flight``
+    #: reads the same data live over the socket).
+    flight_dump_path: Optional[str] = None
+    #: Emit NDJSON lifecycle events (one object per line) on stderr.
+    log_json: bool = False
 
 
 class _Job:
@@ -125,6 +157,25 @@ class AnalysisDaemon:
         self._root_span = None
         #: The actually-bound address (resolves TCP port 0).
         self.bound_addr: str = self.config.addr
+        #: Friendly per-session client tags (``hello`` with ``tag``).
+        self._session_tags: Dict[str, str] = {}
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        #: The actually-bound metrics listener (resolves port 0).
+        self.metrics_addr: Optional[str] = None
+        self.log = JsonLogger(sys.stderr if self.config.log_json
+                              else None)
+        self.live = LiveOps(
+            window_s=self.config.window_s,
+            bucket_s=self.config.window_bucket_s,
+            flight_capacity=self.config.flight_capacity,
+            slow_threshold_s=self.config.slow_threshold_s,
+            auto_dump_path=self.config.flight_dump_path,
+            log=self.log)
+        self.service.telemetry.attach_live(self.live)
+        cache = getattr(self.service, "cache", None)
+        if cache is not None and hasattr(cache, "on_event"):
+            # TieredCache: L2 cooldown entry/exit becomes log events.
+            cache.on_event = self.log.event
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -172,12 +223,26 @@ class AnalysisDaemon:
                 self._handle_session, host=host, port=port)
             bound = self._server.sockets[0].getsockname()
             self.bound_addr = f"{bound[0]}:{bound[1]}"
+        if self.config.metrics_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, host=self.config.metrics_host,
+                port=self.config.metrics_port)
+            http_bound = self._http_server.sockets[0].getsockname()
+            self.metrics_addr = f"{http_bound[0]}:{http_bound[1]}"
+        self.log.event("daemon_start", addr=self.bound_addr,
+                       pid=os.getpid(),
+                       metrics_addr=self.metrics_addr,
+                       workers=self.config.service.workers,
+                       executor=self.config.service.executor)
         self._ready.set()
         try:
             await self._stopped.wait()
         finally:
             self._server.close()
             await self._server.wait_closed()
+            if self._http_server is not None:
+                self._http_server.close()
+                await self._http_server.wait_closed()
             if kind == "unix" and os.path.exists(target):
                 try:
                     os.unlink(target)
@@ -187,6 +252,8 @@ class AnalysisDaemon:
             if self._root_span is not None:
                 self._root_span.end(jobs=self._jobs_completed)
             self.service.close()
+            self.log.event("daemon_exit", jobs=self._jobs_completed,
+                           sheds=self._jobs_shed)
 
     # -- session handling ----------------------------------------------------
 
@@ -217,6 +284,7 @@ class AnalysisDaemon:
             pass
         finally:
             self._disconnect(session)
+            self._session_tags.pop(session, None)
             try:
                 writer.close()
             except Exception:
@@ -246,6 +314,9 @@ class AnalysisDaemon:
         verb = message.get("verb")
         try:
             if verb in ("ping", "hello"):
+                tag = message.get("tag")
+                if verb == "hello" and tag:
+                    self._session_tags[session] = str(tag)[:64]
                 await self._send(writer, protocol.ok(
                     server="repro.daemon",
                     protocol=protocol.PROTOCOL_VERSION,
@@ -260,8 +331,18 @@ class AnalysisDaemon:
                 await self._verb_cancel(message, writer)
             elif verb == "stats":
                 await self._send(writer, protocol.ok(stats=self._stats()))
+            elif verb == "metrics":
+                await self._send(writer, protocol.ok(
+                    text=self._render_metrics(),
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8"))
+            elif verb == "dump":
+                await self._send(writer, protocol.ok(
+                    dump=self.live.recorder.dump(reason="verb")))
             elif verb == "recycle":
                 inflight = self.service.scheduler.engine.recycle()
+                self.log.event("worker_recycle", session=session,
+                               inflight_on_old_fleet=inflight)
                 await self._send(writer, protocol.ok(
                     recycled=True, inflight_on_old_fleet=inflight))
             elif verb == "shutdown":
@@ -285,7 +366,7 @@ class AnalysisDaemon:
             return
         active = self._session_jobs.get(session, set())
         if len(active) >= self.config.max_client_jobs:
-            self._jobs_shed += 1
+            self._shed(session, "client_window")
             await self._send(writer, protocol.error(
                 protocol.ERR_BUSY,
                 f"client window full ({len(active)} jobs in flight)",
@@ -293,7 +374,7 @@ class AnalysisDaemon:
             return
         depth = self.service.scheduler.engine.depth()
         if depth >= self.config.max_queue_depth:
-            self._jobs_shed += 1
+            self._shed(session, "queue_depth")
             await self._send(writer, protocol.error(
                 protocol.ERR_BUSY,
                 f"queue full (depth {depth})", retry=True))
@@ -313,6 +394,9 @@ class AnalysisDaemon:
         job = _Job(f"j{self._job_serial}", session, requests, self._loop)
         self._jobs[job.id] = job
         self._session_jobs.setdefault(session, set()).add(job.id)
+        registry = self.service.telemetry.registry
+        registry.counter("client_requests",
+                         client=self._tag(session)).inc(len(requests))
         self._loop.run_in_executor(self._pool, self._run_job, job)
         await self._send(writer, protocol.ok(
             job=job.id, requests=len(requests)))
@@ -417,7 +501,34 @@ class AnalysisDaemon:
         active = self._session_jobs.get(job.session)
         if active is not None:
             active.discard(job.id)
+        tag = self._tag(job.session)
+        latency_s = time.perf_counter() - job.submitted_at
+        registry = self.service.telemetry.registry
+        registry.counter("client_batches", client=tag).inc()
+        if job.answers:
+            registry.counter("client_answers", client=tag).inc(
+                sum(len(group) for group in job.answers))
+        registry.histogram(
+            "client_batch_latency_s", client=tag).record(latency_s)
+        self.live.observe_job(client=tag, latency_s=latency_s,
+                              status=job.status)
+        self.log.event("job_done", job=job.id, session=job.session,
+                       client=tag, status=job.status,
+                       latency_s=latency_s,
+                       requests=len(job.requests))
         job.done.set()
+
+    def _shed(self, session: str, kind: str) -> None:
+        """One admission shed: global count, per-client series, and
+        the live window/log."""
+        self._jobs_shed += 1
+        tag = self._tag(session)
+        self.service.telemetry.registry.counter(
+            "client_sheds", client=tag).inc()
+        self.live.observe_shed(kind, client=tag)
+
+    def _tag(self, session: str) -> str:
+        return self._session_tags.get(session, session)
 
     # -- shutdown ------------------------------------------------------------
 
@@ -427,6 +538,9 @@ class AnalysisDaemon:
         if self._draining:
             return
         self._draining = True
+        self.log.event("drain_begin",
+                       jobs_active=sum(1 for j in self._jobs.values()
+                                       if j.status == JOB_RUNNING))
         self._drain_task = asyncio.ensure_future(self._drain_and_exit())
 
     async def _drain_and_exit(self) -> None:
@@ -441,6 +555,15 @@ class AnalysisDaemon:
                 await asyncio.wait_for(job.done.wait(), timeout=remaining)
             except asyncio.TimeoutError:
                 break
+        stranded = sum(1 for j in self._jobs.values()
+                       if j.status == JOB_RUNNING)
+        self.log.event("drain_end", stranded=stranded)
+        if self.config.flight_dump_path:
+            try:
+                self.live.recorder.dump_to_file(
+                    self.config.flight_dump_path, reason="drain")
+            except OSError:
+                pass  # best effort: a full disk must not block exit
         self._stopped.set()
 
     # -- stats ---------------------------------------------------------------
@@ -467,6 +590,129 @@ class AnalysisDaemon:
                 "queue_depth": self.service.scheduler.engine.depth(),
                 "workers": self.config.service.workers,
                 "executor": self.config.service.executor,
+                "metrics_addr": self.metrics_addr,
             },
             "telemetry": doc,
+            "window": self.live.window.snapshot(),
+            "flight": self.live.recorder.counts(),
+            "clients": self._client_stats(),
         }
+
+    def _client_stats(self) -> dict:
+        """Per-client attribution: fold the labeled ``client_*``
+        registry series into one document per tag."""
+        registry = self.service.telemetry.registry
+        clients: Dict[str, dict] = {}
+
+        def _entry(label_part: str) -> dict:
+            tag = label_part.partition("=")[2]
+            return clients.setdefault(tag, {
+                "requests": 0, "answers": 0, "sheds": 0, "batches": 0,
+            })
+
+        for name, field_name in (("client_requests", "requests"),
+                                 ("client_answers", "answers"),
+                                 ("client_sheds", "sheds"),
+                                 ("client_batches", "batches")):
+            for label_part, value in registry.series(name).items():
+                _entry(label_part)[field_name] = value
+        for label_part, hist in registry.histogram_series(
+                "client_batch_latency_s").items():
+            _entry(label_part)["batch_latency"] = hist.summary()
+        return clients
+
+    def _render_metrics(self) -> str:
+        """The whole observable state as Prometheus exposition text:
+        the service registry plus daemon bookkeeping and the rolling
+        window's rates/percentiles (as plain gauges)."""
+        extra_gauges = dict(window_gauges(self.live.window.snapshot()))
+        active = sum(1 for j in self._jobs.values()
+                     if j.status == JOB_RUNNING)
+        flight = self.live.recorder.counts()
+        extra_gauges.update({
+            "daemon_uptime_s":
+                time.perf_counter() - self._started_at,
+            "daemon_sessions": float(len(self._session_jobs)),
+            "daemon_jobs_active": float(active),
+            "daemon_queue_depth":
+                float(self.service.scheduler.engine.depth()),
+            "daemon_draining": 1.0 if self._draining else 0.0,
+            "flight_spans": float(flight["spans"]),
+            "flight_slow": float(flight["slow"]),
+            "flight_evicted": float(flight["evicted"]),
+        })
+        extra_counters = {
+            "daemon_jobs_completed": float(self._jobs_completed),
+            "daemon_jobs_shed": float(self._jobs_shed),
+        }
+        return render_prometheus(
+            self.service.telemetry.registry.snapshot(),
+            extra_counters=extra_counters,
+            extra_gauges=extra_gauges)
+
+    # -- plain-HTTP metrics listener -----------------------------------------
+
+    def _health(self) -> tuple:
+        """``(status_code, body_dict)`` for ``GET /healthz``: 200
+        while serving, 503 once draining (so load balancers and
+        scrape targets fall off before the socket closes)."""
+        status = 503 if self._draining else 200
+        return status, {
+            "status": "draining" if self._draining else "ok",
+            "addr": self.bound_addr,
+            "pid": os.getpid(),
+            "uptime_s": time.perf_counter() - self._started_at,
+            "jobs_active": sum(1 for j in self._jobs.values()
+                               if j.status == JOB_RUNNING),
+        }
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """A deliberately tiny HTTP/1.0-style responder: enough for
+        ``GET /metrics`` and ``GET /healthz`` from Prometheus, curl,
+        and health checkers — nothing else."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            while True:  # drain headers until the blank line
+                header = await asyncio.wait_for(
+                    reader.readline(), timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                status, ctype, body = (
+                    405, "text/plain; charset=utf-8",
+                    b"method not allowed\n")
+            elif path == "/metrics":
+                status = 200
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = self._render_metrics().encode("utf-8")
+            elif path == "/healthz":
+                status, doc = self._health()
+                ctype = "application/json"
+                body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+            else:
+                status, ctype, body = (
+                    404, "text/plain; charset=utf-8", b"not found\n")
+            reason = {200: "OK", 404: "Not Found",
+                      405: "Method Not Allowed",
+                      503: "Service Unavailable"}.get(status, "OK")
+            writer.write(
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass

@@ -8,6 +8,11 @@ timelines (DESIGN.md §6):
   structural validation;
 - :mod:`metrics` — :class:`MetricsRegistry` (labeled counters,
   gauges, and the generalized :class:`LatencyHistogram`);
+- :mod:`expo` — Prometheus text-format exposition of registry
+  snapshots plus the minimal parser the CI smoke validates with;
+- :mod:`live` — the daemon's live ops plane (DESIGN.md §11):
+  rolling-window rates/percentiles, the flight recorder, NDJSON
+  lifecycle logging, and the ``repro top`` frame renderer;
 - :mod:`attribution` — fold a trace into the paper's per-module
   "queries resolved / precision won / time spent" tables;
 - :mod:`export` — JSONL and Chrome trace-event (Perfetto) writers
@@ -32,7 +37,27 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from .expo import (
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+    window_gauges,
+)
+from .live import (
+    FlightRecorder,
+    JsonLogger,
+    LiveOps,
+    RollingWindow,
+    render_top,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    parse_series_key,
+    series_key,
+)
 from .stats import summarize_trace, trace_document
 from .trace import (
     NOOP,
@@ -48,11 +73,15 @@ from .trace import (
 __all__ = [
     "AttributionReport",
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "JsonLogger",
     "LatencyHistogram",
+    "LiveOps",
     "MetricsRegistry",
     "ModuleAttribution",
     "NOOP",
+    "RollingWindow",
     "Span",
     "TraceContext",
     "TraceSpec",
@@ -61,12 +90,19 @@ __all__ = [
     "load_jsonl",
     "load_trace",
     "load_trace_events",
+    "parse_prometheus",
+    "parse_series_key",
     "render_attribution",
+    "render_prometheus",
+    "render_top",
+    "sample_value",
+    "series_key",
     "set_tracer",
     "span_index",
     "summarize_trace",
     "trace_document",
     "validate_spans",
+    "window_gauges",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "parse_series_key",
     "series_key",
 ]
 
@@ -163,6 +164,29 @@ def series_key(name: str, labels: Mapping[str, str]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_key`: ``"a{k=v,x=y}"`` ->
+    ``("a", {"k": "v", "x": "y"})``.
+
+    Label *values* are split on the first ``=`` of each
+    comma-separated part, so values may themselves contain ``=`` but
+    not ``,`` or ``}`` — the same restriction :func:`series_key`
+    imposes by construction.
+    """
+    if not key.endswith("}"):
+        return key, {}
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    labels: Dict[str, str] = {}
+    inner = key[brace + 1:-1]
+    if inner:
+        for part in inner.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return key[:brace], labels
+
+
 class MetricsRegistry:
     """Thread-safe instrument registry with labeled series."""
 
@@ -212,11 +236,21 @@ class MetricsRegistry:
     def series(self, name: str) -> Dict[str, float]:
         """Every labeled counter series of one family, by label part."""
         prefix = name + "{"
-        out = {}
-        for key, counter in self._counters.items():
-            if key.startswith(prefix) and key.endswith("}"):
-                out[key[len(prefix):-1]] = counter.value
-        return out
+        with self._lock:
+            items = list(self._counters.items())
+        return {key[len(prefix):-1]: counter.value
+                for key, counter in items
+                if key.startswith(prefix) and key.endswith("}")}
+
+    def histogram_series(self, name: str) -> Dict[str, LatencyHistogram]:
+        """Every labeled histogram series of one family, by label
+        part (the per-client attribution read in the daemon)."""
+        prefix = name + "{"
+        with self._lock:
+            items = list(self._histograms.items())
+        return {key[len(prefix):-1]: hist
+                for key, hist in items
+                if key.startswith(prefix) and key.endswith("}")}
 
     # -- snapshot/merge ------------------------------------------------------
 

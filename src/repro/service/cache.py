@@ -102,6 +102,15 @@ CREATE TABLE IF NOT EXISTS answers (
     payload          TEXT NOT NULL,
     PRIMARY KEY (version_key, loop_name)
 );
+CREATE TABLE IF NOT EXISTS durations (
+    version_key TEXT NOT NULL,
+    loop_name   TEXT NOT NULL,
+    lineage_key TEXT NOT NULL DEFAULT '',
+    duration_s  REAL NOT NULL,
+    samples     INTEGER NOT NULL DEFAULT 1,
+    updated_at  REAL NOT NULL DEFAULT 0,
+    PRIMARY KEY (version_key, loop_name)
+);
 """
 
 #: v1 -> v2 -> v3 -> v4 column additions, applied to databases created
@@ -124,6 +133,9 @@ _MIGRATIONS = {
 
 _LINEAGE_INDEX = ("CREATE INDEX IF NOT EXISTS answers_by_lineage"
                   " ON answers (lineage_key, loop_name)")
+
+_DURATIONS_INDEX = ("CREATE INDEX IF NOT EXISTS durations_by_lineage"
+                    " ON durations (lineage_key, loop_name)")
 
 
 @dataclass(frozen=True)
@@ -188,6 +200,7 @@ class ResultCache:
             self._conn.executescript(_SCHEMA)
             self._migrate()
             self._conn.execute(_LINEAGE_INDEX)
+            self._conn.execute(_DURATIONS_INDEX)
             try:
                 self._conn.execute("PRAGMA journal_mode=WAL")
             except sqlite3.DatabaseError:
@@ -428,12 +441,82 @@ class ResultCache:
 
         self._with_retry(_write)
 
+    # -- measured task durations (predicted-wall-time LPT feedstock) ---------
+
+    #: Exponential blend weight for repeated duration measurements of
+    #: the same (version_key, loop): new = α·measured + (1-α)·old.
+    DURATION_ALPHA = 0.5
+
+    def record_durations(self, version_key: str, lineage_key: str,
+                         durations: Mapping[str, float]) -> None:
+        """Persist per-loop measured task wall times for one version
+        key.  Repeat measurements blend exponentially (run-to-run
+        noise dampens, real shifts still track) and bump the sample
+        count; readers prefer the freshest row per loop."""
+        if not durations:
+            return
+        now = time.time()
+        alpha = self.DURATION_ALPHA
+
+        def _write():
+            for loop, seconds in durations.items():
+                row = self._conn.execute(
+                    "SELECT duration_s, samples FROM durations"
+                    " WHERE version_key = ? AND loop_name = ?",
+                    (version_key, loop)).fetchone()
+                if row is None:
+                    self._conn.execute(
+                        "INSERT INTO durations (version_key, loop_name,"
+                        " lineage_key, duration_s, samples, updated_at)"
+                        " VALUES (?,?,?,?,?,?)",
+                        (version_key, loop, lineage_key,
+                         float(seconds), 1, now))
+                else:
+                    blended = (alpha * float(seconds)
+                               + (1.0 - alpha) * row[0])
+                    self._conn.execute(
+                        "UPDATE durations SET duration_s = ?,"
+                        " samples = ?, updated_at = ?, lineage_key = ?"
+                        " WHERE version_key = ? AND loop_name = ?",
+                        (blended, row[1] + 1, now, lineage_key,
+                         version_key, loop))
+            self._conn.commit()
+
+        self._with_retry(_write)
+
+    def lookup_durations(self, lineage_key: str) -> Dict[str, float]:
+        """Predicted per-loop wall seconds for a lineage: the freshest
+        measurement of each loop name across every version of the
+        module (an edited module predicts from its ancestors until
+        its own measurements land)."""
+        def _read():
+            return self._conn.execute(
+                "SELECT loop_name, duration_s FROM durations"
+                " WHERE lineage_key = ? ORDER BY updated_at ASC",
+                (lineage_key,)).fetchall()
+
+        return {loop: seconds
+                for loop, seconds in self._with_retry(_read)}
+
+    def lookup_durations_exact(self, version_key: str) -> Dict[str, float]:
+        """Per-loop measured wall seconds for one exact version key."""
+        def _read():
+            return self._conn.execute(
+                "SELECT loop_name, duration_s FROM durations"
+                " WHERE version_key = ?", (version_key,)).fetchall()
+
+        return {loop: seconds
+                for loop, seconds in self._with_retry(_read)}
+
     def invalidate(self, version_key: str) -> None:
         def _delete():
             self._conn.execute("DELETE FROM meta WHERE version_key = ?",
                                (version_key,))
             self._conn.execute("DELETE FROM answers WHERE version_key = ?",
                                (version_key,))
+            self._conn.execute(
+                "DELETE FROM durations WHERE version_key = ?",
+                (version_key,))
             self._conn.commit()
 
         self._with_retry(_delete)
@@ -464,6 +547,7 @@ class ResultCache:
             removed = self._conn.execute(
                 f"DELETE FROM meta WHERE {condition}").rowcount
             self._conn.execute(f"DELETE FROM answers WHERE {condition}")
+            self._conn.execute(f"DELETE FROM durations WHERE {condition}")
             self._conn.execute("DELETE FROM keep_keys")
             self._conn.commit()
             return removed

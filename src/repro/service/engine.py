@@ -379,6 +379,7 @@ class WorkEngine:
             # re-enter submit() (discovery fan-out) or run batch logic.
             for ticket in cancelled:
                 self.telemetry.count("tasks_cancelled")
+                self._observe(ticket, "cancelled", 0.0)
                 ticket.deliver(ticket, "cancelled", None, None)
             for ticket in expired:
                 self._finish_expired(ticket)
@@ -412,6 +413,7 @@ class WorkEngine:
         except Exception:
             tel.dequeue()
             span.end(status="submit_failure")
+            self._observe(ticket, "failure", 0.0)
             ticket.deliver(ticket, "failure", None, None)
             return True
         except BaseException as exc:
@@ -445,6 +447,8 @@ class WorkEngine:
             ticket.span.end(status="worker_crash")
             with self._cond:
                 self._rebuild_executor()
+            self._observe(ticket, "failure",
+                          time.perf_counter() - ticket.submitted)
             ticket.deliver(ticket, "failure", None, None)
             return
         ticket.span.end(status="completed",
@@ -452,13 +456,38 @@ class WorkEngine:
                         else "miss")
         tracer.adopt(result.spans,
                      parent_id=getattr(ticket.span, "id", None))
-        tel.request_latency.record(time.perf_counter() - ticket.submitted)
+        latency = time.perf_counter() - ticket.submitted
+        tel.request_latency.record(latency)
+        self._observe(ticket, "ok", latency)
         ticket.deliver(ticket, "ok", result, None)
 
     def _finish_expired(self, ticket: Ticket) -> None:
         self.telemetry.dequeue()
         ticket.span.end(status="timeout")
+        self._observe(ticket, "timeout",
+                      time.perf_counter() - ticket.submitted)
         ticket.deliver(ticket, "timeout", None, None)
+
+    def _observe(self, ticket: Ticket, outcome: str,
+                 latency_s: float) -> None:
+        """Feed one delivered outcome to the live ops plane, when one
+        is attached (the daemon's window + flight recorder).  The
+        disabled path is this single attribute check."""
+        live = getattr(self.telemetry, "live", None)
+        if live is None:
+            return
+        task = ticket.task
+        submitted = ticket.submitted or time.perf_counter()
+        try:
+            live.observe_task(
+                workload=task.request.name,
+                loop=task.loop,
+                client=ticket.client,
+                outcome=outcome,
+                latency_s=latency_s,
+                queue_wait_s=max(0.0, submitted - ticket.enqueued_at))
+        except Exception:
+            pass  # observability must never take down the dispatcher
 
     def _poison(self, exc: BaseException, first: Ticket) -> None:
         with self._cond:

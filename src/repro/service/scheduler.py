@@ -148,6 +148,10 @@ class _KeyWork:
     refreshed: bool = False
     #: Queue mode: tasks still in flight or queued for this key.
     outstanding: int = 0
+    #: Loop name -> measured steady-state task wall seconds, absorbed
+    #: from workers and persisted into the cache's ``durations`` table
+    #: (the predicted-wall-time LPT feedstock).
+    durations: Dict[str, float] = field(default_factory=dict)
 
 
 class BatchScheduler:
@@ -756,6 +760,9 @@ class BatchScheduler:
             else:
                 tel.count("loops_computed")
                 tel.query_latency.record(answer.latency_s)
+                # Shard mode has no per-task wall split; the analysis
+                # latency is the best per-loop duration available.
+                entry.durations[answer.loop] = answer.latency_s
         tel.count("module_evals", result.module_evals)
         tel.count("orchestrator_queries", result.orchestrator_queries)
         tel.count("busy_s", result.busy_s)
@@ -786,6 +793,8 @@ class BatchScheduler:
             else:
                 tel.count("loops_computed")
                 tel.query_latency.record(answer.latency_s)
+                entry.durations[answer.loop] = (
+                    result.analysis_wall_s or answer.latency_s)
         tel.count("prepared_hits" if result.prepared_hit
                   else "prepared_misses")
         tel.count("prepared_evictions", result.prepared_evictions)
@@ -833,6 +842,16 @@ class BatchScheduler:
         if self.cache is None:
             return
         for key, entry in work.items():
+            # Measured durations persist even for runs whose answers
+            # do not (degraded/partial): a timing sample is a valid
+            # prediction regardless of what else the run produced.
+            if entry.durations:
+                try:
+                    self.cache.record_durations(
+                        key, entry.request.lineage_key(),
+                        entry.durations)
+                except Exception:
+                    pass  # prediction feedstock is best-effort
             if entry.degraded or not entry.hot_loops:
                 continue  # never persist degraded or unknown results
             computed = [a for a in entry.answers.values()

@@ -171,6 +171,10 @@ class ServiceTelemetry:
         self.request_completion = \
             self.registry.histogram("request_completion_s")
         self._queue = self.registry.gauge("queue_depth")
+        #: Optional live ops plane (:class:`repro.obs.live.LiveOps`).
+        #: ``None`` outside the daemon; the engine guards every
+        #: observe call on it so batch mode pays one attribute read.
+        self.live = None
         # Materialize every counter so attribute reads and snapshots
         # see zeros (not missing series) on an idle service.
         self._counters = {name: self.registry.counter(name)
@@ -184,6 +188,12 @@ class ServiceTelemetry:
 
     def dequeue(self) -> None:
         self._queue.dec()
+
+    def attach_live(self, live) -> None:
+        """Install a :class:`repro.obs.live.LiveOps` plane; every
+        engine-delivered task outcome flows into its window and
+        flight recorder from then on."""
+        self.live = live
 
     def merge_worker_metrics(self, snapshot: Dict) -> None:
         """Fold a worker registry snapshot (labeled series) in."""

@@ -169,6 +169,11 @@ class LoopTaskResult:
     #: prepared-cache hit: setup is billed once, to the populating
     #: task).
     setup_s: float = 0.0
+    #: Steady-state task wall: ``busy_s`` minus the one-time setup,
+    #: i.e. what a warm fleet pays to re-run this loop.  Persisted
+    #: into the result cache's ``durations`` table as the feedstock
+    #: for predicted-wall-time LPT ordering.
+    analysis_wall_s: float = 0.0
     prepared_hit: bool = False
     #: Prepared-module entries this task's insertion evicted.
     prepared_evictions: int = 0
@@ -653,5 +658,6 @@ def _run_loop_task(task: LoopTask) -> LoopTaskResult:
                                       h.time_fraction, latency)
         result.footprint = loop_footprint(system, h.loop)
     result.busy_s = time.perf_counter() - started
+    result.analysis_wall_s = max(0.0, result.busy_s - result.setup_s)
     result.metrics = registry.snapshot()
     return result
