@@ -817,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--no-compile", action="store_true",
                       help="force the tree-walking interpreter (skip "
                            "closure compilation)")
+    p_an.add_argument("--no-cost-model", action="store_true",
+                      help="schedule by the static LPT estimate "
+                           "instead of measured-duration predictions "
+                           "(the REPRO_NO_COST_MODEL environment "
+                           "variable works too)")
     p_an.set_defaults(func=cmd_analyze)
 
     p_batch = sub.add_parser(
@@ -875,6 +880,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-compile", action="store_true",
                          help="force the tree-walking interpreter "
                               "(skip closure compilation)")
+    p_batch.add_argument("--no-cost-model", action="store_true",
+                         help="schedule by the static LPT estimate "
+                              "instead of measured-duration "
+                              "predictions (the REPRO_NO_COST_MODEL "
+                              "environment variable works too)")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -948,6 +958,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-compile", action="store_true",
                          help="force the tree-walking interpreter "
                               "(skip closure compilation)")
+    p_serve.add_argument("--no-cost-model", action="store_true",
+                         help="schedule by the static LPT estimate "
+                              "instead of measured-duration "
+                              "predictions (the REPRO_NO_COST_MODEL "
+                              "environment variable works too)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1022,6 +1037,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The env var (not set_compilation_enabled) so the choice
         # survives into ProcessPoolExecutor workers.
         os.environ["REPRO_NO_COMPILE"] = "1"
+    if getattr(args, "no_cost_model", False):
+        # Same env-var route: the scheduler reads it at construction,
+        # wherever the service gets built (in-process or daemon).
+        os.environ["REPRO_NO_COST_MODEL"] = "1"
     return args.func(args)
 
 

@@ -573,10 +573,14 @@ class AnalysisDaemon:
         doc = asdict(snap)
         doc["cache_hit_rate"] = snap.cache_hit_rate
         doc["prepared_hit_rate"] = snap.prepared_hit_rate
+        doc["prepared_affinity_hit_rate"] = snap.prepared_affinity_hit_rate
         doc["worker_utilization"] = snap.worker_utilization
         active = sum(1 for j in self._jobs.values()
                      if j.status == JOB_RUNNING)
+        cost_model = getattr(self.service.scheduler, "cost_model", None)
         return {
+            "cost_model": (cost_model.stats()
+                           if cost_model is not None else {}),
             "daemon": {
                 "addr": self.bound_addr,
                 "pid": os.getpid(),

@@ -11,6 +11,8 @@ DESIGN.md §5, "Serving layer"):
 - :mod:`scheduler` — deduplication, the global loop-granular work
   queue (LPT-ordered, shared across in-flight requests) or legacy
   per-request shards, backpressure, timeout/crash degradation;
+- :mod:`costmodel` — predicted per-loop wall times from the persisted
+  ``durations`` table (measured-duration LPT + affinity setup charge);
 - :mod:`worker` — per-shard and per-loop-task evaluation in pool
   workers, with a worker-resident prepared-module LRU;
 - :mod:`telemetry` — latency histograms, cache and utilization
@@ -31,6 +33,7 @@ from .answers import (
     summarize_pdg,
 )
 from .cache import CacheEntryMeta, FootprintHit, ResultCache
+from .costmodel import SETUP_LOOP_KEY, CostModel, KeyPrediction
 from .requests import (
     ANSWER_IRRELEVANT_CONFIG_FIELDS,
     AnalysisRequest,
@@ -72,8 +75,10 @@ from .worker import (
 
 __all__ = [
     "ANSWER_IRRELEVANT_CONFIG_FIELDS", "DEFAULT_PREPARED_CACHE_SIZE",
+    "SETUP_LOOP_KEY",
     "AnalysisRequest", "BatchResult", "BatchScheduler", "CacheEntryMeta",
-    "DependenceService", "FootprintHit", "LatencyHistogram", "LoopAnswer",
+    "CostModel", "DependenceService", "FootprintHit", "KeyPrediction",
+    "LatencyHistogram", "LoopAnswer",
     "LoopTask", "LoopTaskResult", "PreparedModule",
     "QueryAnswer", "ResultCache", "ServiceConfig", "ServiceTelemetry",
     "ShardResult", "ShardTask", "TelemetrySnapshot",

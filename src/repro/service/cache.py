@@ -498,6 +498,29 @@ class ResultCache:
         return {loop: seconds
                 for loop, seconds in self._with_retry(_read)}
 
+    def lookup_durations_many(self, lineage_keys: Sequence[str]
+                              ) -> Dict[str, Dict[str, float]]:
+        """Batched :meth:`lookup_durations`: per-loop predictions for
+        every lineage in ``lineage_keys`` from ONE parameterized query.
+        A batch of N requests costs one sqlite round trip, not N (and
+        not N×loops).  Rows arrive oldest-first so the dict overwrite
+        keeps the freshest measurement per (lineage, loop)."""
+        unique = sorted({k for k in lineage_keys if k})
+        if not unique:
+            return {}
+        placeholders = ",".join("?" * len(unique))
+
+        def _read():
+            return self._conn.execute(
+                "SELECT lineage_key, loop_name, duration_s FROM durations"
+                f" WHERE lineage_key IN ({placeholders})"
+                " ORDER BY updated_at ASC", tuple(unique)).fetchall()
+
+        out: Dict[str, Dict[str, float]] = {}
+        for lineage, loop, seconds in self._with_retry(_read):
+            out.setdefault(lineage, {})[loop] = seconds
+        return out
+
     def lookup_durations_exact(self, version_key: str) -> Dict[str, float]:
         """Per-loop measured wall seconds for one exact version key."""
         def _read():

@@ -1,0 +1,212 @@
+"""Predictive cost model for the loop-task work queue.
+
+The scheduler's LPT ordering needs per-task *weights*; until now they
+came from a static estimate (``lpt_weight`` = profile time fraction ×
+instruction count), which ranks loops by how long the *training run*
+spent in them — not how long the *analysis* will take.  Memory-heavy
+loops with modest dynamic weight routinely dominate analysis wall
+time, so the static order misschedules exactly the tasks LPT exists
+to front-load.
+
+:class:`CostModel` closes the loop PR 8 opened: the cache already
+persists measured per-loop ``analysis_wall_s`` EWMAs in the sqlite
+``durations`` table, keyed by lineage so an edited module inherits its
+ancestors' measurements.  This layer turns those rows into **predicted
+wall seconds**:
+
+- ``predict_batch`` pulls every lineage in the batch with ONE
+  parameterized sqlite read (:meth:`ResultCache.lookup_durations_many`)
+  and overlays the in-memory observation memo, so a resident daemon's
+  predictions stay fresh across batches without re-reading the disk
+  EWMA between them.
+- ``predict_loop`` blends the measured seconds with a statically
+  derived prior (the ``lpt_weight`` estimate times a calibrated
+  seconds-per-weight ratio).  Loops with no history fall back to the
+  static prior entirely, so cold lineages degrade to exactly the old
+  ordering — never worse, only better-informed.
+- ``observe`` feeds each finished task's measured wall time back:
+  EWMA-updates the memo, recalibrates the seconds-per-weight ratio,
+  and records ``|predicted - measured|`` into the
+  ``sched_prediction_error_s`` histogram so exposition/`top` show how
+  honest the model is.
+
+Setup cost rides in the same table under the :data:`SETUP_LOOP_KEY`
+sentinel row (no schema change): the scheduler records each measured
+prepared-module build under that pseudo-loop, and the engine charges
+the predicted setup when affinity placement would route a task to a
+worker whose prepared-LRU does not hold the module.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "SETUP_LOOP_KEY",
+    "KeyPrediction",
+    "CostModel",
+]
+
+#: Pseudo loop name holding the measured prepared-module setup seconds
+#: in the ``durations`` table.  Loop names in real rosters are
+#: ``@function:%header`` shaped, so the sentinel can never collide.
+SETUP_LOOP_KEY = "__setup__"
+
+#: Weight of the measured EWMA against the static prior when both are
+#: available.  Measurements dominate; the prior keeps one wild sample
+#: from fully owning the prediction.
+MEASURED_BLEND = 0.8
+
+#: EWMA factor for in-memory re-observations of the same loop (matches
+#: the persistence-side ``ResultCache.DURATION_ALPHA``).
+MEMO_ALPHA = 0.5
+
+#: EWMA factor for the seconds-per-weight calibration ratio.
+RATIO_ALPHA = 0.2
+
+#: Starting seconds-per-weight guess before any measurement lands.
+#: Only the *relative* order matters for scheduling, so a rough scale
+#: is fine; the first observation replaces it outright.
+DEFAULT_SECONDS_PER_WEIGHT = 1e-6
+
+
+@dataclass(frozen=True)
+class KeyPrediction:
+    """Everything the model knows about one request's lineage."""
+
+    lineage_key: str
+    #: Measured (EWMA) wall seconds per loop name, sentinel excluded.
+    loop_s: Mapping[str, float]
+    #: Predicted prepared-module setup seconds (0.0 = unknown).
+    setup_s: float = 0.0
+
+    @property
+    def roster(self) -> Tuple[str, ...]:
+        """Loop names the lineage has historically analyzed, in a
+        deterministic order.  A non-empty roster lets the scheduler
+        enqueue loop tasks *before* discovery returns."""
+        return tuple(sorted(self.loop_s))
+
+
+class CostModel:
+    """Lineage-keyed predicted wall times over the durations table.
+
+    One instance lives on the scheduler for the daemon's whole life,
+    so the memo accumulates across batches — fleet-persistent
+    predictions, per the resident-daemon design.
+    """
+
+    def __init__(self, cache, telemetry=None, *,
+                 blend: float = MEASURED_BLEND,
+                 memo_alpha: float = MEMO_ALPHA,
+                 ratio_alpha: float = RATIO_ALPHA,
+                 seconds_per_weight: float = DEFAULT_SECONDS_PER_WEIGHT):
+        self.cache = cache
+        self.telemetry = telemetry
+        self.blend = blend
+        self.memo_alpha = memo_alpha
+        self.ratio_alpha = ratio_alpha
+        self._ratio = seconds_per_weight
+        self._ratio_samples = 0
+        #: lineage -> loop (or sentinel) -> EWMA seconds, observed live.
+        self._memo: Dict[str, Dict[str, float]] = {}
+        self._observations = 0
+        self._error_total = 0.0
+        self._error_count = 0
+        self._lock = threading.Lock()
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_batch(self, lineages: Mapping[str, str]
+                      ) -> Dict[str, KeyPrediction]:
+        """Predictions for a whole batch, one sqlite read total.
+
+        ``lineages`` maps request key → lineage key.  Disk rows seed
+        the prediction; live memo entries (fresher — they include this
+        process's unflushed observations) overlay them.
+        """
+        stored: Dict[str, Dict[str, float]] = {}
+        if self.cache is not None:
+            try:
+                stored = self.cache.lookup_durations_many(
+                    list(lineages.values()))
+            except Exception:
+                stored = {}  # cache trouble never blocks scheduling
+        out: Dict[str, KeyPrediction] = {}
+        with self._lock:
+            for key, lineage in lineages.items():
+                merged = dict(stored.get(lineage, ()))
+                merged.update(self._memo.get(lineage, ()))
+                setup = merged.pop(SETUP_LOOP_KEY, 0.0)
+                out[key] = KeyPrediction(lineage, merged, setup)
+        return out
+
+    def predict_loop(self, prediction: Optional[KeyPrediction],
+                     loop: str, static_weight: float) -> float:
+        """Predicted wall seconds for one loop task.
+
+        Measured history blends with the static prior
+        (``static_weight`` × calibrated seconds-per-weight); no
+        history means the prior alone — i.e. the classic static LPT
+        rank, just rescaled into seconds.
+        """
+        static_s = self._ratio * max(0.0, static_weight)
+        measured = None
+        if prediction is not None:
+            measured = prediction.loop_s.get(loop)
+        if measured is None:
+            return static_s
+        if static_weight <= 0.0:
+            return measured
+        return self.blend * measured + (1.0 - self.blend) * static_s
+
+    # -- feedback ------------------------------------------------------------
+
+    def observe(self, lineage_key: str, loop: str, measured_s: float,
+                predicted_s: Optional[float] = None,
+                static_weight: float = 0.0) -> None:
+        """Fold one finished task's measured wall time back in."""
+        measured_s = max(0.0, float(measured_s))
+        with self._lock:
+            memo = self._memo.setdefault(lineage_key, {})
+            prior = memo.get(loop)
+            memo[loop] = (measured_s if prior is None else
+                          self.memo_alpha * measured_s
+                          + (1.0 - self.memo_alpha) * prior)
+            if static_weight > 0.0 and measured_s > 0.0:
+                ratio = measured_s / static_weight
+                if self._ratio_samples == 0:
+                    self._ratio = ratio
+                else:
+                    self._ratio = (self.ratio_alpha * ratio
+                                   + (1.0 - self.ratio_alpha) * self._ratio)
+                self._ratio_samples += 1
+            self._observations += 1
+            if predicted_s is not None:
+                self._error_total += abs(predicted_s - measured_s)
+                self._error_count += 1
+        if self.telemetry is not None and predicted_s is not None:
+            self.telemetry.prediction_error.record(
+                abs(predicted_s - measured_s))
+
+    def observe_setup(self, lineage_key: str, setup_s: float) -> None:
+        """Record one measured prepared-module build under the
+        sentinel pseudo-loop."""
+        self.observe(lineage_key, SETUP_LOOP_KEY, setup_s)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for ``repro stats --daemon`` / the ops plane."""
+        with self._lock:
+            mean_err = (self._error_total / self._error_count
+                        if self._error_count else 0.0)
+            return {
+                "observations": self._observations,
+                "lineages": len(self._memo),
+                "seconds_per_weight": self._ratio,
+                "ratio_samples": self._ratio_samples,
+                "mean_abs_error_s": mean_err,
+            }

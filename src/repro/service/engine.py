@@ -41,8 +41,8 @@ import heapq
 import itertools
 import threading
 import time
-from collections import deque
-from typing import Callable, Dict, List, Optional
+from collections import OrderedDict, deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..interp import compilation_enabled, set_compilation_enabled
 from ..obs.trace import current_tracer
@@ -116,15 +116,29 @@ class Ticket:
     ``deliver(ticket, outcome, result, error)`` is invoked exactly
     once, on the dispatcher thread, with outcome one of ``ok`` /
     ``failure`` / ``timeout`` / ``cancelled`` / ``fatal``.
+
+    ``weight`` is whatever the scheduler ranks by — the static
+    ``lpt_weight`` estimate, or (cost model on) predicted wall
+    seconds, flagged by ``predicted``.  ``predicted_setup`` is the
+    predicted prepared-module build cost the engine charges when
+    placing the task on a worker slot whose prepared-LRU does not
+    hold the module.  ``kind`` overrides the discovery-first /
+    loop-second band (the scheduler deprioritizes predicted-roster
+    drift-catch discoveries this way).
     """
 
     __slots__ = ("task", "key", "weight", "client", "enqueued_at",
-                 "deliver", "trace_parent", "submitted", "span")
+                 "deliver", "trace_parent", "submitted", "span",
+                 "kind", "predicted", "predicted_setup", "order",
+                 "slot")
 
     def __init__(self, task: LoopTask, key: str, weight: float,
                  deliver: Callable, client: str = "",
                  trace_parent: Optional[str] = None,
-                 enqueued_at: Optional[float] = None):
+                 enqueued_at: Optional[float] = None,
+                 kind: Optional[int] = None,
+                 predicted: bool = False,
+                 predicted_setup: float = 0.0):
         self.task = task
         self.key = key
         self.weight = weight
@@ -135,6 +149,39 @@ class Ticket:
                             else enqueued_at)
         self.submitted = 0.0
         self.span = None
+        self.kind = kind
+        self.predicted = predicted
+        self.predicted_setup = predicted_setup
+        #: Deterministic equal-weight tie-break: (module key, loop
+        #: name).  Both derive from content hashes, so the queue order
+        #: is stable across interpreter hash seeds — arrival order and
+        #: dict iteration no longer leak into scheduling.
+        self.order: Tuple[str, str] = (key, getattr(task, "loop", None)
+                                       or "")
+        #: Worker slot the dispatcher placed this ticket on (engine
+        #: internal, dispatcher-thread only).
+        self.slot = None
+
+
+class _Slot:
+    """One worker's dispatch lane plus its placement model.
+
+    Each slot owns a single-worker executor, so "submitted to slot
+    *i*" means "will run on worker *i*" — the targeted hand-out that a
+    shared pool cannot express.  ``resident`` mirrors the worker's
+    prepared-module LRU from the dispatch stream: exact for process
+    executors (one process, serial execution), conservative for thread
+    executors (the real prepared cache is process-global, so true
+    hit-rate can only be better than modeled).
+    """
+
+    __slots__ = ("index", "executor", "resident", "inflight")
+
+    def __init__(self, index: int, executor):
+        self.index = index
+        self.executor = executor
+        self.resident: "OrderedDict[str, bool]" = OrderedDict()
+        self.inflight = 0
 
 
 class WorkEngine:
@@ -167,9 +214,20 @@ class WorkEngine:
         self._cancelled_q: deque = deque()
         self._thread: Optional[threading.Thread] = None
         self._executor = None
+        #: Per-worker dispatch lanes (queue mode), built lazily like
+        #: the legacy shared executor.
+        self._slots: Optional[List[_Slot]] = None
+        #: Queued tickets carrying a setup charge; 0 means placement
+        #: degenerates to a plain priority pop (static fast path).
+        self._charged = 0
         self._closed = False
         self._fatal: Optional[BaseException] = None
         self._idle_since = time.perf_counter()
+
+    def _nslots(self) -> int:
+        if self.executor_kind == "inline" or self.workers <= 0:
+            return 1
+        return self.workers
 
     # -- executor lifetime (shared with the legacy shard path) ---------------
 
@@ -196,17 +254,46 @@ class WorkEngine:
         with self._cond:
             if self._closed:
                 return 0
-            self._rebuild_executor()
+            if self._executor is not None:
+                self._swap_executor()
+            if self._slots is not None:
+                for slot in self._slots:
+                    self._swap_slot(slot)
+            self.telemetry.count("fleet_rebuilds")
             return len(self._inflight)
 
-    def _rebuild_executor(self) -> None:
+    def _swap_executor(self) -> None:
         try:
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
         except Exception:
             pass
         self._executor = _make_executor(self.executor_kind, self.workers)
+
+    def _rebuild_executor(self) -> None:
+        self._swap_executor()
         self.telemetry.count("fleet_rebuilds")
+
+    def _swap_slot(self, slot: _Slot) -> None:
+        """Replace one slot's worker and forget its modeled residency
+        (a fresh worker starts with an empty prepared cache)."""
+        try:
+            slot.executor.shutdown(wait=False)
+        except Exception:
+            pass
+        slot.executor = _make_executor(self.executor_kind, 1)
+        slot.resident.clear()
+
+    def _rebuild_slot(self, slot: _Slot) -> None:
+        self._swap_slot(slot)
+        self.telemetry.count("fleet_rebuilds")
+
+    def _ensure_slots(self) -> List[_Slot]:
+        if self._slots is None:
+            self._slots = [
+                _Slot(i, _make_executor(self.executor_kind, 1))
+                for i in range(self._nslots())]
+        return self._slots
 
     # -- queue API ------------------------------------------------------------
 
@@ -217,9 +304,15 @@ class WorkEngine:
             if self._closed:
                 raise RuntimeError("WorkEngine is closed")
             for t in tickets:
-                kind = 0 if t.task.loop is None else 1
-                heapq.heappush(self._heap,
-                               (kind, -t.weight, next(self._seq), t))
+                if t.kind is not None:
+                    kind = t.kind
+                else:
+                    kind = 0 if t.task.loop is None else 1
+                heapq.heappush(
+                    self._heap,
+                    (kind, -t.weight, t.order, next(self._seq), t))
+                if t.predicted_setup > 0.0:
+                    self._charged += 1
             if tickets:
                 self._ensure_dispatcher()
             self._cond.notify_all()
@@ -240,7 +333,7 @@ class WorkEngine:
         with self._cond:
             kept, cancelled = [], []
             for item in self._heap:
-                ticket = item[3]
+                ticket = item[-1]
                 if ticket.client.startswith(client_prefix):
                     cancelled.append(ticket)
                 else:
@@ -248,6 +341,9 @@ class WorkEngine:
             if cancelled:
                 self._heap = kept
                 heapq.heapify(self._heap)
+                self._charged = sum(
+                    1 for item in self._heap
+                    if item[-1].predicted_setup > 0.0)
                 self._cancelled_q.extend(cancelled)
                 self._ensure_dispatcher()
             self._cond.notify_all()
@@ -282,18 +378,25 @@ class WorkEngine:
         # The dispatcher is gone: nobody else can deliver now.
         with self._cond:
             pending: List[Ticket] = [] if already else (
-                [item[3] for item in self._heap]
+                [item[-1] for item in self._heap]
                 + list(self._cancelled_q)
                 + list(self._inflight.values()))
             self._heap = []
+            self._charged = 0
             self._cancelled_q.clear()
             self._inflight.clear()
             self._done.clear()
             executor, self._executor = self._executor, None
+            slots, self._slots = self._slots or [], None
         for ticket in pending:
             self.telemetry.count("tasks_cancelled")
             try:
                 ticket.deliver(ticket, "cancelled", None, None)
+            except Exception:
+                pass
+        for slot in slots:
+            try:
+                slot.executor.shutdown(wait=False)
             except Exception:
                 pass
         if executor is not None:
@@ -338,10 +441,23 @@ class WorkEngine:
                             future.cancel()
                             expired.append(ticket)
                 to_dispatch: List[Ticket] = []
-                while (self._heap and len(self._inflight)
-                        + len(to_dispatch) < self.max_pending):
-                    _, _, _, ticket = heapq.heappop(self._heap)
-                    to_dispatch.append(ticket)
+                if self._heap:
+                    slots = self._ensure_slots()
+                    budget = self.max_pending - len(self._inflight)
+                    for slot in slots:
+                        if budget <= 0 or not self._heap:
+                            break
+                        if slot.inflight > 0:
+                            # One task per worker at a time: placement
+                            # happens as late as possible, so an idle
+                            # slot always steals the best queued work
+                            # instead of letting affinity strand it.
+                            continue
+                        ticket = self._take_for(slot)
+                        ticket.slot = slot
+                        slot.inflight += 1
+                        to_dispatch.append(ticket)
+                        budget -= 1
                 if not (completed or cancelled or expired or to_dispatch):
                     if self._inflight:
                         wait = 0.05
@@ -355,7 +471,8 @@ class WorkEngine:
                     # the fleet down, or exit now (the thread restarts
                     # on the next submit; the executor stays warm).
                     if (self.idle_ttl_s is not None
-                            and self._executor is not None):
+                            and (self._executor is not None
+                                 or self._slots is not None)):
                         remaining = (self._idle_since + self.idle_ttl_s
                                      - now)
                         if remaining > 0:
@@ -366,11 +483,18 @@ class WorkEngine:
                             if (time.perf_counter() - self._idle_since
                                     < self.idle_ttl_s):
                                 continue
-                        try:
-                            self._executor.shutdown(wait=False)
-                        except Exception:
-                            pass
-                        self._executor = None
+                        if self._executor is not None:
+                            try:
+                                self._executor.shutdown(wait=False)
+                            except Exception:
+                                pass
+                            self._executor = None
+                        for slot in (self._slots or ()):
+                            try:
+                                slot.executor.shutdown(wait=False)
+                            except Exception:
+                                pass
+                        self._slots = None
                         self.telemetry.count("fleet_scale_downs")
                     self._thread = None
                     return
@@ -388,6 +512,65 @@ class WorkEngine:
                     break  # fatal: stop dispatching this round
             for future, ticket in completed:
                 self._finish(future, ticket)
+
+    def _take_for(self, slot: _Slot) -> Ticket:
+        """Pick the queued ticket this slot should run next (caller
+        holds the lock; the heap is non-empty).
+
+        With no setup-charged tickets queued, this is a plain priority
+        pop — byte-identical ordering to the static scheduler.  With
+        the cost model on, the slot takes the ticket minimizing the
+        heap key *after charging ``predicted_setup`` against any
+        ticket whose module is not resident in this slot's prepared
+        cache*: resident work effectively gains priority, non-resident
+        work is discounted by the build it would trigger — and because
+        an idle slot always takes *something*, affinity can delay but
+        never strand a task (steal-when-idle).
+        """
+        if self._charged == 0:
+            ticket = heapq.heappop(self._heap)[-1]
+        else:
+            best_i, best_key = 0, None
+            for i, item in enumerate(self._heap):
+                t = item[-1]
+                charge = (t.predicted_setup
+                          if t.key not in slot.resident else 0.0)
+                key = (item[0], -(t.weight - charge), item[2], item[3])
+                if best_key is None or key < best_key:
+                    best_i, best_key = i, key
+            ticket = self._heap[best_i][-1]
+            last = self._heap.pop()
+            if best_i < len(self._heap):
+                self._heap[best_i] = last
+                heapq.heapify(self._heap)
+        if ticket.predicted_setup > 0.0:
+            self._charged -= 1
+        self._place(ticket, slot)
+        return ticket
+
+    def _place(self, ticket: Ticket, slot: _Slot) -> None:
+        """Update the slot's modeled prepared-LRU for this placement
+        and count the affinity outcome."""
+        tel = self.telemetry
+        key = ticket.key
+        if key in slot.resident:
+            slot.resident.move_to_end(key)
+            tel.count("prepared_affinity_hits")
+            return
+        tel.count("prepared_affinity_misses")
+        if ticket.predicted_setup > 0.0 and any(
+                key in s.resident
+                for s in (self._slots or ()) if s is not slot):
+            tel.count("prepared_affinity_steals")
+        slot.resident[key] = True
+        cap = getattr(ticket.task, "prepared_cache_size", None) or 1
+        while len(slot.resident) > max(1, cap):
+            slot.resident.popitem(last=False)
+
+    def _release(self, ticket: Ticket) -> None:
+        slot, ticket.slot = ticket.slot, None
+        if slot is not None:
+            slot.inflight = max(0, slot.inflight - 1)
 
     def _dispatch(self, ticket: Ticket) -> bool:
         tel = self.telemetry
@@ -408,11 +591,14 @@ class WorkEngine:
                             discovery=task.loop is None,
                             queue_wait_s=wait_s)
         ticket.span = span
+        executor = (ticket.slot.executor if ticket.slot is not None
+                    else self.ensure_executor())
         try:
-            future = self.ensure_executor().submit(self._loop_runner, task)
+            future = executor.submit(self._loop_runner, task)
         except Exception:
             tel.dequeue()
             span.end(status="submit_failure")
+            self._release(ticket)
             self._observe(ticket, "failure", 0.0)
             ticket.deliver(ticket, "failure", None, None)
             return True
@@ -442,11 +628,16 @@ class WorkEngine:
         try:
             result = future.result()
         except Exception:
-            # Worker crash: only this task degrades; the fleet is
-            # rebuilt so the rest of the queue still runs.
+            # Worker crash: only this task degrades; the crashed slot
+            # gets a fresh worker (and an empty residency model) so
+            # the rest of the queue still runs.
             ticket.span.end(status="worker_crash")
             with self._cond:
-                self._rebuild_executor()
+                if ticket.slot is not None:
+                    self._rebuild_slot(ticket.slot)
+                else:
+                    self._rebuild_executor()
+            self._release(ticket)
             self._observe(ticket, "failure",
                           time.perf_counter() - ticket.submitted)
             ticket.deliver(ticket, "failure", None, None)
@@ -454,6 +645,7 @@ class WorkEngine:
         ticket.span.end(status="completed",
                         prepared="hit" if result.prepared_hit
                         else "miss")
+        self._release(ticket)
         tracer.adopt(result.spans,
                      parent_id=getattr(ticket.span, "id", None))
         latency = time.perf_counter() - ticket.submitted
@@ -464,6 +656,13 @@ class WorkEngine:
     def _finish_expired(self, ticket: Ticket) -> None:
         self.telemetry.dequeue()
         ticket.span.end(status="timeout")
+        if ticket.slot is not None:
+            # The worker may still be chewing the abandoned task;
+            # replace it so the slot's next ticket starts clean rather
+            # than queueing behind a zombie.
+            with self._cond:
+                self._rebuild_slot(ticket.slot)
+        self._release(ticket)
         self._observe(ticket, "timeout",
                       time.perf_counter() - ticket.submitted)
         ticket.deliver(ticket, "timeout", None, None)
@@ -492,8 +691,9 @@ class WorkEngine:
     def _poison(self, exc: BaseException, first: Ticket) -> None:
         with self._cond:
             self._fatal = exc
-            pending = [item[3] for item in self._heap]
+            pending = [item[-1] for item in self._heap]
             self._heap = []
+            self._charged = 0
             pending.extend(self._cancelled_q)
             self._cancelled_q.clear()
             pending.extend(self._inflight.values())

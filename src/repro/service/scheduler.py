@@ -51,10 +51,11 @@ Batches of :class:`AnalysisRequest` flow through four stages:
 from __future__ import annotations
 
 import concurrent.futures as cf
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..clients import hot_loops
 from ..ir import (
@@ -67,6 +68,7 @@ from ..obs.trace import TraceSpec, current_tracer
 from .answers import STATUS_COMPUTED, STATUS_FALLBACK, LoopAnswer, \
     fallback_answer
 from .cache import ResultCache
+from .costmodel import SETUP_LOOP_KEY, CostModel, KeyPrediction
 from .engine import (  # noqa: F401  (re-exported for tests and callers)
     Ticket,
     WorkEngine,
@@ -152,6 +154,13 @@ class _KeyWork:
     #: from workers and persisted into the cache's ``durations`` table
     #: (the predicted-wall-time LPT feedstock).
     durations: Dict[str, float] = field(default_factory=dict)
+    #: Queue mode: loop names already turned into tickets, so a later
+    #: discovery result only enqueues the difference (predicted-roster
+    #: drift catch-up).
+    enqueued_loops: Set[str] = field(default_factory=set)
+    #: This key's cost-model prediction for the batch (None when the
+    #: model is off or the lineage has no history).
+    prediction: Optional[KeyPrediction] = None
 
 
 class BatchScheduler:
@@ -170,6 +179,7 @@ class BatchScheduler:
                  mode: str = "queue",
                  prepared_cache_size: Optional[int] = None,
                  idle_ttl_s: Optional[float] = None,
+                 cost_model: Optional[bool] = None,
                  shard_runner: Callable[[ShardTask], ShardResult] = run_shard,
                  loop_runner: Callable[[LoopTask], LoopTaskResult]
                  = run_loop_task):
@@ -205,6 +215,18 @@ class BatchScheduler:
         self.prepared_cache_size = prepared_cache_size
         self._shard_runner = shard_runner
         self._loop_runner = loop_runner
+        # The predictive cost model (queue mode only): measured
+        # durations become LPT weights, prepared-module builds become
+        # placement charges.  Opt out per-process with the
+        # REPRO_NO_COST_MODEL environment variable or per-service with
+        # cost_model=False (the --no-cost-model CLI flag sets both).
+        if cost_model is None:
+            cost_model = True
+        if os.environ.get("REPRO_NO_COST_MODEL"):
+            cost_model = False
+        self.cost_model: Optional[CostModel] = (
+            CostModel(cache, self.telemetry)
+            if cost_model and mode == "queue" else None)
         #: The resident work engine: the global queue, the bounded
         #: in-flight window, and the executor all live here so they
         #: survive from one run_batch to the next (and, through the
@@ -256,7 +278,16 @@ class BatchScheduler:
                 pending = self._probe_cache(work)
             if pending:
                 if self.mode == "queue":
-                    self._fan_out_queue(pending, work, client, on_answer)
+                    predictions: Dict[str, KeyPrediction] = {}
+                    if self.cost_model is not None:
+                        # ONE batched sqlite read prices the whole
+                        # batch; per-loop probes never happen.
+                        with tracer.span("predict", cat="scheduler"):
+                            predictions = self.cost_model.predict_batch(
+                                {key: work[key].request.duration_lineage()
+                                 for key in pending})
+                    self._fan_out_queue(pending, work, client,
+                                        on_answer, predictions)
                 else:
                     self._fan_out(pending, work)
             with tracer.span("store_results", cat="scheduler"):
@@ -445,6 +476,15 @@ class BatchScheduler:
         """A key's last task landed: record one completion latency per
         original (pre-dedup) request so tail percentiles weight demand,
         not keys."""
+        # Loop tasks launched from a *predicted* roster ran before the
+        # discovery reported the profiled time fractions; their answers
+        # carry the placeholder 0.0 share, so refresh them now that the
+        # real profile landed (delivery and the cache both read these).
+        for name, frac in entry.hot_fractions.items():
+            answer = entry.answers.get(name)
+            if (answer is not None and frac
+                    and answer.time_fraction == 0.0):
+                entry.answers[name] = replace(answer, time_fraction=frac)
         for _ in range(max(1, entry.demand)):
             self.telemetry.request_completion.record(elapsed_s)
 
@@ -605,34 +645,58 @@ class BatchScheduler:
         return None
 
     def _loop_task(self, entry: _KeyWork, loop: Optional[str],
-                   fraction: float, trace) -> LoopTask:
+                   fraction: float, trace,
+                   predicted_s: float = 0.0) -> LoopTask:
         return LoopTask(entry.request, loop, self.loop_timeout_s,
-                        fraction, trace, self.prepared_cache_size)
+                        fraction, predicted_s=predicted_s, trace=trace,
+                        prepared_cache_size=self.prepared_cache_size)
 
     def _loop_ticket(self, batch: _QueueBatch, key: str,
                      entry: _KeyWork, loop: Optional[str],
                      fraction: float, trace, client: str,
                      trace_parent, started: float,
-                     work: Dict[str, _KeyWork]) -> Ticket:
+                     work: Dict[str, _KeyWork],
+                     drift_catch: bool = False) -> Ticket:
         # Discovery tasks carry weight 0 (they sort first by kind
         # anyway); loop tasks are LPT-ordered by instruction-weighted
-        # time fraction so priorities compare across modules.
-        weight = (0.0 if loop is None
-                  else lpt_weight(fraction, entry.total_instructions))
+        # time fraction — or, cost model on, by *predicted wall
+        # seconds* blended from measured history with the static
+        # estimate as prior and fallback.  A drift-catch discovery
+        # (predicted roster already enqueued) sorts with the loop
+        # band at weight 0: confirmation, not a barrier.
+        pred = entry.prediction
+        predicted = False
+        kind: Optional[int] = None
+        if loop is None:
+            weight = 0.0
+            if drift_catch:
+                kind = 1
+        else:
+            weight = lpt_weight(fraction, entry.total_instructions)
+            if self.cost_model is not None:
+                weight = self.cost_model.predict_loop(pred, loop, weight)
+                predicted = True
+        predicted_setup = (pred.setup_s if pred is not None
+                           and self.cost_model is not None else 0.0)
 
         def deliver(ticket, outcome, result, error):
             self._queue_deliver(batch, work, started, trace, client,
                                 trace_parent, ticket, outcome, result,
                                 error)
 
-        return Ticket(self._loop_task(entry, loop, fraction, trace),
+        return Ticket(self._loop_task(entry, loop, fraction, trace,
+                                      weight if predicted else 0.0),
                       key=key, weight=weight, deliver=deliver,
-                      client=client, trace_parent=trace_parent)
+                      client=client, trace_parent=trace_parent,
+                      kind=kind, predicted=predicted,
+                      predicted_setup=predicted_setup)
 
     def _fan_out_queue(self, keys: List[str],
                        work: Dict[str, _KeyWork],
                        client: str = "",
-                       on_answer: Optional[Callable] = None) -> None:
+                       on_answer: Optional[Callable] = None,
+                       predictions: Optional[Dict[str, KeyPrediction]]
+                       = None) -> None:
         """Feed the batch's tasks to the resident work engine and wait
         for its share of deliveries to complete."""
         tracer = current_tracer()
@@ -641,6 +705,7 @@ class BatchScheduler:
         started = time.perf_counter()
         batch = _QueueBatch(on_answer=on_answer)
         immediate: List[_KeyWork] = []
+        predictions = predictions or {}
 
         with tracer.span("fan_out", cat="scheduler",
                          mode="queue") as span:
@@ -648,7 +713,29 @@ class BatchScheduler:
             tickets: List[Ticket] = []
             for key in keys:
                 entry = work[key]
+                entry.prediction = predictions.get(key)
                 known = self._known_roster(key, entry)
+                pred = entry.prediction
+                if known is None and pred is not None and pred.roster:
+                    # Predicted roster: the lineage's history names
+                    # the loops, so they enqueue *now* instead of
+                    # waiting behind a discovery barrier.  A
+                    # deprioritized drift-catch discovery rides along;
+                    # whatever it finds beyond the prediction is
+                    # diff-enqueued, and stale predicted loops come
+                    # back answerless — either way the answers match
+                    # the discovery-first path byte for byte.
+                    self.telemetry.count("roster_predictions")
+                    entry.enqueued_loops.update(pred.roster)
+                    entry.outstanding = len(pred.roster) + 1
+                    for name in pred.roster:
+                        tickets.append(self._loop_ticket(
+                            batch, key, entry, name, 0.0, trace,
+                            client, parent, started, work))
+                    tickets.append(self._loop_ticket(
+                        batch, key, entry, None, 0.0, trace, client,
+                        parent, started, work, drift_catch=True))
+                    continue
                 if known is None:
                     entry.outstanding = 1
                     tickets.append(self._loop_ticket(
@@ -661,6 +748,7 @@ class BatchScheduler:
                 if not wanted:
                     immediate.append(entry)
                     continue
+                entry.enqueued_loops.update(wanted)
                 for name in wanted:
                     tickets.append(self._loop_ticket(
                         batch, key, entry, name,
@@ -693,6 +781,8 @@ class BatchScheduler:
         task = ticket.task
         if outcome == "ok":
             self._absorb_task(entry, result)
+            if self.cost_model is not None:
+                self._observe_cost(entry, ticket, task, result)
             if task.loop is None:
                 more = self._enqueue_discovered(
                     batch, ticket.key, entry, result, trace, client,
@@ -719,13 +809,33 @@ class BatchScheduler:
         if batch.remaining <= 0:
             batch.event.set()
 
+    def _observe_cost(self, entry: _KeyWork, ticket: Ticket,
+                      task: LoopTask, result: LoopTaskResult) -> None:
+        """Feed one finished task's measured costs back to the model
+        (dispatcher thread): loop wall time, prediction error, ratio
+        calibration, and — on a prepared miss — the setup build."""
+        lineage = entry.request.duration_lineage()
+        if task.loop is not None and result.answer is not None:
+            measured = result.analysis_wall_s or result.answer.latency_s
+            self.cost_model.observe(
+                lineage, task.loop, measured,
+                predicted_s=ticket.weight if ticket.predicted else None,
+                static_weight=lpt_weight(task.time_fraction,
+                                         entry.total_instructions))
+        if not result.prepared_hit and result.setup_s > 0.0:
+            self.cost_model.observe_setup(lineage, result.setup_s)
+
     def _enqueue_discovered(self, batch: _QueueBatch, key: str,
                             entry: _KeyWork, result: LoopTaskResult,
                             trace, client: str, trace_parent,
                             started: float,
                             work: Dict[str, _KeyWork]) -> int:
-        """A discovery task reported the roster: enqueue its loops."""
-        wanted = tuple(entry.loops or result.hot_loops)
+        """A discovery task reported the roster: enqueue its loops —
+        minus any already flying from a predicted roster (then only
+        the drift, usually nothing, is enqueued)."""
+        wanted = tuple(name for name in (entry.loops or result.hot_loops)
+                       if name not in entry.enqueued_loops)
+        entry.enqueued_loops.update(wanted)
         fractions = result.hot_fractions
         tickets = [self._loop_ticket(batch, key, entry, name,
                                      fractions.get(name, 0.0), trace,
@@ -802,6 +912,10 @@ class BatchScheduler:
         tel.count("orchestrator_queries", result.orchestrator_queries)
         tel.count("busy_s", result.busy_s)
         tel.count("setup_s", result.setup_s)
+        if not result.prepared_hit and result.setup_s > 0.0:
+            # Setup cost persists under a sentinel pseudo-loop in the
+            # same durations table: the cost model's affinity charge.
+            entry.durations[SETUP_LOOP_KEY] = result.setup_s
         tel.merge_worker_metrics(result.metrics)
 
     def _degrade(self, entry: _KeyWork, task: ShardTask,
@@ -848,7 +962,7 @@ class BatchScheduler:
             if entry.durations:
                 try:
                     self.cache.record_durations(
-                        key, entry.request.lineage_key(),
+                        key, entry.request.duration_lineage(),
                         entry.durations)
                 except Exception:
                     pass  # prediction feedstock is best-effort

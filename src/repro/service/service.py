@@ -87,6 +87,11 @@ class ServiceConfig:
     #: lazily respawn on the next task (the daemon's scale-down);
     #: ``None`` keeps workers resident forever.
     idle_ttl_s: Optional[float] = None
+    #: Predictive cost-model scheduling (queue mode): measured-duration
+    #: LPT weights plus prepared-module affinity placement.  ``False``
+    #: (or the ``REPRO_NO_COST_MODEL`` environment variable / the
+    #: ``--no-cost-model`` flag) falls back to the static estimate.
+    cost_model: bool = True
     #: Default orchestrator config stamped onto requests that carry
     #: none (lets callers pick join/bailout policies service-wide).
     orchestrator: Optional[OrchestratorConfig] = None
@@ -127,6 +132,7 @@ class DependenceService:
             mode=self.config.mode,
             prepared_cache_size=self.config.prepared_cache_size,
             idle_ttl_s=self.config.idle_ttl_s,
+            cost_model=self.config.cost_model,
         )
 
     # -- serving -------------------------------------------------------------

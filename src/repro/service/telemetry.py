@@ -61,6 +61,11 @@ _COUNTERS = (
     "tasks_cancelled",
     "fleet_rebuilds",
     "fleet_scale_downs",
+    # Predictive cost model + affinity placement (repro.service.costmodel).
+    "prepared_affinity_hits",
+    "prepared_affinity_misses",
+    "prepared_affinity_steals",
+    "roster_predictions",
     # Tiered result cache (repro.cachetier): per-tier attribution.
     "l1_hits",
     "l1_misses",
@@ -138,6 +143,24 @@ class TelemetrySnapshot:
     l2_writes_shed: int = 0
     l2_writes_dropped: int = 0
     l2_errors: int = 0
+    #: Affinity placement: loop tasks routed to a worker slot whose
+    #: modeled prepared-LRU already held the module (hits) vs not
+    #: (misses), and charged tasks an idle slot took from another
+    #: slot's residency (steals — affinity never strands a worker).
+    prepared_affinity_hits: int = 0
+    prepared_affinity_misses: int = 0
+    prepared_affinity_steals: int = 0
+    #: Requests whose hot-loop roster was predicted from lineage
+    #: history, skipping the discovery barrier.
+    roster_predictions: int = 0
+    #: |predicted - measured| wall seconds per finished loop task
+    #: (histogram summary; empty when the cost model is off).
+    prediction_error: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def prepared_affinity_hit_rate(self) -> float:
+        total = self.prepared_affinity_hits + self.prepared_affinity_misses
+        return self.prepared_affinity_hits / total if total else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -170,6 +193,11 @@ class ServiceTelemetry:
         self.queue_wait = self.registry.histogram("queue_wait_s")
         self.request_completion = \
             self.registry.histogram("request_completion_s")
+        #: |predicted - measured| seconds per finished loop task; the
+        #: cost model records into it, exposition renders it as
+        #: ``repro_sched_prediction_error_s``.
+        self.prediction_error = \
+            self.registry.histogram("sched_prediction_error_s")
         self._queue = self.registry.gauge("queue_depth")
         #: Optional live ops plane (:class:`repro.obs.live.LiveOps`).
         #: ``None`` outside the daemon; the engine guards every
@@ -258,6 +286,11 @@ class ServiceTelemetry:
             l2_writes_shed=value("l2_writes_shed"),
             l2_writes_dropped=value("l2_writes_dropped"),
             l2_errors=value("l2_errors"),
+            prepared_affinity_hits=value("prepared_affinity_hits"),
+            prepared_affinity_misses=value("prepared_affinity_misses"),
+            prepared_affinity_steals=value("prepared_affinity_steals"),
+            roster_predictions=value("roster_predictions"),
+            prediction_error=self.prediction_error.summary(),
         )
 
 
@@ -314,6 +347,17 @@ def format_report(snap: TelemetrySnapshot) -> str:
             f"  fleet            {snap.tasks_cancelled} tasks cancelled, "
             f"{snap.fleet_rebuilds} rebuilds, "
             f"{snap.fleet_scale_downs} idle scale-downs")
+    affinity_traffic = (snap.prepared_affinity_hits
+                        + snap.prepared_affinity_misses)
+    if affinity_traffic or snap.roster_predictions:
+        lines.append(
+            f"  cost model       affinity {snap.prepared_affinity_hits}"
+            f"/{affinity_traffic} placements resident "
+            f"(hit rate {snap.prepared_affinity_hit_rate:.1%}, "
+            f"{snap.prepared_affinity_steals} steals), "
+            f"{snap.roster_predictions} predicted rosters")
+    if snap.prediction_error.get("count"):
+        lines.append(_lat("pred error", snap.prediction_error))
     tier_traffic = (snap.l1_hits + snap.l1_misses + snap.l2_hits
                     + snap.l2_misses + snap.l2_writes + snap.l2_errors)
     if tier_traffic:

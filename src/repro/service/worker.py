@@ -137,6 +137,10 @@ class LoopTask:
     #: The scheduler's LPT estimate (profiled time fraction); carried
     #: for observability only.
     time_fraction: float = 0.0
+    #: The cost model's predicted wall seconds for this task (0.0 when
+    #: the model is off or had no basis); carried for observability so
+    #: traces can show predicted-vs-actual per task.
+    predicted_s: float = 0.0
     trace: Optional[TraceSpec] = None
     prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE
 
@@ -570,6 +574,9 @@ def run_loop_task(task: LoopTask) -> LoopTaskResult:
             result = _run_loop_task(task)
             span.set(prepared="hit" if result.prepared_hit else "miss",
                      discovery=task.loop is None)
+            if task.predicted_s > 0.0:
+                span.set(predicted_s=round(task.predicted_s, 6),
+                         measured_s=round(result.analysis_wall_s, 6))
     finally:
         set_tracer(previous)
     result.spans = tracer.export()

@@ -366,7 +366,7 @@ class TestDurations:
         try:
             service.run_batch([request])
             looked = service.cache.lookup_durations(
-                request.lineage_key())
+                request.duration_lineage())
             assert looked, "batch did not persist loop durations"
             assert all(v >= 0.0 for v in looked.values())
         finally:

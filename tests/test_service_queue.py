@@ -160,7 +160,7 @@ class TestCrashAndRebuild:
             if task.loop is not None and task.loop.startswith("@work2"):
                 with lock:
                     first = not crashed
-                    crashed.append(task.loop)
+                    crashed.append((task.request.name, task.loop))
                 if first:
                     raise RuntimeError("simulated worker death")
             return run_loop_task(task)
@@ -175,23 +175,26 @@ class TestCrashAndRebuild:
                             system="caf"),
         ]
         results = scheduler.run_batch(requests)
-        executor_after = scheduler._executor
         scheduler.close()
 
         assert crashed, "the injected crash never fired"
-        by_loop = {a.loop: a for a in results[0]}
+        # The deterministic (key, loop) tie-break decides which
+        # request's @work2 dispatches first — whichever it was, only
+        # that one loop degrades.
+        hit = 0 if crashed[0][0] == "victim" else 1
+        by_loop = {a.loop: a for a in results[hit]}
         assert by_loop["@work2:%loop"].status == STATUS_FALLBACK
         assert by_loop["@work2:%loop"].no_dep_percent == 0.0
         assert by_loop["@work1:%loop"].status == STATUS_COMPUTED
-        # The bystander request rode the same global queue and was
+        # The other request rode the same global queue and was
         # untouched by the crash.
-        assert all(a.status == STATUS_COMPUTED for a in results[1])
+        assert all(a.status == STATUS_COMPUTED for a in results[1 - hit])
         snap = scheduler.telemetry.snapshot()
         assert snap.shards_failed == 1
         assert snap.loops_fallback == 1
-        # The pool was rebuilt after the breakage (a fresh executor
-        # object drained the remaining queue).
-        assert executor_after is not None
+        # The crashed worker slot was replaced (a fresh worker drained
+        # the remaining queue).
+        assert snap.fleet_rebuilds == 1
 
     def test_discovery_death_degrades_whole_request(self):
         """If the roster was never discovered, the conservative
